@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation bench: closed-form GEMM model vs the wave-level tile
+ * simulator on the layer's operator shapes — the cross-validation of
+ * the performance substrate DESIGN.md promises.
+ */
+
+#include <sstream>
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+compareGraph(const hw::HardwareConfig &cfg,
+             const model::LayerGraph &graph)
+{
+    const perf::MatmulModel analytic(cfg, perf::PerfParams{});
+    Table t({"op", "m x n x k (batch)", "closed form (us)",
+             "tile sim (us)", "ratio", "waves"});
+    for (const model::Op &op : graph.ops) {
+        if (op.kind != model::OpKind::MATMUL)
+            continue;
+        const double a = analytic.time(op).totalS;
+        const perf::GemmTrace trace = perf::simulateGemm(cfg, op);
+        std::ostringstream shape;
+        shape << op.mm.m << "x" << op.mm.n << "x" << op.mm.k << " ("
+              << op.mm.batchCount << ")";
+        t.addRow({op.name, shape.str(), fmt(a * 1e6, 1),
+                  fmt(trace.totalS * 1e6, 1),
+                  fmt(trace.totalS / a, 2),
+                  std::to_string(trace.waves.size())});
+    }
+    t.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Ablation: GEMM model cross-validation",
+                  "Closed-form roofline vs wave-level schedule "
+                  "simulation (modeled A100)");
+
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    const model::InferenceSetting setting;
+
+    std::cout << "\n-- GPT-3 175B prefill layer (TP=4) --\n";
+    compareGraph(cfg, model::buildPrefillGraph(model::gpt3_175b(),
+                                               setting, 4));
+    std::cout << "\n-- GPT-3 175B decode layer (TP=4) --\n";
+    compareGraph(cfg, model::buildDecodeGraph(model::gpt3_175b(),
+                                              setting, 4));
+    std::cout << "\n-- Llama 3 8B decode layer (TP=4) --\n";
+    compareGraph(cfg, model::buildDecodeGraph(model::llama3_8b(),
+                                              setting, 4));
+
+    std::cout << "\nReading: ratios near 1.0 mean the closed form's "
+                 "amortized roofline matches the explicit wave "
+                 "schedule; deviations above 1 come from remainder "
+                 "tiles and fetch/compute skew the closed form "
+                 "averages away.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation bench: how each performance-model ingredient (pipeline
+ * fill, L1 tiling, L2 blocking, kernel overhead) contributes to the
+ * modeled A100's TTFT/TBT and to the headline DSE deltas — the
+ * modeling-choice ablations DESIGN.md calls out.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+runVariant(const std::string &label, const perf::PerfParams &params)
+{
+    const core::SanctionsStudy study(params);
+
+    Table t({"workload", "A100 TTFT (ms)", "A100 TBT (ms)",
+             "best compliant dTTFT", "best compliant dTBT"});
+    for (const core::Workload &workload :
+         {core::gpt3Workload(), core::llamaWorkload()}) {
+        const auto baseline = study.evaluateBaseline(workload);
+        const auto designs = dse::filterReticle(study.runSweep(
+            dse::table3Space(4800.0, {600.0 * units::GBPS}), workload));
+        const auto &best_ttft = dse::minTtft(designs);
+        const auto &best_tbt = dse::minTbt(designs);
+        t.addRow({workload.model.name,
+                  fmt(units::toMs(baseline.ttftS), 1),
+                  fmt(units::toMs(baseline.tbtS), 4),
+                  fmtPercent(best_ttft.ttftS / baseline.ttftS - 1.0),
+                  fmtPercent(best_tbt.tbtS / baseline.tbtS - 1.0)});
+    }
+    std::cout << "\n-- " << label << " --\n";
+    t.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Ablation",
+                  "Performance-model ingredient ablations");
+
+    runVariant("full model (defaults)", perf::PerfParams{});
+
+    perf::PerfParams no_fill;
+    no_fill.modelPipelineFill = false;
+    runVariant("no systolic pipeline-fill loss", no_fill);
+
+    perf::PerfParams no_tiling;
+    no_tiling.modelTiling = false;
+    runVariant("no L1-capacity tiling (infinite tiles)", no_tiling);
+
+    perf::PerfParams no_blocking;
+    no_blocking.modelL2Blocking = false;
+    runVariant("no L2 GEMM blocking (stream weights once)",
+               no_blocking);
+
+    perf::PerfParams no_overhead;
+    no_overhead.kernelOverheadS = 0.0;
+    runVariant("no kernel launch/ramp overhead", no_overhead);
+
+    perf::PerfParams tile_sim;
+    tile_sim.gemmMode = perf::GemmMode::TILE_SIM;
+    runVariant("wave-level GEMM simulation (detailed mode)", tile_sim);
+
+    perf::PerfParams multipass;
+    multipass.modelMultiPassVector = true;
+    runVariant("multi-pass (unfused) vector kernels", multipass);
+
+    std::cout << "\nReading: without tiling, L1 size stops mattering "
+                 "and TTFT deltas collapse; without kernel overhead, "
+                 "decode scales perfectly with HBM bandwidth and TBT "
+                 "deltas overshoot the paper's -27%.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension bench (Sec. 5.4 case study): sweep AI-oriented and
+ * gaming-oriented designs against the gaming-focused architecture
+ * policy and show the selectivity frontier — compliant designs lose
+ * little gaming FPS but much LLM decode throughput.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+struct Candidate
+{
+    hw::HardwareConfig cfg;
+    bool compliant = false;
+    double fps = 0.0;
+    double tbtMs = 0.0;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Extension: gaming-focused policy",
+                  "Sec. 5.4 — architecturally self-limiting gaming "
+                  "devices");
+
+    const policy::ArchPolicy policy = policy::ArchPolicy::gamingFocused();
+    const model::GraphicsWorkload game =
+        model::GraphicsWorkload::aaa1440p();
+    const model::InferenceSetting setting;
+
+    // Sweep systolic dims x memory bandwidth at fixed ~4800 TPP and
+    // fixed SIMT (vector) resources.
+    std::vector<Candidate> candidates;
+    for (int dim : {4, 8, 16, 32}) {
+        for (double mem_tbps : {0.8, 1.2, 1.6, 2.0, 2.8}) {
+            hw::HardwareConfig cfg = hw::modeledA100();
+            cfg.systolicDimX = dim;
+            cfg.systolicDimY = dim;
+            cfg.coreCount =
+                hw::coresForTpp(4800.0, dim, dim, 4, cfg.clockHz);
+            if (cfg.coreCount < 1)
+                continue;
+            cfg.memBandwidth = mem_tbps * units::TBPS;
+            cfg.name = std::to_string(dim) + "x" + std::to_string(dim) +
+                       "-" + fmt(mem_tbps, 1) + "T";
+
+            Candidate c;
+            c.cfg = cfg;
+            c.compliant = policy.compliant(cfg);
+            c.fps = perf::GraphicsModel(cfg).frameTime(game).fps();
+            c.tbtMs = units::toMs(
+                perf::InferenceSimulator(cfg)
+                    .run(model::llama3_8b(), setting,
+                         perf::SystemConfig{1})
+                    .tbtS);
+            candidates.push_back(c);
+        }
+    }
+
+    Table t({"design", "policy", "AAA 1440p FPS", "Llama TBT (ms)"});
+    for (const auto &c : candidates) {
+        t.addRow({c.cfg.name, c.compliant ? "compliant" : "violates",
+                  fmt(c.fps, 0), fmt(c.tbtMs, 3)});
+    }
+    t.print(std::cout);
+
+    // Selectivity headline: best compliant vs best overall.
+    double best_fps_all = 0.0, best_fps_ok = 0.0;
+    double best_tbt_all = 1e9, best_tbt_ok = 1e9;
+    for (const auto &c : candidates) {
+        best_fps_all = std::max(best_fps_all, c.fps);
+        best_tbt_all = std::min(best_tbt_all, c.tbtMs);
+        if (c.compliant) {
+            best_fps_ok = std::max(best_fps_ok, c.fps);
+            best_tbt_ok = std::min(best_tbt_ok, c.tbtMs);
+        }
+    }
+    std::cout << "\nSelectivity of the policy:\n"
+              << "  gaming FPS retained by compliant designs:  "
+              << fmtPercent(best_fps_ok / best_fps_all, 1) << "\n"
+              << "  LLM decode slowdown forced on compliant designs: "
+              << fmtPercent(best_tbt_ok / best_tbt_all - 1.0, 1)
+              << "\n"
+              << "Shape: near-100% gaming retention with a large AI "
+                 "penalty — the policy binds only the workload of "
+                 "interest.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension bench (Sec. 4.4): power and operating-cost consequences of
+ * the performance-density floor.
+ *
+ * The PD-compliant 2400-TPP design carries ~1.6x the SRAM and die area
+ * of its equal-performance non-compliant twin; this bench quantifies
+ * the resulting static power and the multi-year electricity bill the
+ * paper alludes to ("if all are turned on, these caches increase
+ * static and dynamic power which increase operating costs").
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Extension: power & operating cost",
+                  "Sec. 4.4 — the electricity bill of PD compliance");
+
+    const core::SanctionsStudy study;
+    const core::Workload workload = core::gpt3Workload();
+    const auto designs = dse::filterReticle(study.runSweep(
+        dse::table3Space(2400.0, {500.0 * units::GBPS,
+                                  700.0 * units::GBPS,
+                                  900.0 * units::GBPS}),
+        workload));
+
+    std::vector<dse::EvaluatedDesign> ok, bad;
+    for (const auto &d : designs) {
+        (policy::Oct2023Rule::classify(d.toSpec()) ==
+                 policy::Classification::NOT_APPLICABLE
+             ? ok
+             : bad)
+            .push_back(d);
+    }
+    if (ok.empty() || bad.empty()) {
+        std::cout << "missing group; cannot run\n";
+        return 1;
+    }
+
+    const auto &compliant = dse::minTtft(ok);
+    // Equal-performance non-compliant twin (as in Table 4).
+    const dse::EvaluatedDesign *twin = nullptr;
+    for (const auto &d : bad) {
+        if (d.ttftS > compliant.ttftS * 1.02)
+            continue;
+        if (!twin || d.dieAreaMm2 < twin->dieAreaMm2)
+            twin = &d;
+    }
+    if (!twin)
+        twin = &dse::minTtft(bad);
+
+    const area::PowerModel power_model;
+    const area::ActivityProfile serving{0.35, 0.6, 4.0};
+
+    auto report = [&](const dse::EvaluatedDesign &d) {
+        const auto p = power_model.power(d.config, serving);
+        return p;
+    };
+    const auto p_c = report(compliant);
+    const auto p_n = report(*twin);
+
+    Table t({"quantity", "PD compliant", "non-compliant", "ratio"});
+    auto row = [&](const std::string &label, double a, double b,
+                   int prec = 1) {
+        t.addRow({label, fmt(a, prec), fmt(b, prec),
+                  fmt(b != 0.0 ? a / b : 0.0, 2) + "x"});
+    };
+    const double sram_c = (compliant.config.coreCount *
+                               compliant.config.l1BytesPerCore +
+                           compliant.config.l2Bytes) /
+                          units::MIB;
+    const double sram_n =
+        (twin->config.coreCount * twin->config.l1BytesPerCore +
+         twin->config.l2Bytes) /
+        units::MIB;
+    row("die area (mm^2)", compliant.dieAreaMm2, twin->dieAreaMm2, 0);
+    row("on-chip SRAM (MiB)", sram_c, sram_n, 0);
+    row("SRAM leakage (W)", p_c.sramLeakageW, p_n.sramLeakageW);
+    row("logic leakage (W)", p_c.logicLeakageW, p_n.logicLeakageW);
+    row("static power (W)", p_c.staticW(), p_n.staticW());
+    row("dynamic power (W)", p_c.dynamicW(), p_n.dynamicW());
+    row("total power (W)", p_c.totalW(), p_n.totalW());
+    const double opex_c =
+        area::PowerModel::operatingCostUsdPerYear(p_c.totalW());
+    const double opex_n =
+        area::PowerModel::operatingCostUsdPerYear(p_n.totalW());
+    row("electricity ($/yr)", opex_c, opex_n, 0);
+    row("3-yr TCO: good die + power ($)",
+        compliant.goodDieCostUsd + 3.0 * opex_c,
+        twin->goodDieCostUsd + 3.0 * opex_n, 0);
+    t.print(std::cout);
+
+    std::cout << "\nShape (Sec. 4.4): the compliance silicon is not "
+                 "free even after purchase — the SRAM padding shows up "
+                 "as static power on every deployed device.\n";
+    return 0;
+}

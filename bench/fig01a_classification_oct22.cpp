@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 1a: device classification under the October 2022 Advanced
+ * Computing Rule, plotted as TPP vs device-device bandwidth.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Figure 1a",
+                  "Device classification under October 2022 ACR "
+                  "(TPP vs device bandwidth)");
+
+    const devices::Database db;
+    const auto specs = db.allSpecs();
+    const auto buckets =
+        bench::classifyAll<policy::Oct2022Rule>(specs);
+
+    ScatterPlot plot("Oct 2022 ACR classification",
+                     "Device-Device Bandwidth (GB/s)",
+                     "Total Processing Performance (TPP)");
+    auto series = [](const std::vector<policy::DeviceSpec> &specs,
+                     const std::string &name, char glyph) {
+        ScatterSeries s;
+        s.name = name;
+        s.glyph = glyph;
+        for (const auto &spec : specs) {
+            s.xs.push_back(spec.deviceBandwidthGBps);
+            s.ys.push_back(spec.tpp);
+        }
+        return s;
+    };
+    plot.addSeries(series(buckets.notApplicable, "Not Applicable", '.'));
+    plot.addSeries(series(buckets.licenseRequired, "License Required",
+                          'X'));
+    plot.print(std::cout);
+
+    Table t({"device", "TPP", "device BW (GB/s)", "classification"});
+    for (const auto &spec : specs) {
+        t.addRow({spec.name, fmt(spec.tpp, 0),
+                  fmt(spec.deviceBandwidthGBps, 0),
+                  toString(policy::Oct2022Rule::classify(spec))});
+    }
+    t.print(std::cout);
+    bench::writeCsv("fig01a_devices", t);
+
+    std::cout << "\nSummary: " << buckets.licenseRequired.size()
+              << " of " << specs.size()
+              << " devices require a license under Oct 2022 (paper: "
+              << "only flagship parts like H100/A100/MI250X).\n";
+    return 0;
+}

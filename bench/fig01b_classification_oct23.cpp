@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 1b: device classification under the October 2023 Advanced
+ * Computing Rule, plotted as TPP vs performance density.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Figure 1b",
+                  "Device classification under October 2023 ACR "
+                  "(TPP vs performance density)");
+
+    const devices::Database db;
+    const auto specs = db.allSpecs();
+    const auto buckets =
+        bench::classifyAll<policy::Oct2023Rule>(specs);
+
+    ScatterPlot plot("Oct 2023 ACR classification",
+                     "Performance Density (TPP/mm^2)",
+                     "Total Processing Performance (TPP)");
+    auto series = [](const std::vector<policy::DeviceSpec> &specs,
+                     const std::string &name, char glyph) {
+        ScatterSeries s;
+        s.name = name;
+        s.glyph = glyph;
+        for (const auto &spec : specs) {
+            s.xs.push_back(spec.perfDensity());
+            s.ys.push_back(spec.tpp);
+        }
+        return s;
+    };
+    plot.addSeries(series(buckets.notApplicable, "Not Applicable", '.'));
+    plot.addSeries(series(buckets.nacEligible, "NAC Eligible", 'o'));
+    plot.addSeries(series(buckets.licenseRequired, "License Required",
+                          'X'));
+    plot.print(std::cout);
+
+    Table t({"device", "market", "TPP", "PD", "classification"});
+    for (const auto &spec : specs) {
+        t.addRow({spec.name, toString(spec.market), fmt(spec.tpp, 0),
+                  fmt(spec.perfDensity()),
+                  toString(policy::Oct2023Rule::classify(spec))});
+    }
+    t.print(std::cout);
+    bench::writeCsv("fig01b_devices", t);
+
+    std::cout << "\nSummary: " << buckets.licenseRequired.size()
+              << " license-required, " << buckets.nacEligible.size()
+              << " NAC-eligible, " << buckets.notApplicable.size()
+              << " unregulated of " << specs.size() << " devices.\n"
+              << "Paper shape: A800/H800 (previously compliant) are now "
+              << "regulated; MI210 and RTX 4090 need NAC.\n";
+    return 0;
+}

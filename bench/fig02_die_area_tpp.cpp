@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 2: the October 2023 rule re-plotted as die area vs TPP — the
+ * performance-density floors become die-area floors, so devices can
+ * escape the rule by *increasing* die area.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Figure 2",
+                  "Die area vs TPP under October 2023 ACR: devices can "
+                  "avoid regulation by increasing die area");
+
+    const devices::Database db;
+    const auto specs = db.allSpecs();
+    const auto buckets =
+        bench::classifyAll<policy::Oct2023Rule>(specs);
+
+    ScatterPlot plot("Oct 2023 ACR classification by die area",
+                     "Die Area (mm^2)",
+                     "Total Processing Performance (TPP)");
+    plot.setLimits({std::nullopt, 1500.0, std::nullopt, 7000.0});
+    auto series = [](const std::vector<policy::DeviceSpec> &specs,
+                     const std::string &name, char glyph) {
+        ScatterSeries s;
+        s.name = name;
+        s.glyph = glyph;
+        for (const auto &spec : specs) {
+            s.xs.push_back(spec.dieAreaMm2);
+            s.ys.push_back(spec.tpp);
+        }
+        return s;
+    };
+    plot.addSeries(series(buckets.notApplicable, "Not Applicable", '.'));
+    plot.addSeries(series(buckets.nacEligible, "NAC Eligible", 'o'));
+    plot.addSeries(series(buckets.licenseRequired, "License Required",
+                          'X'));
+    plot.print(std::cout);
+
+    // The paper's worked examples of the die-area floors (Sec. 2.5).
+    Table t({"TPP", "min area: unregulated (mm^2)",
+             "min area: NAC eligible (mm^2)", "paper"});
+    t.addRow({"2399", fmt(policy::Oct2023Rule::minUnregulatedDieArea(
+                              2399.0), 1),
+              fmt(policy::Oct2023Rule::minNacDieArea(2399.0), 1),
+              "> 750 mm^2 to avoid restrictions"});
+    t.addRow({"1600", fmt(policy::Oct2023Rule::minUnregulatedDieArea(
+                              1600.0), 1),
+              fmt(policy::Oct2023Rule::minNacDieArea(1600.0), 1),
+              "> 270 mm^2 for NAC eligibility"});
+    t.addRow({"4799", fmt(policy::Oct2023Rule::minUnregulatedDieArea(
+                              4799.0), 1),
+              fmt(policy::Oct2023Rule::minNacDieArea(4799.0), 1),
+              "> 3000 mm^2 (3x the reticle limit)"});
+    t.print(std::cout);
+    bench::writeCsv("fig02_area_floors", t);
+
+    std::cout << "\nA 4799-TPP unregulated design needs "
+              << fmt(policy::Oct2023Rule::minUnregulatedDieArea(4799.0) /
+                     area::RETICLE_LIMIT_MM2, 2)
+              << "x the " << area::RETICLE_LIMIT_MM2
+              << " mm^2 reticle limit -> must be a multi-chip module.\n";
+    return 0;
+}

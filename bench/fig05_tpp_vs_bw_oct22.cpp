@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 5: prefill/decode latency when scaling TPP or device
+ * bandwidth under the October 2022 rule (GPT-3 175B).
+ *
+ * Sweep A fixes device bandwidth below 600 GB/s and scales core count
+ * (TPP 4000-8000); sweep B fixes TPP at 4759 (103 cores) and scales
+ * device bandwidth 500-1000 GB/s. Only the modeled A100 is regulated.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+hw::HardwareConfig
+withCores(int cores)
+{
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.coreCount = cores;
+    // Capped-bandwidth arm: reduced per-PHY bandwidth -> 500 GB/s.
+    cfg.perPhyBandwidth = 500.0 / 12.0 * units::GBPS;
+    cfg.name = "tpp-sweep-" + std::to_string(cores) + "c";
+    return cfg;
+}
+
+hw::HardwareConfig
+withDeviceBw(double gbps)
+{
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.coreCount = 103; // TPP 4759 < 4800
+    cfg.perPhyBandwidth = gbps / 12.0 * units::GBPS;
+    cfg.name = "bw-sweep-" + std::to_string(static_cast<int>(gbps));
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 5",
+                  "Oct 2022: TPP scaling vs device-bandwidth scaling, "
+                  "GPT-3 175B");
+
+    const core::SanctionsStudy study;
+    const core::Workload workload = core::gpt3Workload();
+    const auto baseline = study.evaluateBaseline(workload);
+
+    std::cout << "\n-- Sweep A: device BW capped at 500 GB/s, scaling "
+                 "TPP via core count --\n";
+    Table ta({"target TPP", "cores", "actual TPP", "TTFT (ms)",
+              "TBT (ms)", "die area (mm^2)", "Oct 2022"});
+    std::vector<dse::EvaluatedDesign> tpp_sweep;
+    for (double tpp : {4000.0, 4500.0, 5000.0, 5500.0, 6000.0, 6500.0,
+                       7000.0, 7500.0, 8000.0}) {
+        const int cores = hw::coresForTpp(tpp, 16, 16, 4,
+                                          hw::modeledA100().clockHz);
+        const auto report =
+            study.evaluateDesign(withCores(cores), workload);
+        tpp_sweep.push_back(report.design);
+        ta.addRow({fmt(tpp, 0), std::to_string(cores),
+                   fmt(report.design.tpp, 0),
+                   fmt(units::toMs(report.design.ttftS)),
+                   fmt(units::toMs(report.design.tbtS), 4),
+                   fmt(report.design.dieAreaMm2, 1),
+                   toString(report.rules.oct2022)});
+    }
+    ta.print(std::cout);
+    bench::writeCsv("fig05_tpp_sweep", ta);
+
+    std::cout << "\n-- Sweep B: TPP capped at 4759 (103 cores), scaling "
+                 "device bandwidth --\n";
+    Table tb({"device BW (GB/s)", "TTFT (ms)", "TBT (ms)", "Oct 2022"});
+    std::vector<dse::EvaluatedDesign> bw_sweep;
+    for (double bw : {500.0, 600.0, 700.0, 800.0, 900.0, 1000.0}) {
+        const auto report =
+            study.evaluateDesign(withDeviceBw(bw), workload);
+        bw_sweep.push_back(report.design);
+        tb.addRow({fmt(bw, 0), fmt(units::toMs(report.design.ttftS)),
+                   fmt(units::toMs(report.design.tbtS), 4),
+                   toString(report.rules.oct2022)});
+    }
+    tb.print(std::cout);
+    bench::writeCsv("fig05_bw_sweep", tb);
+
+    ScatterPlot plot("TTFT vs TBT under Oct 2022 scaling knobs",
+                     "Time to First Token (ms)",
+                     "Time Between Tokens (ms)");
+    ScatterSeries st{"TPP sweep (BW<600)", 'T', {}, {}};
+    for (const auto &d : tpp_sweep) {
+        st.xs.push_back(units::toMs(d.ttftS));
+        st.ys.push_back(units::toMs(d.tbtS));
+    }
+    ScatterSeries sb{"BW sweep (TPP<4800)", 'B', {}, {}};
+    for (const auto &d : bw_sweep) {
+        sb.xs.push_back(units::toMs(d.ttftS));
+        sb.ys.push_back(units::toMs(d.tbtS));
+    }
+    ScatterSeries sa{"modeled A100", 'A', {units::toMs(baseline.ttftS)},
+                     {units::toMs(baseline.tbtS)}};
+    plot.addSeries(st);
+    plot.addSeries(sb);
+    plot.addSeries(sa);
+    plot.print(std::cout);
+
+    // Headline comparisons (paper values in parentheses).
+    const auto &d4000 = tpp_sweep[0];
+    const auto &d5000 = tpp_sweep[2];
+    const auto &d7000 = tpp_sweep[6];
+    std::cout << "\nTTFT 4000 -> 5000 TPP: "
+              << fmtPercent(d5000.ttftS / d4000.ttftS - 1.0)
+              << "   (paper: -16.2%)\n";
+    std::cout << "TTFT 4000 -> 7000 TPP: "
+              << fmtPercent(d7000.ttftS / d4000.ttftS - 1.0)
+              << "   (paper: -34.1%)\n";
+    std::cout << "Die area 4000 -> 7000 TPP: "
+              << fmtPercent(d7000.dieAreaMm2 / d4000.dieAreaMm2 - 1.0)
+              << " to " << fmt(d7000.dieAreaMm2, 0)
+              << " mm^2 (paper: +48.3% to 854 mm^2)\n";
+    std::cout << "TBT 600 -> 1000 GB/s device BW: "
+              << fmtPercent(bw_sweep[5].tbtS / bw_sweep[1].tbtS - 1.0, 2)
+              << "   (paper: -0.27%)\n";
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 6 + Table 3: the October 2022 design space exploration.
+ *
+ * 512 designs at TPP ~= 4800 and 600 GB/s device bandwidth (Table 3
+ * parameters), evaluated for GPT-3 175B and Llama 3 8B. The paper's
+ * headline: manufacturable compliant designs beat the modeled A100 by
+ * -1.2% TTFT / -27% TBT (GPT-3) and -4% / -14.2% (Llama 3), via fewer
+ * lanes, bigger L2, and 3.2 TB/s HBM.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+runWorkload(const core::SanctionsStudy &study,
+            const core::Workload &workload)
+{
+    std::cout << "\n#### Workload: " << workload.model.name << " ####\n";
+
+    const dse::SweepSpace space =
+        dse::table3Space(4800.0, {600.0 * units::GBPS});
+    const auto designs = study.runSweep(space, workload);
+    const auto baseline = study.evaluateBaseline(workload);
+
+    std::cout << "design points: " << designs.size()
+              << " (paper: 512)\n";
+    bench::writeCsv("fig06_" + bench::slug(workload.model.name),
+                    bench::designTable(designs));
+
+    // Scatter: TTFT vs die area, marking reticle violations.
+    ScatterPlot p1(workload.model.name + " prefill vs die area",
+                   "Die Area (mm^2)", "TTFT (ms)");
+    ScatterSeries ok{"under reticle", '*', {}, {}};
+    ScatterSeries over{"over reticle", '.', {}, {}};
+    ScatterSeries a100{"modeled A100", 'A',
+                       {baseline.dieAreaMm2},
+                       {units::toMs(baseline.ttftS)}};
+    for (const auto &d : designs) {
+        auto &s = d.underReticle ? ok : over;
+        s.xs.push_back(d.dieAreaMm2);
+        s.ys.push_back(units::toMs(d.ttftS));
+    }
+    p1.addSeries(over);
+    p1.addSeries(ok);
+    p1.addSeries(a100);
+    p1.print(std::cout);
+
+    ScatterPlot p2(workload.model.name + " decoding vs die area",
+                   "Die Area (mm^2)", "TBT (ms)");
+    ScatterSeries ok2{"under reticle", '*', {}, {}};
+    ScatterSeries over2{"over reticle", '.', {}, {}};
+    for (const auto &d : designs) {
+        auto &s = d.underReticle ? ok2 : over2;
+        s.xs.push_back(d.dieAreaMm2);
+        s.ys.push_back(units::toMs(d.tbtS));
+    }
+    p2.addSeries(over2);
+    p2.addSeries(ok2);
+    p2.addSeries({"modeled A100", 'A', {baseline.dieAreaMm2},
+                  {units::toMs(baseline.tbtS)}});
+    p2.print(std::cout);
+
+    ScatterPlot p3(workload.model.name + " prefill vs decoding",
+                   "TTFT (ms)", "TBT (ms)");
+    ScatterSeries ok3{"under reticle", '*', {}, {}};
+    ScatterSeries over3{"over reticle", '.', {}, {}};
+    for (const auto &d : designs) {
+        auto &s = d.underReticle ? ok3 : over3;
+        s.xs.push_back(units::toMs(d.ttftS));
+        s.ys.push_back(units::toMs(d.tbtS));
+    }
+    p3.addSeries(over3);
+    p3.addSeries(ok3);
+    p3.addSeries({"modeled A100", 'A', {units::toMs(baseline.ttftS)},
+                  {units::toMs(baseline.tbtS)}});
+    p3.print(std::cout);
+
+    // Optimized manufacturable designs.
+    const auto manufacturable = dse::filterReticle(designs);
+    std::cout << "manufacturable (<= " << area::RETICLE_LIMIT_MM2
+              << " mm^2): " << manufacturable.size() << "\n";
+
+    const auto &best_ttft = dse::minTtft(manufacturable);
+    const auto &best_tbt = dse::minTbt(manufacturable);
+
+    // The paper reports one balanced optimum: pick the min-TBT design
+    // among those that also beat (or tie) the A100 on TTFT; fall back
+    // to the min-TBT design.
+    const dse::EvaluatedDesign *optimized = nullptr;
+    for (const auto &d : manufacturable) {
+        if (d.ttftS <= baseline.ttftS &&
+            (!optimized || d.tbtS < optimized->tbtS)) {
+            optimized = &d;
+        }
+    }
+    if (!optimized)
+        optimized = &best_tbt;
+
+    Table t({"design", "lanes", "L1/core (KiB)", "L2 (MiB)",
+             "HBM (TB/s)", "TTFT d", "TBT d", "area (mm^2)"});
+    auto row = [&](const std::string &label,
+                   const dse::EvaluatedDesign &d) {
+        t.addRow({label, std::to_string(d.config.lanesPerCore),
+                  fmt(d.config.l1BytesPerCore / units::KIB, 0),
+                  fmt(d.config.l2Bytes / units::MIB, 0),
+                  fmt(d.config.memBandwidth / units::TBPS, 1),
+                  fmtPercent(d.ttftS / baseline.ttftS - 1.0),
+                  fmtPercent(d.tbtS / baseline.tbtS - 1.0),
+                  fmt(d.dieAreaMm2, 0)});
+    };
+    row("min TTFT", best_ttft);
+    row("min TBT", best_tbt);
+    row("optimized (paper-style)", *optimized);
+    t.print(std::cout);
+
+    std::cout << "paper optimized: GPT-3 -1.2% TTFT / -27% TBT "
+                 "(856 mm^2); Llama 3 -4% / -14.2% (823 mm^2)\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 6 / Table 3",
+                  "Oct 2022 DSE at TPP ~4800, 600 GB/s device BW");
+
+    const core::SanctionsStudy study;
+    runWorkload(study, core::gpt3Workload());
+    runWorkload(study, core::llamaWorkload());
+    return 0;
+}

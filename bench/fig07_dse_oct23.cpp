@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 7: the October 2023 design space exploration at TPP targets
+ * 1600/2400/4800 (Table 3 parameters + device BW {500,700,900} GB/s;
+ * 1536 designs per TPP).
+ *
+ * Paper headlines: every 4800-TPP design violates performance density;
+ * the fastest PD-compliant 2400-TPP TTFT is ~79%/55% slower than the
+ * A100 (GPT-3/Llama); decode can still improve ~21-26% (GPT-3) and
+ * ~12-13% (Llama) because memory bandwidth is unregulated.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+runWorkload(const core::SanctionsStudy &study,
+            const core::Workload &workload)
+{
+    std::cout << "\n#### Workload: " << workload.model.name << " ####\n";
+    const auto baseline = study.evaluateBaseline(workload);
+
+    ScatterPlot p_ttft(workload.model.name + " prefill vs die area",
+                       "Die Area (mm^2)", "TTFT (ms)");
+    ScatterPlot p_tbt(workload.model.name + " decoding vs die area",
+                      "Die Area (mm^2)", "TBT (ms)");
+    const char glyphs[3] = {'1', '2', '4'}; // 1600 / 2400 / 4800 TPP
+
+    int idx = 0;
+    for (double tpp : {1600.0, 2400.0, 4800.0}) {
+        const dse::SweepSpace space = dse::table3Space(
+            tpp, {500.0 * units::GBPS, 700.0 * units::GBPS,
+                  900.0 * units::GBPS});
+        const auto designs = study.runSweep(space, workload);
+        bench::writeCsv("fig07_" + bench::slug(workload.model.name) +
+                            "_" + fmt(tpp, 0) + "tpp",
+                        bench::designTable(designs));
+        const auto manufacturable = dse::filterReticle(designs);
+        const auto compliant = dse::filterOct2023Unregulated(
+            manufacturable);
+
+        std::size_t pd_violations = 0;
+        for (const auto &d : designs) {
+            if (policy::Oct2023Rule::classify(d.toSpec()) !=
+                policy::Classification::NOT_APPLICABLE) {
+                ++pd_violations;
+            }
+        }
+
+        ScatterSeries valid{fmt(tpp, 0) + " TPP ok", glyphs[idx], {},
+                            {}};
+        ScatterSeries invalid{fmt(tpp, 0) + " TPP invalid", '.', {}, {}};
+        ScatterSeries valid_tbt = valid, invalid_tbt = invalid;
+        for (const auto &d : designs) {
+            const bool ok =
+                d.underReticle &&
+                policy::Oct2023Rule::classify(d.toSpec()) ==
+                    policy::Classification::NOT_APPLICABLE;
+            auto &st = ok ? valid : invalid;
+            st.xs.push_back(d.dieAreaMm2);
+            st.ys.push_back(units::toMs(d.ttftS));
+            auto &sb = ok ? valid_tbt : invalid_tbt;
+            sb.xs.push_back(d.dieAreaMm2);
+            sb.ys.push_back(units::toMs(d.tbtS));
+        }
+        p_ttft.addSeries(invalid);
+        p_ttft.addSeries(valid);
+        p_tbt.addSeries(invalid_tbt);
+        p_tbt.addSeries(valid_tbt);
+        ++idx;
+
+        std::cout << "\nTPP " << fmt(tpp, 0) << ": " << designs.size()
+                  << " designs, " << pd_violations
+                  << " regulated (PD), "
+                  << designs.size() - manufacturable.size()
+                  << " over reticle, " << compliant.size()
+                  << " valid (unregulated + manufacturable)\n";
+        if (compliant.empty()) {
+            std::cout << "  -> no compliant design exists (paper: all "
+                         "4800 TPP designs are invalid)\n";
+            continue;
+        }
+        const auto &fast_ttft = dse::minTtft(compliant);
+        const auto &fast_tbt = dse::minTbt(compliant);
+        std::cout << "  fastest compliant TTFT: "
+                  << fmt(units::toMs(fast_ttft.ttftS)) << " ms ("
+                  << fmtPercent(fast_ttft.ttftS / baseline.ttftS - 1.0)
+                  << " vs A100)\n";
+        std::cout << "  fastest compliant TBT:  "
+                  << fmt(units::toMs(fast_tbt.tbtS), 4) << " ms ("
+                  << fmtPercent(fast_tbt.tbtS / baseline.tbtS - 1.0)
+                  << " vs A100)\n";
+    }
+
+    p_ttft.addSeries({"modeled A100", 'A', {baseline.dieAreaMm2},
+                      {units::toMs(baseline.ttftS)}});
+    p_tbt.addSeries({"modeled A100", 'A', {baseline.dieAreaMm2},
+                     {units::toMs(baseline.tbtS)}});
+    p_ttft.print(std::cout);
+    p_tbt.print(std::cout);
+
+    std::cout << "\npaper: fastest compliant 2400-TPP TTFT +78.8% "
+                 "(GPT-3) / +54.6% (Llama); fastest TBT -20.9%/-26.1% "
+                 "(GPT-3 @1600/2400) and -12.0%/-12.8% (Llama).\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 7",
+                  "Oct 2023 DSE at TPP in {1600, 2400, 4800}");
+    const core::SanctionsStudy study;
+    runWorkload(study, core::gpt3Workload());
+    runWorkload(study, core::llamaWorkload());
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 8: TTFT/TBT latency-cost products over the October 2023 DSE.
+ *
+ * Paper: the PD-compliant minimum latency-cost 2400-TPP designs are
+ * 2.72x/2.64x (GPT-3 prefill/decode) and 2.58x/2.91x (Llama) worse
+ * than non-compliant designs.
+ */
+
+#include <algorithm>
+#include <limits>
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+double
+minOf(const std::vector<dse::EvaluatedDesign> &designs,
+      const dse::Metric &metric)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &d : designs)
+        best = std::min(best, metric(d));
+    return best;
+}
+
+void
+runWorkload(const core::SanctionsStudy &study,
+            const core::Workload &workload)
+{
+    std::cout << "\n#### Workload: " << workload.model.name << " ####\n";
+
+    ScatterPlot p_ttft(workload.model.name + " TTFT x die cost",
+                       "Die Area (mm^2)",
+                       "TTFT-cost product (ms * $)");
+    ScatterPlot p_tbt(workload.model.name + " TBT x die cost",
+                      "Die Area (mm^2)", "TBT-cost product (ms * $)");
+
+    Table t({"TPP", "min TTFT*cost (ok)", "min TTFT*cost (violating)",
+             "ratio", "min TBT*cost (ok)", "min TBT*cost (violating)",
+             "ratio"});
+
+    const char glyphs[3] = {'1', '2', '4'};
+    int idx = 0;
+    for (double tpp : {1600.0, 2400.0, 4800.0}) {
+        const dse::SweepSpace space = dse::table3Space(
+            tpp, {500.0 * units::GBPS, 700.0 * units::GBPS,
+                  900.0 * units::GBPS});
+        const auto designs = study.runSweep(space, workload);
+
+        std::vector<dse::EvaluatedDesign> ok, violating;
+        ScatterSeries s_ok{fmt(tpp, 0) + " TPP ok", glyphs[idx], {}, {}};
+        ScatterSeries s_bad{fmt(tpp, 0) + " TPP invalid", '.', {}, {}};
+        ScatterSeries b_ok = s_ok, b_bad = s_bad;
+        for (const auto &d : designs) {
+            const bool valid =
+                d.underReticle &&
+                policy::Oct2023Rule::classify(d.toSpec()) ==
+                    policy::Classification::NOT_APPLICABLE;
+            (valid ? ok : violating).push_back(d);
+            auto &st = valid ? s_ok : s_bad;
+            st.xs.push_back(d.dieAreaMm2);
+            st.ys.push_back(d.ttftCostProduct());
+            auto &sb = valid ? b_ok : b_bad;
+            sb.xs.push_back(d.dieAreaMm2);
+            sb.ys.push_back(d.tbtCostProduct());
+        }
+        p_ttft.addSeries(s_bad);
+        p_ttft.addSeries(s_ok);
+        p_tbt.addSeries(b_bad);
+        p_tbt.addSeries(b_ok);
+        ++idx;
+
+        auto product = [](auto member) {
+            return [member](const dse::EvaluatedDesign &d) {
+                return (d.*member)();
+            };
+        };
+        const auto ttft_cost =
+            product(&dse::EvaluatedDesign::ttftCostProduct);
+        const auto tbt_cost =
+            product(&dse::EvaluatedDesign::tbtCostProduct);
+
+        if (ok.empty()) {
+            t.addRow({fmt(tpp, 0), "-", fmt(minOf(violating, ttft_cost),
+                                            0),
+                      "-", "-", fmt(minOf(violating, tbt_cost), 1),
+                      "-"});
+            continue;
+        }
+        const double to = minOf(ok, ttft_cost);
+        const double tv = minOf(violating, ttft_cost);
+        const double bo = minOf(ok, tbt_cost);
+        const double bv = minOf(violating, tbt_cost);
+        t.addRow({fmt(tpp, 0), fmt(to, 0), fmt(tv, 0), fmt(to / tv, 2),
+                  fmt(bo, 1), fmt(bv, 1), fmt(bo / bv, 2)});
+    }
+
+    p_ttft.print(std::cout);
+    p_tbt.print(std::cout);
+    std::cout << "\n";
+    t.print(std::cout);
+    bench::writeCsv("fig08_" + bench::slug(workload.model.name), t);
+    std::cout << "paper (2400 TPP): GPT-3 ratios 2.72x (TTFT) / 2.64x "
+                 "(TBT); Llama 2.58x / 2.91x\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Figure 8",
+                  "Latency x die-cost products under the Oct 2023 DSE");
+    const core::SanctionsStudy study;
+    runWorkload(study, core::gpt3Workload());
+    runWorkload(study, core::llamaWorkload());
+    return 0;
+}

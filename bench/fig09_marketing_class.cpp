@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9: marketing-based classification inconsistencies under the
+ * October 2023 rule — "false data center" and "false non-data center"
+ * devices (Sec. 5.2).
+ *
+ * Paper (65 devices): 4 false data center, 7 false non-data center.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Figure 9",
+                  "Marketing-based device classification consistency "
+                  "(Oct 2023)");
+
+    const devices::Database db;
+    const auto specs = db.allSpecs();
+
+    ScatterPlot plot("Marketing-consistency scatter",
+                     "Performance Density (TPP/mm^2)",
+                     "Total Processing Performance (TPP)");
+    plot.setLimits({std::nullopt, 12.0, std::nullopt, 7000.0});
+    ScatterSeries cdc{"Consistent DC", 'D', {}, {}};
+    ScatterSeries fdc{"False DC", 'F', {}, {}};
+    ScatterSeries cndc{"Consistent non-DC", '.', {}, {}};
+    ScatterSeries fndc{"False non-DC", 'N', {}, {}};
+
+    Table t({"device", "market", "TPP", "PD", "consistency"});
+    for (const auto &spec : specs) {
+        const auto consistency = policy::analyzeMarketing(spec);
+        ScatterSeries *series = nullptr;
+        switch (consistency) {
+          case policy::MarketingConsistency::CONSISTENT_DC:
+            series = &cdc; break;
+          case policy::MarketingConsistency::FALSE_DC:
+            series = &fdc; break;
+          case policy::MarketingConsistency::CONSISTENT_NON_DC:
+            series = &cndc; break;
+          case policy::MarketingConsistency::FALSE_NON_DC:
+            series = &fndc; break;
+        }
+        series->xs.push_back(spec.perfDensity());
+        series->ys.push_back(spec.tpp);
+        if (consistency == policy::MarketingConsistency::FALSE_DC ||
+            consistency == policy::MarketingConsistency::FALSE_NON_DC) {
+            t.addRow({spec.name, toString(spec.market), fmt(spec.tpp, 0),
+                      fmt(spec.perfDensity()), toString(consistency)});
+        }
+    }
+    plot.addSeries(cndc);
+    plot.addSeries(cdc);
+    plot.addSeries(fdc);
+    plot.addSeries(fndc);
+    plot.print(std::cout);
+
+    std::cout << "\nInconsistent devices:\n";
+    t.print(std::cout);
+    bench::writeCsv("fig09_inconsistent", t);
+
+    const auto summary = policy::summarizeMarketing(specs);
+    std::cout << "\nSummary over " << specs.size() << " devices: "
+              << summary.falseDc << " false data center, "
+              << summary.falseNonDc << " false non-data center ("
+              << summary.consistentDc << " consistent DC, "
+              << summary.consistentNonDc << " consistent non-DC)\n"
+              << "paper: 4 false DC, 7 false non-DC over 65 devices "
+                 "(exact counts depend on SKU curation and which "
+                 "datasheet tensor figure is used; see "
+                 "EXPERIMENTS.md)\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: one
+ * design evaluation, a full Table-3 sweep, and rule classification.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+BM_EvaluateDesign(benchmark::State &state)
+{
+    const core::SanctionsStudy study;
+    const core::Workload workload = core::gpt3Workload();
+    const dse::DesignEvaluator evaluator(workload.model,
+                                         workload.setting,
+                                         workload.system);
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluator.evaluate(cfg));
+    }
+}
+BENCHMARK(BM_EvaluateDesign);
+
+void
+BM_Table3Sweep(benchmark::State &state)
+{
+    const core::SanctionsStudy study;
+    const core::Workload workload = core::gpt3Workload();
+    const dse::SweepSpace space =
+        dse::table3Space(4800.0, {600.0 * units::GBPS});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(study.runSweep(space, workload));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(space.size()));
+}
+BENCHMARK(BM_Table3Sweep);
+
+void
+BM_ClassifyDatabase(benchmark::State &state)
+{
+    const devices::Database db;
+    const auto specs = db.allSpecs();
+    for (auto _ : state) {
+        for (const auto &spec : specs) {
+            benchmark::DoNotOptimize(
+                policy::Oct2023Rule::classify(spec));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_ClassifyDatabase);
+
+void
+BM_PrefillGraphBuild(benchmark::State &state)
+{
+    const auto cfg = model::gpt3_175b();
+    const model::InferenceSetting setting;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model::buildPrefillGraph(cfg, setting, 4));
+    }
+}
+BENCHMARK(BM_PrefillGraphBuild);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

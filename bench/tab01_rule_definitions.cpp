@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 1: the Advanced Computing Rule definitions, rendered from the
+ * implemented thresholds (so the printed table is provably what the
+ * classifier enforces), with boundary probes on each threshold.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+namespace {
+
+policy::DeviceSpec
+probe(double tpp, double bw, double area,
+      policy::MarketSegment market = policy::MarketSegment::DATA_CENTER)
+{
+    policy::DeviceSpec s;
+    s.name = "probe";
+    s.tpp = tpp;
+    s.deviceBandwidthGBps = bw;
+    s.dieAreaMm2 = area;
+    s.market = market;
+    return s;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::header("Table 1", "Advanced Computing Rule definitions");
+
+    std::cout << "\n(a) October 2022 [all devices]\n";
+    Table a({"classification", "condition"});
+    a.addRow({"regular license",
+              "TPP >= " + fmt(policy::Oct2022Rule::TPP_THRESHOLD, 0) +
+              " AND bidirectional device BW >= " +
+              fmt(policy::Oct2022Rule::BANDWIDTH_THRESHOLD_GBPS, 0) +
+              " GB/s"});
+    a.print(std::cout);
+
+    std::cout << "\n(b) October 2023\n";
+    Table b({"classification", "data center", "non-data center"});
+    using R = policy::Oct2023Rule;
+    b.addRow({"regular license",
+              "TPP >= " + fmt(R::TPP_LICENSE, 0) + " OR (TPP >= " +
+              fmt(R::TPP_LOW, 0) + " AND PD >= " + fmt(R::PD_LICENSE) +
+              ")", "-"});
+    b.addRow({"NAC",
+              fmt(R::TPP_LICENSE, 0) + " > TPP >= " + fmt(R::TPP_MID, 0) +
+              " AND " + fmt(R::PD_LICENSE) + " > PD >= " +
+              fmt(R::PD_LOW) + "; or TPP >= " + fmt(R::TPP_LOW, 0) +
+              " AND " + fmt(R::PD_LICENSE) + " > PD >= " +
+              fmt(R::PD_MID),
+              "TPP >= " + fmt(R::TPP_LICENSE, 0)});
+    b.print(std::cout);
+
+    // Boundary probes: one device on each side of every threshold.
+    std::cout << "\nBoundary probes (data-center track):\n";
+    Table p({"TPP", "dev BW", "PD", "Oct 2022", "Oct 2023"});
+    struct Case
+    {
+        double tpp, bw, area;
+    };
+    const Case cases[] = {
+        {4800.0, 600.0, 1e6},  // both 2022 thresholds exactly
+        {4800.0, 599.0, 1e6},  // BW just under
+        {4799.0, 900.0, 1e6},  // TPP just under
+        {2400.0, 0.0, 1500.0}, // PD 1.6 exactly (NAC tier 1)
+        {2400.0, 0.0, 1501.0}, // PD just under 1.6
+        {1600.0, 0.0, 500.0},  // PD 3.2 exactly (NAC tier 2)
+        {1600.0, 0.0, 270.0},  // PD 5.92+ (license by density)
+        {1599.0, 0.0, 100.0},  // under the TPP floor entirely
+    };
+    for (const Case &c : cases) {
+        const auto spec = probe(c.tpp, c.bw, c.area);
+        p.addRow({fmt(c.tpp, 0), fmt(c.bw, 0), fmt(spec.perfDensity()),
+                  toString(policy::Oct2022Rule::classify(spec)),
+                  toString(policy::Oct2023Rule::classify(spec))});
+    }
+    p.print(std::cout);
+    bench::writeCsv("tab01_boundaries", p);
+    return 0;
+}

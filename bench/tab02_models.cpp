@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 2: the evaluated model architectures, rendered from the
+ * implemented presets, plus the derived per-layer working sets the
+ * performance analysis rests on.
+ */
+
+#include "bench_util.hh"
+
+using namespace acs;
+
+int
+main()
+{
+    bench::header("Table 2", "Model architectures");
+
+    const model::TransformerConfig models[] = {
+        model::gpt3_175b(), model::llama3_8b(), model::llama3_70b(),
+        model::mixtral_8x7b()};
+
+    Table t({"parameter", "GPT-3 175B", "Llama 3 8B",
+             "Llama 3 70B (ext)", "Mixtral 8x7B (ext)"});
+    auto row = [&](const std::string &label, auto getter) {
+        std::vector<std::string> cells{label};
+        for (const auto &m : models)
+            cells.push_back(getter(m));
+        t.addRow(cells);
+    };
+    row("number of layers", [](const auto &m) {
+        return std::to_string(m.numLayers);
+    });
+    row("model dimension", [](const auto &m) {
+        return std::to_string(m.modelDim);
+    });
+    row("FFN dimension", [](const auto &m) {
+        return std::to_string(m.ffnDim);
+    });
+    row("attention heads", [](const auto &m) {
+        return std::to_string(m.numHeads);
+    });
+    row("K/V heads", [](const auto &m) {
+        return std::to_string(m.numKvHeads);
+    });
+    row("activation", [](const auto &m) {
+        return toString(m.activation);
+    });
+    row("experts (top-k)", [](const auto &m) {
+        return m.isMoe() ? std::to_string(m.numExperts) + " (top-" +
+                               std::to_string(m.expertsPerToken) + ")"
+                         : "-";
+    });
+    row("params (B, no embed)", [](const auto &m) {
+        return fmt(static_cast<double>(m.totalParams()) / 1e9, 1);
+    });
+    t.print(std::cout);
+    bench::writeCsv("tab02_models", t);
+
+    // Derived per-layer working sets at the standard setting (TP=4).
+    std::cout << "\nPer-layer working sets (batch 32, input 2048, "
+                 "TP=4, FP16):\n";
+    const model::InferenceSetting setting;
+    Table w({"model", "weights/device (MB)",
+             "KV cache/device @2560 (MB)", "prefill GFLOPs/device"});
+    for (const auto &m : models) {
+        const auto g = model::buildPrefillGraph(m, setting, 4);
+        w.addRow({m.name, fmt(g.totalWeightBytes() / 1e6, 0),
+                  fmt(model::kvCacheBytesPerLayer(m, setting, 2560, 4) /
+                      1e6, 0),
+                  fmt(g.totalFlops() / 1e9, 0)});
+    }
+    w.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Compliance checker: describe a device on the command line and see
+ * its classification under every rule generation, the die-area floors
+ * that would deregulate it, and nearest compliant variants.
+ *
+ * Usage:
+ *   compliance_checker [tpp] [device_bw_gbps] [die_area_mm2]
+ *                      [mem_gb] [mem_bw_gbps] [dc|consumer]
+ * Defaults describe an A100-class device.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+printClassification(const policy::DeviceSpec &spec)
+{
+    Table t({"rule", "classification"});
+    t.addRow({"Oct 2022 ACR",
+              toString(policy::Oct2022Rule::classify(spec))});
+    t.addRow({"Oct 2023 ACR (as marketed)",
+              toString(policy::Oct2023Rule::classify(spec))});
+    t.addRow({"Oct 2023 ACR (if data center)",
+              toString(policy::Oct2023Rule::classifyAs(
+                  spec, policy::MarketSegment::DATA_CENTER))});
+    t.addRow({"Oct 2023 ACR (if consumer)",
+              toString(policy::Oct2023Rule::classifyAs(
+                  spec, policy::MarketSegment::CONSUMER))});
+    t.addRow({"Architectural DC classifier",
+              policy::ArchDataCenterClassifier::isDataCenter(spec)
+                  ? "data-center"
+                  : "non-data-center"});
+    t.print(std::cout);
+}
+
+void
+printEscapeRoutes(const policy::DeviceSpec &spec)
+{
+    std::cout << "\nEscape routes (data-center track):\n";
+    if (spec.tpp >= policy::Oct2023Rule::TPP_LICENSE) {
+        std::cout << "  TPP >= 4800: no die area escapes a license; "
+                     "reduce TPP below 4800 first.\n";
+        return;
+    }
+    const double unreg =
+        policy::Oct2023Rule::minUnregulatedDieArea(spec.tpp);
+    const double nac = policy::Oct2023Rule::minNacDieArea(spec.tpp);
+    if (unreg == 0.0) {
+        std::cout << "  TPP < 1600: unregulated at any die area.\n";
+        return;
+    }
+    std::cout << "  unregulated at applicable die area > "
+              << fmt(unreg, 1) << " mm^2 (currently "
+              << fmt(spec.dieAreaMm2, 1) << ")\n";
+    std::cout << "  NAC-eligible at applicable die area > "
+              << fmt(nac, 1) << " mm^2\n";
+    if (unreg > area::RETICLE_LIMIT_MM2) {
+        std::cout << "  note: " << fmt(unreg, 0)
+                  << " mm^2 exceeds the " << area::RETICLE_LIMIT_MM2
+                  << " mm^2 reticle limit -> multi-chip module "
+                     "required\n";
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    policy::DeviceSpec spec;
+    spec.name = "user-device";
+    spec.tpp = argc > 1 ? std::atof(argv[1]) : 4992.0;
+    spec.deviceBandwidthGBps = argc > 2 ? std::atof(argv[2]) : 600.0;
+    spec.dieAreaMm2 = argc > 3 ? std::atof(argv[3]) : 826.0;
+    spec.memCapacityGB = argc > 4 ? std::atof(argv[4]) : 80.0;
+    spec.memBandwidthGBps = argc > 5 ? std::atof(argv[5]) : 2039.0;
+    spec.market = (argc > 6 && std::string(argv[6]) == "consumer")
+                      ? policy::MarketSegment::CONSUMER
+                      : policy::MarketSegment::DATA_CENTER;
+
+    std::cout << "Device: TPP " << fmt(spec.tpp, 0) << ", "
+              << fmt(spec.deviceBandwidthGBps, 0) << " GB/s interconnect, "
+              << fmt(spec.dieAreaMm2, 1) << " mm^2 (PD "
+              << fmt(spec.perfDensity()) << "), "
+              << fmt(spec.memCapacityGB, 0) << " GB @ "
+              << fmt(spec.memBandwidthGBps, 0) << " GB/s, marketed "
+              << toString(spec.market) << "\n\n";
+
+    try {
+        printClassification(spec);
+        printEscapeRoutes(spec);
+
+        // Closest catalogue devices for context.
+        const devices::Database db;
+        std::cout << "\nNearest catalogue devices by TPP:\n";
+        Table t({"device", "TPP", "Oct 2023"});
+        std::vector<devices::DeviceRecord> all = db.all();
+        std::sort(all.begin(), all.end(),
+                  [&](const auto &a, const auto &b) {
+                      return std::abs(a.tpp - spec.tpp) <
+                             std::abs(b.tpp - spec.tpp);
+                  });
+        for (std::size_t i = 0; i < 5 && i < all.size(); ++i) {
+            t.addRow({all[i].name, fmt(all[i].tpp, 0),
+                      toString(policy::Oct2023Rule::classify(
+                          all[i].toSpec()))});
+        }
+        t.print(std::cout);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

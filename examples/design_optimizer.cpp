@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Design optimizer: search the Table-3 design space for the best
+ * manufacturable, Oct-2023-unregulated accelerator for a chosen
+ * workload and TPP budget, and print the TTFT/TBT Pareto frontier.
+ *
+ * Usage: design_optimizer [gpt3|llama] [tpp_budget]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "gpt3";
+    const double tpp = argc > 2 ? std::atof(argv[2]) : 2400.0;
+
+    core::Workload workload = core::gpt3Workload();
+
+    try {
+        workload = core::workloadByName(which);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    std::cout << "Optimizing a " << fmt(tpp, 0) << "-TPP design for "
+              << workload.model.name << " under the Oct 2023 ACR\n";
+
+    try {
+        const core::SanctionsStudy study;
+        const auto baseline = study.evaluateBaseline(workload);
+        const dse::SweepSpace space = dse::table3Space(
+            tpp, {500.0 * units::GBPS, 700.0 * units::GBPS,
+                  900.0 * units::GBPS});
+        const auto designs = study.runSweep(space, workload);
+        const auto compliant = dse::filterOct2023Unregulated(
+            dse::filterReticle(designs));
+
+        std::cout << designs.size() << " candidates, "
+                  << compliant.size()
+                  << " manufacturable + unregulated\n";
+        if (compliant.empty()) {
+            std::cout << "No compliant design exists at this TPP "
+                         "(e.g. every 4800-TPP design violates the "
+                         "performance-density floor).\n";
+            return 0;
+        }
+
+        const auto front =
+            dse::paretoFront(compliant, dse::ttftMs, dse::tbtMs);
+        std::cout << "\nTTFT/TBT Pareto frontier ("
+                  << front.size() << " designs):\n";
+        Table t({"dims", "lanes", "cores", "L1 (KiB)", "L2 (MiB)",
+                 "HBM (TB/s)", "TTFT (ms)", "TBT (ms)",
+                 "area (mm^2)", "die $"});
+        for (const auto &d : front) {
+            t.addRow({std::to_string(d.config.systolicDimX) + "x" +
+                          std::to_string(d.config.systolicDimY),
+                      std::to_string(d.config.lanesPerCore),
+                      std::to_string(d.config.coreCount),
+                      fmt(d.config.l1BytesPerCore / units::KIB, 0),
+                      fmt(d.config.l2Bytes / units::MIB, 0),
+                      fmt(d.config.memBandwidth / units::TBPS, 1),
+                      fmt(units::toMs(d.ttftS), 1),
+                      fmt(units::toMs(d.tbtS), 4),
+                      fmt(d.dieAreaMm2, 0), fmt(d.dieCostUsd, 0)});
+        }
+        t.print(std::cout);
+
+        const auto &best_ttft = dse::minTtft(compliant);
+        const auto &best_tbt = dse::minTbt(compliant);
+        std::cout << "\nvs modeled A100 (TTFT "
+                  << fmt(units::toMs(baseline.ttftS), 1) << " ms, TBT "
+                  << fmt(units::toMs(baseline.tbtS), 4) << " ms):\n"
+                  << "  best TTFT: "
+                  << fmtPercent(best_ttft.ttftS / baseline.ttftS - 1.0)
+                  << "\n  best TBT:  "
+                  << fmtPercent(best_tbt.tbtS / baseline.tbtS - 1.0)
+                  << "\n";
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

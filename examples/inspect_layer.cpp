@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Layer inspector: load a device description (key=value file or the
+ * built-in A100), time one transformer layer operator by operator, and
+ * place every operator on the roofline — the analysis view behind the
+ * paper's "prefill is compute bound, decode is bandwidth bound"
+ * argument.
+ *
+ * Usage: inspect_layer [config.kv] [gpt3|llama] [prefill|decode]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        hw::HardwareConfig cfg = hw::modeledA100();
+        int arg = 1;
+        if (argc > arg && std::string(argv[arg]).find('=') ==
+                              std::string::npos &&
+            std::string(argv[arg]).size() > 3 &&
+            std::string(argv[arg]).substr(
+                std::string(argv[arg]).size() - 3) == ".kv") {
+            std::ifstream in(argv[arg]);
+            if (!in)
+                fatal(std::string("cannot open ") + argv[arg]);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            cfg = hw::configFromKeyVal(KeyVal::parse(buf.str()));
+            ++arg;
+        }
+        const std::string which = argc > arg ? argv[arg] : "gpt3";
+        ++arg;
+        const std::string phase = argc > arg ? argv[arg] : "prefill";
+
+        const core::Workload workload = core::workloadByName(which);
+        const int tp = workload.system.tensorParallel;
+        const model::LayerGraph graph =
+            phase == "decode"
+                ? model::buildDecodeGraph(workload.model,
+                                          workload.setting, tp)
+                : model::buildPrefillGraph(workload.model,
+                                           workload.setting, tp);
+
+        std::cout << "Device: " << cfg.name << " (TPP "
+                  << fmt(cfg.tpp(), 0) << ", "
+                  << fmt(cfg.memBandwidth / units::TBPS, 1)
+                  << " TB/s HBM)\nLayer: " << graph.name << "\n\n";
+
+        const perf::InferenceSimulator sim(cfg);
+        const perf::LayerResult result = sim.simulateLayer(graph, tp);
+
+        Table t({"op", "kind", "latency (us)", "share", "bound",
+                 "tensor util"});
+        for (const auto &op : result.ops) {
+            t.addRow({op.name, toString(op.kind),
+                      fmt(op.latencyS * 1e6, 1),
+                      fmtPercent(op.latencyS / result.latencyS),
+                      toString(op.bound),
+                      op.kind == model::OpKind::MATMUL
+                          ? fmtPercent(op.utilization)
+                          : "-"});
+        }
+        t.print(std::cout);
+        std::cout << "layer latency: "
+                  << fmt(units::toMs(result.latencyS), 3) << " ms, MFU "
+                  << fmtPercent(result.mfu(cfg.peakTensorTops() * 1e12))
+                  << "\n";
+
+        // Roofline view.
+        const auto roofline =
+            perf::analyzeRoofline(cfg, graph, tp);
+        std::cout << "\nRoofline (ridge at "
+                  << fmt(roofline.ridgeIntensity, 1)
+                  << " FLOPs/byte):\n";
+        Table r({"op", "intensity (FLOPs/B)", "achieved (TFLOPs)",
+                 "ceiling (TFLOPs)", "regime"});
+        for (const auto &p : roofline.points) {
+            r.addRow({p.name, fmt(p.intensity, 1),
+                      fmt(p.achievedFlops / 1e12, 1),
+                      fmt(p.rooflineFlops / 1e12, 1),
+                      p.computeBound ? "compute-bound"
+                                     : "bandwidth-bound"});
+        }
+        r.print(std::cout);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

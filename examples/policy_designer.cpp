@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Policy designer: the architecture-first workflow of Sec. 5.4.
+ *
+ * Builds the paper's gaming-focused policy (systolic dims <= 8,
+ * memory bandwidth <= 1.6 TB/s), constructs the best policy-compliant
+ * gaming device, and contrasts its gaming frame rate (barely affected)
+ * with its LLM decode performance (architecturally crippled) against
+ * an A100-class device.
+ */
+
+#include <iostream>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+namespace {
+
+hw::HardwareConfig
+gamingCompliantDevice()
+{
+    // Same SIMT (core/vector) resources as the A100, redesigned to
+    // comply: quarter-size systolic arrays, GDDR-class 1 TB/s memory.
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.name = "policy-compliant-gaming";
+    cfg.systolicDimX = 8;
+    cfg.systolicDimY = 8;
+    cfg.memBandwidth = 1.0 * units::TBPS;
+    cfg.memCapacityBytes = 24.0 * units::GB;
+    cfg.devicePhyCount = 0; // PCIe-only gaming part
+    cfg.perPhyBandwidth = 0.0;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    try {
+        const policy::ArchPolicy policy =
+            policy::ArchPolicy::gamingFocused();
+        std::cout << "Policy '" << policy.name() << "' ceilings:\n";
+        for (const policy::ArchLimit &limit : policy.limits()) {
+            std::cout << "  " << toString(limit.param)
+                      << " <= " << limit.maxValue << "\n";
+        }
+
+        const hw::HardwareConfig ai = hw::modeledA100();
+        const hw::HardwareConfig gaming = gamingCompliantDevice();
+
+        std::cout << "\nCompliance:\n  " << ai.name << ": "
+                  << (policy.compliant(ai) ? "compliant" : "VIOLATES")
+                  << "\n  " << gaming.name << ": "
+                  << (policy.compliant(gaming) ? "compliant"
+                                               : "VIOLATES")
+                  << "\n";
+        for (const auto &v : policy.violations(ai))
+            std::cout << "    A100 violation: " << v << "\n";
+
+        // Gaming impact: frame rates on three workloads.
+        std::cout << "\nGaming impact (FPS, higher is better):\n";
+        Table fps({"workload", ai.name, gaming.name, "delta"});
+        for (const auto &workload :
+             {model::GraphicsWorkload::esports1080p(),
+              model::GraphicsWorkload::aaa1440p(),
+              model::GraphicsWorkload::rayTraced4k()}) {
+            const double f_ai =
+                perf::GraphicsModel(ai).frameTime(workload).fps();
+            const double f_gaming =
+                perf::GraphicsModel(gaming).frameTime(workload).fps();
+            fps.addRow({workload.name, fmt(f_ai, 0), fmt(f_gaming, 0),
+                        fmtPercent(f_gaming / f_ai - 1.0)});
+        }
+        fps.print(std::cout);
+
+        // AI impact: Llama 3 decode on a single device (gaming parts
+        // have no multi-device interconnect).
+        const model::InferenceSetting setting;
+        const perf::SystemConfig solo{1};
+        const auto r_ai = perf::InferenceSimulator(ai).run(
+            model::llama3_8b(), setting, solo);
+        const auto r_gaming = perf::InferenceSimulator(gaming).run(
+            model::llama3_8b(), setting, solo);
+
+        std::cout << "\nAI impact (Llama 3 8B, single device):\n";
+        Table t({"metric", ai.name, gaming.name, "delta"});
+        t.addRow({"TBT / layer (ms)", fmt(units::toMs(r_ai.tbtS), 4),
+                  fmt(units::toMs(r_gaming.tbtS), 4),
+                  fmtPercent(r_gaming.tbtS / r_ai.tbtS - 1.0)});
+        t.addRow({"decode tokens/s",
+                  fmt(r_ai.decodeThroughputTokensPerS(), 0),
+                  fmt(r_gaming.decodeThroughputTokensPerS(), 0),
+                  fmtPercent(r_gaming.decodeThroughputTokensPerS() /
+                                 r_ai.decodeThroughputTokensPerS() -
+                             1.0)});
+        t.addRow({"end-to-end latency (s)",
+                  fmt(r_ai.endToEndLatencyS(), 1),
+                  fmt(r_gaming.endToEndLatencyS(), 1),
+                  fmtPercent(r_gaming.endToEndLatencyS() /
+                                 r_ai.endToEndLatencyS() -
+                             1.0)});
+        t.print(std::cout);
+
+        std::cout << "\nTakeaway (Sec. 5.4): the policy-compliant "
+                     "design keeps gaming performance while LLM "
+                     "decode degrades sharply — an architecturally "
+                     "self-enforcing export rule.\n";
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: evaluate the modeled A100 and one custom design on the
+ * paper's two workloads, print latency, area, cost, and the
+ * export-control classification under each rule generation.
+ */
+
+#include <iostream>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+namespace {
+
+void
+reportWorkload(const core::SanctionsStudy &study,
+               const core::Workload &workload,
+               const hw::HardwareConfig &design)
+{
+    const core::DesignReport report =
+        study.evaluateDesign(design, workload);
+
+    std::cout << "\n--- " << workload.model.name << " (TP="
+              << workload.system.tensorParallel << ") on "
+              << design.name << " ---\n";
+
+    Table t({"metric", design.name, report.baseline.config.name,
+             "delta"});
+    t.addRow({"TTFT / layer (ms)", fmt(units::toMs(report.design.ttftS)),
+              fmt(units::toMs(report.baseline.ttftS)),
+              fmtPercent(report.ttftDelta())});
+    t.addRow({"TBT / layer (ms)", fmt(units::toMs(report.design.tbtS), 4),
+              fmt(units::toMs(report.baseline.tbtS), 4),
+              fmtPercent(report.tbtDelta())});
+    t.addRow({"TPP", fmt(report.design.tpp, 0),
+              fmt(report.baseline.tpp, 0), ""});
+    t.addRow({"die area (mm^2)", fmt(report.design.dieAreaMm2, 1),
+              fmt(report.baseline.dieAreaMm2, 1), ""});
+    t.addRow({"perf density", fmt(report.design.perfDensity),
+              fmt(report.baseline.perfDensity), ""});
+    t.addRow({"die cost ($)", fmt(report.design.dieCostUsd),
+              fmt(report.baseline.dieCostUsd), ""});
+    t.print(std::cout);
+
+    std::cout << "Oct 2022 rule:           "
+              << toString(report.rules.oct2022) << "\n"
+              << "Oct 2023 (data center):  "
+              << toString(report.rules.oct2023DataCenter) << "\n"
+              << "Oct 2023 (non-DC):       "
+              << toString(report.rules.oct2023NonDataCenter) << "\n";
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const core::SanctionsStudy study;
+
+    // A custom Oct-2022-compliant design: A100-class TPP, 400 GB/s
+    // interconnect, but 3.2 TB/s HBM and a bigger global buffer.
+    hw::HardwareConfig custom = hw::modeledA100();
+    custom.name = "custom-compliant";
+    custom.coreCount = hw::coresForTpp(4800.0, 16, 16, 2, custom.clockHz);
+    custom.lanesPerCore = 2;
+    custom.l2Bytes = 64.0 * units::MIB;
+    custom.memBandwidth = 3.2 * units::TBPS;
+    custom.devicePhyCount = 8; // 400 GB/s
+
+    try {
+        reportWorkload(study, core::gpt3Workload(), custom);
+        reportWorkload(study, core::llamaWorkload(), custom);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Re-plot the paper's figures from the bench CSV outputs.
+
+The figure benches write their datasets to results/*.csv; this script
+turns them into PNGs mirroring the paper's figures. Run from the
+directory containing results/ (the working directory the benches ran
+in):
+
+    for b in build/bench/fig*; do $b; done
+    python3 scripts/plot_figures.py
+
+Requires matplotlib; degrades to a listing of available CSVs when it
+is missing.
+"""
+
+import csv
+import os
+import sys
+
+RESULTS = "results"
+OUT = os.path.join(RESULTS, "plots")
+
+
+def read_csv(name):
+    path = os.path.join(RESULTS, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def fnum(row, key):
+    return float(row[key].rstrip("%x"))
+
+
+def plot_dse(plt, name, title):
+    rows = read_csv(name + ".csv")
+    if not rows:
+        return
+    fig, axes = plt.subplots(1, 3, figsize=(15, 4))
+    area = [fnum(r, "die_area_mm2") for r in rows]
+    ttft = [fnum(r, "ttft_ms") for r in rows]
+    tbt = [fnum(r, "tbt_ms") for r in rows]
+    ok = [r["under_reticle"] == "1" for r in rows]
+
+    def scatter(ax, xs, ys, xlabel, ylabel):
+        ax.scatter([x for x, o in zip(xs, ok) if not o],
+                   [y for y, o in zip(ys, ok) if not o],
+                   s=12, c="lightgray", label="over reticle")
+        ax.scatter([x for x, o in zip(xs, ok) if o],
+                   [y for y, o in zip(ys, ok) if o],
+                   s=12, c="tab:blue", label="manufacturable")
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel(ylabel)
+
+    scatter(axes[0], area, ttft, "Die Area (mm^2)", "TTFT (ms)")
+    scatter(axes[1], area, tbt, "Die Area (mm^2)", "TBT (ms)")
+    scatter(axes[2], ttft, tbt, "TTFT (ms)", "TBT (ms)")
+    axes[0].legend(fontsize=8)
+    fig.suptitle(title)
+    fig.tight_layout()
+    out = os.path.join(OUT, name + ".png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def plot_fig05(plt):
+    tpp = read_csv("fig05_tpp_sweep.csv")
+    bw = read_csv("fig05_bw_sweep.csv")
+    if not tpp or not bw:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot([fnum(r, "TTFT (ms)") for r in tpp],
+            [fnum(r, "TBT (ms)") for r in tpp], "o-",
+            label="TPP sweep (BW < 600 GB/s)")
+    ax.plot([fnum(r, "TTFT (ms)") for r in bw],
+            [fnum(r, "TBT (ms)") for r in bw], "s-",
+            label="BW sweep (TPP < 4800)")
+    ax.set_xlabel("Time to First Token (ms)")
+    ax.set_ylabel("Time Between Tokens (ms)")
+    ax.set_title("Figure 5: Oct 2022 scaling knobs (GPT-3 175B)")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = os.path.join(OUT, "fig05.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def plot_devices(plt):
+    rows = read_csv("fig01b_devices.csv")
+    if not rows:
+        return
+    fig, ax = plt.subplots(figsize=(7, 5))
+    colors = {"not-applicable": "tab:gray",
+              "nac-eligible": "tab:orange",
+              "license-required": "tab:red"}
+    for cls, color in colors.items():
+        pts = [r for r in rows if r["classification"] == cls]
+        ax.scatter([fnum(r, "PD") for r in pts],
+                   [fnum(r, "TPP") for r in pts], s=18, c=color,
+                   label=cls)
+    ax.set_xlabel("Performance Density (TPP/mm^2)")
+    ax.set_ylabel("Total Processing Performance")
+    ax.set_xlim(0, 12)
+    ax.set_ylim(0, 7000)
+    ax.set_title("Figure 1b: Oct 2023 device classification")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = os.path.join(OUT, "fig01b.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def main():
+    if not os.path.isdir(RESULTS):
+        sys.exit("no results/ directory — run the figure benches first")
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; available CSVs:")
+        for name in sorted(os.listdir(RESULTS)):
+            print(" ", name)
+        return
+    os.makedirs(OUT, exist_ok=True)
+
+    plot_devices(plt)
+    plot_fig05(plt)
+    for model in ("gpt_3_175b", "llama_3_8b"):
+        plot_dse(plt, f"fig06_{model}",
+                 f"Figure 6: Oct 2022 DSE ({model})")
+        for tpp in (1600, 2400, 4800):
+            plot_dse(plt, f"fig07_{model}_{tpp}tpp",
+                     f"Figure 7: Oct 2023 DSE, {tpp} TPP ({model})")
+
+
+if __name__ == "__main__":
+    main()

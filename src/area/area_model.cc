@@ -1,0 +1,105 @@
+#include "area_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace area {
+
+double
+AreaBreakdown::total() const
+{
+    return systolicMacs + systolicCtrl + vectorUnits + l1Sram + l2Sram +
+           coreOverhead + memPhy + devicePhy + noc + misc;
+}
+
+AreaModel::AreaModel()
+    : AreaModel(AreaParams{})
+{}
+
+AreaModel::AreaModel(const AreaParams &params)
+    : params_(params)
+{
+    fatalIf(params_.macAreaMm2 <= 0.0, "AreaParams: macAreaMm2 must be > 0");
+    fatalIf(params_.sramMm2PerMib <= 0.0,
+            "AreaParams: sramMm2PerMib must be > 0");
+    fatalIf(params_.memPhyMm2PerTBps <= 0.0,
+            "AreaParams: memPhyMm2PerTBps must be > 0");
+    fatalIf(params_.coreOverheadMm2 < 0.0 || params_.arrayCtrlMm2 < 0.0 ||
+            params_.vectorAluMm2 < 0.0 || params_.devicePhyMm2 < 0.0 ||
+            params_.nocMm2PerCore < 0.0 || params_.miscMm2 < 0.0,
+            "AreaParams: negative component constant");
+}
+
+double
+AreaModel::processScale(hw::ProcessNode node)
+{
+    switch (node) {
+      case hw::ProcessNode::N16: return 2.0;
+      case hw::ProcessNode::N12: return 1.6;
+      case hw::ProcessNode::N7:  return 1.0;
+      case hw::ProcessNode::N5:  return 0.62;
+    }
+    panic("unknown ProcessNode");
+}
+
+AreaBreakdown
+AreaModel::breakdown(const hw::HardwareConfig &cfg) const
+{
+    cfg.validate();
+
+    // Per-die counts: the package totals divided over identical dies.
+    const double cores = static_cast<double>(cfg.coreCount);
+    const double arrays = cores * cfg.lanesPerCore;
+    const double macs = arrays * cfg.systolicDimX * cfg.systolicDimY;
+    const double alus = cores * cfg.lanesPerCore * cfg.vectorWidth;
+    const double l1_mib = cores * cfg.l1BytesPerCore / units::MIB;
+    const double l2_mib = cfg.l2Bytes / units::MIB;
+
+    // MAC area scales quadratically with operand bitwidth relative to
+    // the FP16 baseline (multiplier-array dominated).
+    const double bit_scale = (cfg.opBitwidth / 16.0) *
+                             (cfg.opBitwidth / 16.0);
+
+    AreaBreakdown b;
+    b.systolicMacs = macs * params_.macAreaMm2 * bit_scale;
+    b.systolicCtrl = arrays * params_.arrayCtrlMm2;
+    b.vectorUnits = alus * params_.vectorAluMm2;
+    b.l1Sram = l1_mib * params_.sramMm2PerMib;
+    b.l2Sram = l2_mib * params_.sramMm2PerMib;
+    b.coreOverhead = cores * params_.coreOverheadMm2;
+    b.memPhy = (cfg.memBandwidth / units::TBPS) * params_.memPhyMm2PerTBps;
+    b.devicePhy = cfg.devicePhyCount * params_.devicePhyMm2;
+    b.noc = cores * params_.nocMm2PerCore;
+    b.misc = params_.miscMm2;
+
+    const double scale = processScale(cfg.process);
+    b.systolicMacs *= scale;
+    b.systolicCtrl *= scale;
+    b.vectorUnits *= scale;
+    b.l1Sram *= scale;
+    b.l2Sram *= scale;
+    b.coreOverhead *= scale;
+    b.noc *= scale;
+    // PHYs and uncore shrink far less with process; keep them fixed.
+    return b;
+}
+
+double
+AreaModel::dieArea(const hw::HardwareConfig &cfg) const
+{
+    return breakdown(cfg).total() * cfg.diesPerPackage;
+}
+
+double
+AreaModel::perfDensity(const hw::HardwareConfig &cfg) const
+{
+    if (!cfg.nonPlanarTransistor)
+        return 0.0;
+    const double a = dieArea(cfg);
+    panicIf(a <= 0.0, "die area must be positive");
+    return cfg.tpp() / a;
+}
+
+} // namespace area
+} // namespace acs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Silicon area model for the hardware template (LLMCompass-style).
+ *
+ * A linear per-component model at a 7 nm baseline, with per-node scale
+ * factors. Calibrated so that (a) the modeled A100 lands in GA100's
+ * class, and (b) the Table 4 pair of 2400-TPP designs reproduces the
+ * paper's 753 mm^2 vs 523 mm^2 split, which is dominated by the on-chip
+ * SRAM delta (151 MB vs 52 MB).
+ */
+
+#ifndef ACS_AREA_AREA_MODEL_HH
+#define ACS_AREA_AREA_MODEL_HH
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace area {
+
+/** Per-component area contributions of one die (mm^2). */
+struct AreaBreakdown
+{
+    double systolicMacs = 0.0;  //!< MAC units across all arrays
+    double systolicCtrl = 0.0;  //!< per-array sequencing/control
+    double vectorUnits = 0.0;   //!< vector ALUs
+    double l1Sram = 0.0;        //!< local buffers
+    double l2Sram = 0.0;        //!< global buffer
+    double coreOverhead = 0.0;  //!< per-core scheduler/LSU/RF
+    double memPhy = 0.0;        //!< HBM PHY + controllers
+    double devicePhy = 0.0;     //!< device-device interconnect PHYs
+    double noc = 0.0;           //!< on-die crossbar/NoC
+    double misc = 0.0;          //!< PCIe, media, global control
+
+    /** Total die area (mm^2). */
+    double total() const;
+};
+
+/** Tunable technology constants (7 nm baseline values). */
+struct AreaParams
+{
+    double macAreaMm2 = 0.002;        //!< per FP16 MAC unit
+    double arrayCtrlMm2 = 0.05;       //!< per systolic array
+    double vectorAluMm2 = 0.003;      //!< per FP32 vector ALU
+    double sramMm2PerMib = 2.2;       //!< cache incl. tags/control
+    double coreOverheadMm2 = 1.0;     //!< per core
+    double memPhyMm2PerTBps = 35.0;   //!< HBM PHY area per TB/s
+    double devicePhyMm2 = 1.7;        //!< per interconnect PHY
+    double nocMm2PerCore = 0.3;       //!< crossbar slice per core
+    double miscMm2 = 40.0;            //!< fixed uncore
+};
+
+/**
+ * Computes die area and performance density for a HardwareConfig.
+ *
+ * Thread-compatible: const after construction.
+ */
+class AreaModel
+{
+  public:
+    /** Model with default (paper-calibrated) technology constants. */
+    AreaModel();
+
+    /** Model with custom constants (fatal on non-positive values). */
+    explicit AreaModel(const AreaParams &params);
+
+    /** Per-component area of a single die of @p cfg (mm^2). */
+    AreaBreakdown breakdown(const hw::HardwareConfig &cfg) const;
+
+    /**
+     * Total package compute-die area (mm^2): single-die area times
+     * diesPerPackage (chiplets are modeled as identical dies).
+     */
+    double dieArea(const hw::HardwareConfig &cfg) const;
+
+    /**
+     * BIS Performance Density: TPP / applicable die area.
+     *
+     * Only dies built on a non-planar transistor process count toward
+     * applicable area (Sec. 2.1); a planar-process device has PD 0 by
+     * convention here (it is never regulated on PD).
+     */
+    double perfDensity(const hw::HardwareConfig &cfg) const;
+
+    /** The technology constants in use. */
+    const AreaParams &params() const { return params_; }
+
+    /**
+     * Area scale factor of @p node relative to the 7 nm baseline
+     * (N7 = 1.0; older nodes are larger, newer smaller).
+     */
+    static double processScale(hw::ProcessNode node);
+
+  private:
+    AreaParams params_;
+};
+
+/** EUV single-die reticle limit used throughout the paper (mm^2). */
+constexpr double RETICLE_LIMIT_MM2 = 860.0;
+
+} // namespace area
+} // namespace acs
+
+#endif // ACS_AREA_AREA_MODEL_HH

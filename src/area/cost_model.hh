@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Silicon manufacturing cost model (Sec. 4.4, Table 4).
+ *
+ * Die cost = wafer price / dies-per-wafer, with the classic circular-
+ * wafer edge-loss formula; good-die cost additionally divides by Murphy
+ * yield. Calibrated to reproduce Table 4: a 753 mm^2 die costs ~$134, a
+ * 523 mm^2 die ~$88 on a $9,346 7 nm wafer, and the 1M-good-dies cost
+ * ratio is ~2x.
+ */
+
+#ifndef ACS_AREA_COST_MODEL_HH
+#define ACS_AREA_COST_MODEL_HH
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace area {
+
+/** Wafer-level manufacturing assumptions. */
+struct CostParams
+{
+    double waferDiameterMm = 300.0;
+    /** Defect density in defects/mm^2 (0.0015 = 0.15 defects/cm^2). */
+    double defectDensityPerMm2 = 0.0015;
+};
+
+/** Foundry wafer price in USD for a process node (CSET 2020 figures). */
+double waferPriceUsd(hw::ProcessNode node);
+
+/**
+ * Manufacturing cost calculator.
+ *
+ * Thread-compatible: const after construction.
+ */
+class CostModel
+{
+  public:
+    CostModel();
+    explicit CostModel(const CostParams &params);
+
+    /**
+     * Gross dies per wafer for a die of @p die_area_mm2:
+     * pi (d/2)^2 / A  -  pi d / sqrt(2 A).
+     *
+     * @param die_area_mm2 Die area (> 0, fatal otherwise).
+     * @return Whole dies per wafer (floored; >= 0).
+     */
+    int diesPerWafer(double die_area_mm2) const;
+
+    /**
+     * Murphy die yield: ((1 - e^{-A D}) / (A D))^2.
+     *
+     * @param die_area_mm2 Die area (> 0, fatal otherwise).
+     * @return Yield in (0, 1].
+     */
+    double murphyYield(double die_area_mm2) const;
+
+    /**
+     * Raw (unyielded) silicon cost of one die — the paper's
+     * "Silicon Die Cost" row in Table 4.
+     *
+     * Fatal if the die is too large to fit a single wafer.
+     */
+    double dieCostUsd(double die_area_mm2, hw::ProcessNode node) const;
+
+    /** Expected cost of one *good* die: raw cost / Murphy yield. */
+    double goodDieCostUsd(double die_area_mm2, hw::ProcessNode node) const;
+
+    /**
+     * Cost of manufacturing @p good_dies functional dies — the paper's
+     * "1M Good Dies Cost" row in Table 4.
+     */
+    double costForGoodDiesUsd(double die_area_mm2, hw::ProcessNode node,
+                              double good_dies) const;
+
+    const CostParams &params() const { return params_; }
+
+  private:
+    CostParams params_;
+};
+
+} // namespace area
+} // namespace acs
+
+#endif // ACS_AREA_COST_MODEL_HH

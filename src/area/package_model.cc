@@ -1,0 +1,84 @@
+#include "package_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "area/area_model.hh"
+#include "common/logging.hh"
+
+namespace acs {
+namespace area {
+
+PackageCostModel::PackageCostModel()
+    : PackageCostModel(CostModel{}, PackageParams{})
+{}
+
+PackageCostModel::PackageCostModel(const CostModel &die_cost,
+                                   const PackageParams &params)
+    : dieCost_(die_cost), params_(params)
+{
+    fatalIf(params_.assemblyYieldPerDie <= 0.0 ||
+            params_.assemblyYieldPerDie > 1.0,
+            "PackageParams: assembly yield must be in (0, 1]");
+    fatalIf(params_.substrateCostPerMm2 < 0.0 ||
+            params_.perDieBondingCost < 0.0 ||
+            params_.basePackageCost < 0.0 ||
+            params_.substrateAreaFactor < 1.0,
+            "PackageParams: malformed cost constants");
+}
+
+PackageCost
+PackageCostModel::packagedDeviceCost(int dies, double area_per_die_mm2,
+                                     hw::ProcessNode node) const
+{
+    fatalIf(dies < 1, "package needs at least one die");
+    fatalIf(area_per_die_mm2 <= 0.0, "chiplet area must be > 0");
+
+    PackageCost cost;
+    // Known-good-die flow: dies are tested before assembly, so die
+    // yield is already paid in goodDieCostUsd.
+    cost.siliconUsd =
+        dies * dieCost_.goodDieCostUsd(area_per_die_mm2, node);
+    cost.substrateUsd = dies * area_per_die_mm2 *
+                        params_.substrateAreaFactor *
+                        params_.substrateCostPerMm2;
+    cost.assemblyUsd =
+        dies * params_.perDieBondingCost + params_.basePackageCost;
+    cost.assemblyYield =
+        std::pow(params_.assemblyYieldPerDie, dies);
+    cost.totalUsd =
+        (cost.siliconUsd + cost.substrateUsd + cost.assemblyUsd) /
+        cost.assemblyYield;
+    return cost;
+}
+
+int
+PackageCostModel::bestChipletCount(double total_area_mm2,
+                                   hw::ProcessNode node, int min_dies,
+                                   int max_dies) const
+{
+    fatalIf(total_area_mm2 <= 0.0, "total silicon area must be > 0");
+    fatalIf(min_dies < 1 || max_dies < min_dies,
+            "bestChipletCount: invalid die-count range");
+
+    int best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int n = min_dies; n <= max_dies; ++n) {
+        const double per_die = total_area_mm2 / n;
+        if (per_die > RETICLE_LIMIT_MM2)
+            continue;
+        const double cost =
+            packagedDeviceCost(n, per_die, node).totalUsd;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = n;
+        }
+    }
+    fatalIf(best == 0,
+            "no feasible chiplet split: even max_dies chiplets exceed "
+            "the reticle limit");
+    return best;
+}
+
+} // namespace area
+} // namespace acs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-chip-module packaging cost model (Sec. 2.3).
+ *
+ * The paper observes that (a) compliant large-area designs must be
+ * multi-chip modules once the die-area floor exceeds the reticle limit
+ * (a 4799-TPP unregulated device needs > 3000 mm^2, Sec. 2.5), and
+ * (b) chiplets trade better die yield against packaging cost. This
+ * model prices a package of N identical known-good dies: tested dies,
+ * substrate area, per-die bonding, and a per-die assembly yield.
+ */
+
+#ifndef ACS_AREA_PACKAGE_MODEL_HH
+#define ACS_AREA_PACKAGE_MODEL_HH
+
+#include "area/cost_model.hh"
+#include "hw/config.hh"
+
+namespace acs {
+namespace area {
+
+/** Packaging/assembly assumptions. */
+struct PackageParams
+{
+    /** Substrate/interposer cost per mm^2 of carried silicon. */
+    double substrateCostPerMm2 = 0.12;
+    /** Substrate area per mm^2 of silicon (fan-out margin). */
+    double substrateAreaFactor = 1.4;
+    /** Assembly cost per bonded die. */
+    double perDieBondingCost = 3.0;
+    /** Fixed per-package assembly/test cost. */
+    double basePackageCost = 15.0;
+    /** Probability one die survives assembly (per-die, compounding). */
+    double assemblyYieldPerDie = 0.99;
+};
+
+/** Cost breakdown of one good packaged device. */
+struct PackageCost
+{
+    double siliconUsd = 0.0;   //!< known-good dies
+    double substrateUsd = 0.0;
+    double assemblyUsd = 0.0;  //!< bonding + base, pre-yield
+    double assemblyYield = 1.0;
+    double totalUsd = 0.0;     //!< all-in cost per good device
+};
+
+/**
+ * Prices packages of identical chiplets.
+ *
+ * Thread-compatible: const after construction.
+ */
+class PackageCostModel
+{
+  public:
+    PackageCostModel();
+    PackageCostModel(const CostModel &die_cost,
+                     const PackageParams &params);
+
+    /**
+     * Cost of one good packaged device.
+     *
+     * @param dies             Identical chiplets in the package (>= 1).
+     * @param area_per_die_mm2 Chiplet area (> 0; must fit the wafer).
+     * @param node             Process node of the chiplets.
+     */
+    PackageCost packagedDeviceCost(int dies, double area_per_die_mm2,
+                                   hw::ProcessNode node) const;
+
+    /**
+     * Chiplet count minimizing packaged cost for a total silicon
+     * budget: splits @p total_area_mm2 into n identical dies for n in
+     * [min_dies, max_dies], skipping splits whose chiplet exceeds the
+     * reticle limit. Fatal if no split is feasible.
+     */
+    int bestChipletCount(double total_area_mm2, hw::ProcessNode node,
+                         int min_dies = 1, int max_dies = 16) const;
+
+    const PackageParams &params() const { return params_; }
+    const CostModel &dieCostModel() const { return dieCost_; }
+
+  private:
+    CostModel dieCost_;
+    PackageParams params_;
+};
+
+} // namespace area
+} // namespace acs
+
+#endif // ACS_AREA_PACKAGE_MODEL_HH

@@ -1,0 +1,74 @@
+#include "power_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace area {
+
+PowerModel::PowerModel()
+    : PowerModel(AreaModel{}, PowerParams{})
+{}
+
+PowerModel::PowerModel(const AreaModel &area_model,
+                       const PowerParams &params)
+    : areaModel_(area_model), params_(params)
+{
+    fatalIf(params_.sramLeakageWPerMib < 0.0 ||
+            params_.logicLeakageWPerMm2 < 0.0 ||
+            params_.energyPerFlopJ < 0.0 ||
+            params_.energyPerHbmByteJ < 0.0 ||
+            params_.energyPerSramByteJ < 0.0,
+            "PowerParams: negative energy constant");
+}
+
+PowerBreakdown
+PowerModel::power(const hw::HardwareConfig &cfg,
+                  const ActivityProfile &activity) const
+{
+    cfg.validate();
+    fatalIf(activity.computeUtilization < 0.0 ||
+            activity.computeUtilization > 1.0 ||
+            activity.memoryUtilization < 0.0 ||
+            activity.memoryUtilization > 1.0,
+            "ActivityProfile: utilizations must be in [0, 1]");
+    fatalIf(activity.sramTrafficRatio < 0.0,
+            "ActivityProfile: sramTrafficRatio must be >= 0");
+
+    const AreaBreakdown area = areaModel_.breakdown(cfg);
+
+    PowerBreakdown p;
+    const double sram_mib =
+        (cfg.coreCount * cfg.l1BytesPerCore + cfg.l2Bytes) /
+        units::MIB * cfg.diesPerPackage;
+    p.sramLeakageW = sram_mib * params_.sramLeakageWPerMib;
+
+    const double logic_area =
+        (area.total() - area.l1Sram - area.l2Sram) * cfg.diesPerPackage;
+    p.logicLeakageW = logic_area * params_.logicLeakageWPerMm2;
+
+    const double sustained_flops = cfg.peakTensorTops() * 1e12 *
+                                   activity.computeUtilization;
+    p.computeW = sustained_flops * params_.energyPerFlopJ;
+
+    const double hbm_bytes =
+        cfg.memBandwidth * activity.memoryUtilization;
+    p.hbmW = hbm_bytes * params_.energyPerHbmByteJ;
+    p.sramDynamicW = hbm_bytes * activity.sramTrafficRatio *
+                     params_.energyPerSramByteJ;
+    return p;
+}
+
+double
+PowerModel::operatingCostUsdPerYear(double watts, double usd_per_kwh,
+                                    double pue)
+{
+    fatalIf(watts < 0.0, "operating cost: watts must be >= 0");
+    fatalIf(usd_per_kwh < 0.0, "operating cost: price must be >= 0");
+    fatalIf(pue < 1.0, "operating cost: PUE must be >= 1");
+    const double hours_per_year = 24.0 * 365.0;
+    return watts / 1000.0 * pue * hours_per_year * usd_per_kwh;
+}
+
+} // namespace area
+} // namespace acs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Device power and operating-cost model (Sec. 4.4).
+ *
+ * The paper notes that PD-compliant designs carry ~3x the on-chip
+ * SRAM, and "if all are turned on, these caches increase static and
+ * dynamic power which increase operating costs". This model quantifies
+ * that: leakage proportional to SRAM capacity and logic area, dynamic
+ * power from achieved compute throughput and memory traffic, and a
+ * $/year operating cost at data-center electricity prices.
+ */
+
+#ifndef ACS_AREA_POWER_MODEL_HH
+#define ACS_AREA_POWER_MODEL_HH
+
+#include "area/area_model.hh"
+#include "hw/config.hh"
+
+namespace acs {
+namespace area {
+
+/** Technology/energy constants (7 nm-class defaults). */
+struct PowerParams
+{
+    /** SRAM leakage per MiB (W). */
+    double sramLeakageWPerMib = 0.08;
+    /** Logic leakage per mm^2 of non-SRAM area (W). */
+    double logicLeakageWPerMm2 = 0.06;
+    /** Energy per FP16 MAC-op (J); 2 ops per MAC. */
+    double energyPerFlopJ = 0.4e-12;
+    /** HBM access energy per byte (J). */
+    double energyPerHbmByteJ = 32e-12;
+    /** On-chip SRAM access energy per byte moved (J). */
+    double energyPerSramByteJ = 4e-12;
+};
+
+/** Average utilization levels used for dynamic power. */
+struct ActivityProfile
+{
+    /** Fraction of peak tensor throughput sustained. */
+    double computeUtilization = 0.5;
+    /** Fraction of peak HBM bandwidth sustained. */
+    double memoryUtilization = 0.5;
+    /** On-chip bytes moved per HBM byte (reuse multiplier). */
+    double sramTrafficRatio = 4.0;
+};
+
+/** Power breakdown in watts. */
+struct PowerBreakdown
+{
+    double sramLeakageW = 0.0;
+    double logicLeakageW = 0.0;
+    double computeW = 0.0;
+    double hbmW = 0.0;
+    double sramDynamicW = 0.0;
+
+    double staticW() const { return sramLeakageW + logicLeakageW; }
+    double dynamicW() const
+    {
+        return computeW + hbmW + sramDynamicW;
+    }
+    double totalW() const { return staticW() + dynamicW(); }
+};
+
+/**
+ * Device power estimator.
+ *
+ * Thread-compatible: const after construction.
+ */
+class PowerModel
+{
+  public:
+    PowerModel();
+    PowerModel(const AreaModel &area_model, const PowerParams &params);
+
+    /** Power of @p cfg under @p activity. */
+    PowerBreakdown power(const hw::HardwareConfig &cfg,
+                         const ActivityProfile &activity) const;
+
+    /**
+     * Yearly electricity cost of running at @p watts continuously.
+     *
+     * @param watts          Average device power (>= 0).
+     * @param usd_per_kwh    Electricity price (default $0.10/kWh).
+     * @param pue            Data-center power usage effectiveness.
+     */
+    static double operatingCostUsdPerYear(double watts,
+                                          double usd_per_kwh = 0.10,
+                                          double pue = 1.3);
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    AreaModel areaModel_;
+    PowerParams params_;
+};
+
+} // namespace area
+} // namespace acs
+
+#endif // ACS_AREA_POWER_MODEL_HH

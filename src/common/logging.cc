@@ -1,0 +1,45 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace acs {
+
+namespace {
+
+std::atomic<bool> verboseEnabled{true};
+
+} // anonymous namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
+}
+
+} // namespace acs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status and error reporting helpers following the gem5 idiom.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments): the
+ * program cannot continue but the library itself is not broken. panic() is
+ * for conditions that should never happen regardless of user input, i.e. a
+ * library bug. warn() and inform() report conditions without stopping.
+ */
+
+#ifndef ACS_COMMON_LOGGING_HH
+#define ACS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace acs {
+
+/** Exception thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal library invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Report an unrecoverable user error.
+ *
+ * Throws FatalError so that library users (and tests) can catch it;
+ * standalone tools let it propagate and terminate with a message.
+ *
+ * @param msg Human-readable description of the configuration problem.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a bug in this library).
+ *
+ * @param msg Human-readable description of the broken invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr without stopping. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr without stopping. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (warnings are always printed). */
+void setVerbose(bool verbose);
+
+/**
+ * fatal() unless @p cond holds.
+ *
+ * @param cond Condition that must be true for a valid configuration.
+ * @param msg  Message used when the condition fails.
+ */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** panic() if @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace acs
+
+#endif // ACS_COMMON_LOGGING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * Simulation results must be reproducible across platforms, so the library
+ * never uses std::random_device or platform-dependent distributions.
+ * SplitMix64 passes BigCrush and is trivially portable.
+ */
+
+#ifndef ACS_COMMON_RNG_HH
+#define ACS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace acs {
+
+/** Deterministic 64-bit PRNG (SplitMix64, Steele et al.). */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds give identical streams. */
+    explicit Rng(std::uint64_t seed)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace acs
+
+#endif // ACS_COMMON_RNG_HH

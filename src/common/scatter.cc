@@ -1,0 +1,118 @@
+#include "scatter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace acs {
+
+ScatterPlot::ScatterPlot(std::string title, std::string x_label,
+                         std::string y_label, int width, int height)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label)), width_(width), height_(height)
+{
+    fatalIf(width_ < 16, "ScatterPlot width must be >= 16");
+    fatalIf(height_ < 8, "ScatterPlot height must be >= 8");
+}
+
+void
+ScatterPlot::addSeries(ScatterSeries series)
+{
+    fatalIf(series.xs.size() != series.ys.size(),
+            "ScatterSeries '" + series.name + "' has mismatched x/y sizes");
+    series_.push_back(std::move(series));
+}
+
+void
+ScatterPlot::print(std::ostream &os) const
+{
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -x_min, y_min = x_min * 1.0, y_max = -x_min;
+    y_min = std::numeric_limits<double>::infinity();
+    std::size_t points = 0;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            x_min = std::min(x_min, s.xs[i]);
+            x_max = std::max(x_max, s.xs[i]);
+            y_min = std::min(y_min, s.ys[i]);
+            y_max = std::max(y_max, s.ys[i]);
+            ++points;
+        }
+    }
+    if (points == 0) {
+        warn("ScatterPlot '" + title_ + "' has no points; skipping");
+        return;
+    }
+
+    if (limits_.xMin) x_min = *limits_.xMin;
+    if (limits_.xMax) x_max = *limits_.xMax;
+    if (limits_.yMin) y_min = *limits_.yMin;
+    if (limits_.yMax) y_max = *limits_.yMax;
+    if (x_max <= x_min) x_max = x_min + 1.0;
+    if (y_max <= y_min) y_max = y_min + 1.0;
+
+    // Pad ranges slightly so extreme points are not on the border.
+    const double x_pad = 0.02 * (x_max - x_min);
+    const double y_pad = 0.05 * (y_max - y_min);
+    x_min -= x_pad; x_max += x_pad;
+    y_min -= y_pad; y_max += y_pad;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            const double fx = (s.xs[i] - x_min) / (x_max - x_min);
+            const double fy = (s.ys[i] - y_min) / (y_max - y_min);
+            if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0)
+                continue; // clipped by explicit limits
+            auto col = static_cast<int>(std::lround(fx * (width_ - 1)));
+            auto row = static_cast<int>(std::lround((1.0 - fy) *
+                                                    (height_ - 1)));
+            grid[static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col)] = s.glyph;
+        }
+    }
+
+    auto num = [](double v) {
+        std::ostringstream oss;
+        if (std::abs(v) >= 1000.0)
+            oss << std::fixed << std::setprecision(0) << v;
+        else
+            oss << std::setprecision(4) << v;
+        return oss.str();
+    };
+
+    os << "\n== " << title_ << " ==\n";
+    os << "y: " << yLabel_ << "   x: " << xLabel_ << "\n";
+    const std::string top = num(y_max), bottom = num(y_min);
+    const std::size_t margin = std::max(top.size(), bottom.size()) + 1;
+    for (int r = 0; r < height_; ++r) {
+        std::string label;
+        if (r == 0)
+            label = top;
+        else if (r == height_ - 1)
+            label = bottom;
+        os << std::right << std::setw(static_cast<int>(margin)) << label
+           << "|" << grid[static_cast<std::size_t>(r)] << "\n";
+    }
+    os << std::string(margin, ' ') << "+"
+       << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+    os << std::string(margin + 1, ' ') << std::left << num(x_min)
+       << std::string(static_cast<std::size_t>(std::max(
+              1, width_ - static_cast<int>(num(x_min).size()) -
+              static_cast<int>(num(x_max).size()))), ' ')
+       << num(x_max) << "\n";
+    os << "legend:";
+    for (const auto &s : series_) {
+        if (!s.xs.empty())
+            os << "  [" << s.glyph << "] " << s.name
+               << " (" << s.xs.size() << ")";
+    }
+    os << "\n";
+}
+
+} // namespace acs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ASCII scatter plots so the figure benches can render the paper's
+ * figures directly into the terminal / bench_output.txt.
+ *
+ * Each series has a one-character glyph; later series overdraw earlier
+ * ones at collisions. Axes are linear with numeric tick labels.
+ */
+
+#ifndef ACS_COMMON_SCATTER_HH
+#define ACS_COMMON_SCATTER_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acs {
+
+/** One named point series on a ScatterPlot. */
+struct ScatterSeries
+{
+    std::string name;   //!< legend label
+    char glyph = '*';   //!< character drawn for each point
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** Axis-limit overrides; any unset bound is derived from the data. */
+struct ScatterLimits
+{
+    std::optional<double> xMin;
+    std::optional<double> xMax;
+    std::optional<double> yMin;
+    std::optional<double> yMax;
+};
+
+/**
+ * A fixed-size character-grid scatter plot.
+ *
+ * Intended for the classification scatters (Figs 1, 2, 9, 10) and DSE
+ * clouds (Figs 5-8) — enough fidelity to see regions and crossovers.
+ */
+class ScatterPlot
+{
+  public:
+    /**
+     * @param title  Plot title printed above the grid.
+     * @param x_label X-axis label.
+     * @param y_label Y-axis label.
+     * @param width  Grid width in characters (>= 16, fatal otherwise).
+     * @param height Grid height in characters (>= 8, fatal otherwise).
+     */
+    ScatterPlot(std::string title, std::string x_label, std::string y_label,
+                int width = 72, int height = 24);
+
+    /** Add a point series; empty series are allowed and skipped. */
+    void addSeries(ScatterSeries series);
+
+    /** Override automatic axis limits. */
+    void setLimits(const ScatterLimits &limits) { limits_ = limits; }
+
+    /** Render the plot, axes, and legend. No-op warning if no points. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    int width_;
+    int height_;
+    ScatterLimits limits_;
+    std::vector<ScatterSeries> series_;
+};
+
+} // namespace acs
+
+#endif // ACS_COMMON_SCATTER_HH

@@ -1,0 +1,74 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "logging.hh"
+
+namespace acs {
+
+namespace {
+
+// Percentile of an already-sorted sample via linear interpolation.
+double
+sortedPercentile(const std::vector<double> &sorted, double q)
+{
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // anonymous namespace
+
+SummaryStats
+summarize(const std::vector<double> &samples)
+{
+    fatalIf(samples.empty(), "summarize() requires a non-empty sample");
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+
+    SummaryStats s;
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+             static_cast<double>(sorted.size());
+    s.median = sortedPercentile(sorted, 50.0);
+    s.p25 = sortedPercentile(sorted, 25.0);
+    s.p75 = sortedPercentile(sorted, 75.0);
+
+    double var = 0.0;
+    for (double v : sorted)
+        var += (v - s.mean) * (v - s.mean);
+    var /= static_cast<double>(sorted.size());
+    s.stddev = std::sqrt(var);
+    return s;
+}
+
+double
+narrowingFactor(const SummaryStats &baseline, const SummaryStats &constrained)
+{
+    const double base = baseline.range();
+    const double narrow = constrained.range();
+    if (narrow == 0.0) {
+        return base == 0.0 ? 1.0
+                           : std::numeric_limits<double>::infinity();
+    }
+    return base / narrow;
+}
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    fatalIf(samples.empty(), "percentile() requires a non-empty sample");
+    fatalIf(q < 0.0 || q > 100.0, "percentile rank must be in [0, 100]");
+    std::sort(samples.begin(), samples.end());
+    return sortedPercentile(samples, q);
+}
+
+} // namespace acs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Summary statistics over sample vectors.
+ *
+ * The paper quantifies how well an architectural constraint predicts
+ * workload performance by how much it *narrows* the latency distribution
+ * of a design-space sweep (e.g. "42.4x narrower"). SummaryStats provides
+ * the range/median/percentile machinery and narrowingFactor() computes the
+ * paper's headline ratio.
+ */
+
+#ifndef ACS_COMMON_STATS_HH
+#define ACS_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace acs {
+
+/** Order statistics and moments of a non-empty sample. */
+struct SummaryStats
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0; //!< population standard deviation
+    double p25 = 0.0;    //!< first quartile
+    double p75 = 0.0;    //!< third quartile
+
+    /** Full spread of the sample (max - min). */
+    double range() const { return max - min; }
+
+    /** Interquartile range (p75 - p25). */
+    double iqr() const { return p75 - p25; }
+};
+
+/**
+ * Compute summary statistics of @p samples.
+ *
+ * Percentiles use linear interpolation between closest ranks.
+ *
+ * @param samples Sample values; must be non-empty (fatal otherwise).
+ * @return Summary statistics of the sample.
+ */
+SummaryStats summarize(const std::vector<double> &samples);
+
+/**
+ * The paper's distribution-narrowing factor.
+ *
+ * How many times narrower the @p constrained distribution's range is
+ * compared to the @p baseline distribution's range. Values > 1 mean the
+ * architectural constraint is a better performance predictor.
+ *
+ * @param baseline    Stats of the unconstrained (e.g. TPP-only) sweep.
+ * @param constrained Stats of the sweep with one parameter fixed.
+ * @return baseline.range() / constrained.range(); infinity if the
+ *         constrained range is zero and the baseline range is not.
+ */
+double narrowingFactor(const SummaryStats &baseline,
+                       const SummaryStats &constrained);
+
+/**
+ * Interpolated percentile of a sample (q in [0, 100]).
+ *
+ * @param samples Non-empty sample values.
+ * @param q       Percentile rank in [0, 100]; fatal outside the range.
+ */
+double percentile(std::vector<double> samples, double q);
+
+} // namespace acs
+
+#endif // ACS_COMMON_STATS_HH

@@ -1,0 +1,93 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace acs {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers_.size(),
+            "Table row has " + std::to_string(cells.size()) +
+            " cells, expected " + std::to_string(headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << quote(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+    };
+
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+} // namespace acs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned plain-text table writer used by benches to print the paper's
+ * tables, plus a CSV emitter for downstream plotting.
+ */
+
+#ifndef ACS_COMMON_TABLE_HH
+#define ACS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acs {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Design", "TTFT (ms)", "TBT (ms)"});
+ *   t.addRow({"A100", "275.1", "1.43"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /**
+     * Append one row.
+     *
+     * @param cells One cell per column; fatal on column-count mismatch.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with headers, a separator rule, and aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p precision digits after the decimal point. */
+std::string fmt(double value, int precision = 2);
+
+/** Format a double as "x.xx%" (value 0.042 -> "4.20%"). */
+std::string fmtPercent(double fraction, int precision = 1);
+
+} // namespace acs
+
+#endif // ACS_COMMON_TABLE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit conversion constants and strong-ish unit helpers.
+ *
+ * The library keeps all quantities in SI-flavoured base units:
+ * bytes, bytes/second, seconds, hertz, mm^2, operations/second.
+ * Named multipliers below make call sites self-documenting:
+ * e.g. `2.0 * units::TBPS` for 2 TB/s of HBM bandwidth.
+ */
+
+#ifndef ACS_COMMON_UNITS_HH
+#define ACS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace acs {
+namespace units {
+
+// Decimal byte multipliers (datasheet convention: 1 GB/s = 1e9 B/s).
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+// Binary byte multipliers (SRAM capacities: 192 KiB L1 etc.).
+constexpr double KIB = 1024.0;
+constexpr double MIB = 1024.0 * 1024.0;
+constexpr double GIB = 1024.0 * 1024.0 * 1024.0;
+
+// Bandwidths.
+constexpr double GBPS = 1e9;  //!< bytes/second
+constexpr double TBPS = 1e12; //!< bytes/second
+
+// Rates and counts.
+constexpr double MHZ = 1e6;
+constexpr double GHZ = 1e9;
+constexpr double TERA = 1e12;
+constexpr double GIGA = 1e9;
+
+// Times.
+constexpr double MS = 1e-3;
+constexpr double US = 1e-6;
+constexpr double NS = 1e-9;
+
+/** Convert seconds to milliseconds (for reporting). */
+constexpr double
+toMs(double seconds)
+{
+    return seconds / MS;
+}
+
+/** Convert bytes/second to GB/s (for reporting). */
+constexpr double
+toGBps(double bytes_per_s)
+{
+    return bytes_per_s / GBPS;
+}
+
+} // namespace units
+} // namespace acs
+
+#endif // ACS_COMMON_UNITS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the library.
+ */
+
+#ifndef ACS_CORE_ACS_HH
+#define ACS_CORE_ACS_HH
+
+#include "area/area_model.hh"
+#include "area/cost_model.hh"
+#include "area/package_model.hh"
+#include "area/power_model.hh"
+#include "common/keyval.hh"
+#include "common/logging.hh"
+#include "common/scatter.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "core/study.hh"
+#include "devices/database.hh"
+#include "dse/analysis.hh"
+#include "dse/evaluate.hh"
+#include "dse/sweep.hh"
+#include "econ/market.hh"
+#include "hw/config.hh"
+#include "hw/serialize.hh"
+#include "hw/presets.hh"
+#include "model/graphics.hh"
+#include "model/ops.hh"
+#include "model/transformer.hh"
+#include "perf/graphics_model.hh"
+#include "perf/roofline.hh"
+#include "perf/simulator.hh"
+#include "perf/tile_sim.hh"
+#include "policy/acr_rules.hh"
+#include "policy/arch_policy.hh"
+#include "policy/historical.hh"
+#include "policy/marketing.hh"
+#include "serve/capacity.hh"
+
+#endif // ACS_CORE_ACS_HH

@@ -1,0 +1,132 @@
+#include "study.hh"
+
+#include "common/logging.hh"
+#include "policy/device_spec.hh"
+#include "policy/marketing.hh"
+
+namespace acs {
+namespace core {
+
+Workload
+gpt3Workload()
+{
+    Workload w;
+    w.model = model::gpt3_175b();
+    w.setting = model::InferenceSetting{};
+    w.system.tensorParallel = 4;
+    return w;
+}
+
+Workload
+llamaWorkload()
+{
+    Workload w;
+    w.model = model::llama3_8b();
+    w.setting = model::InferenceSetting{};
+    // Same 4-device system as GPT-3 (TP=4 divides the 8 KV heads);
+    // reproduces the paper's Llama 3 TTFT baseline of ~46 ms/layer.
+    w.system.tensorParallel = 4;
+    return w;
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    if (name == "gpt3")
+        return gpt3Workload();
+    if (name == "llama")
+        return llamaWorkload();
+    Workload w = llamaWorkload();
+    if (name == "llama70b") {
+        w.model = model::llama3_70b();
+        return w;
+    }
+    if (name == "mixtral") {
+        w.model = model::mixtral_8x7b();
+        return w;
+    }
+    fatal("unknown workload '" + name +
+          "' (expected gpt3, llama, llama70b, or mixtral)");
+}
+
+double
+DesignReport::ttftDelta() const
+{
+    panicIf(baseline.ttftS <= 0.0, "baseline TTFT must be positive");
+    return design.ttftS / baseline.ttftS - 1.0;
+}
+
+double
+DesignReport::tbtDelta() const
+{
+    panicIf(baseline.tbtS <= 0.0, "baseline TBT must be positive");
+    return design.tbtS / baseline.tbtS - 1.0;
+}
+
+SanctionsStudy::SanctionsStudy(const perf::PerfParams &params)
+    : params_(params)
+{}
+
+dse::EvaluatedDesign
+SanctionsStudy::evaluateBaseline(const Workload &workload) const
+{
+    const dse::DesignEvaluator evaluator(workload.model, workload.setting,
+                                         workload.system, params_);
+    return evaluator.evaluate(hw::modeledA100());
+}
+
+DesignReport
+SanctionsStudy::evaluateDesign(const hw::HardwareConfig &cfg,
+                               const Workload &workload) const
+{
+    const dse::DesignEvaluator evaluator(workload.model, workload.setting,
+                                         workload.system, params_);
+    DesignReport report;
+    report.design = evaluator.evaluate(cfg);
+    report.baseline = evaluator.evaluate(hw::modeledA100());
+    report.rules = classify(report.design);
+    return report;
+}
+
+std::vector<dse::EvaluatedDesign>
+SanctionsStudy::runSweep(const dse::SweepSpace &space,
+                         const Workload &workload) const
+{
+    const dse::DesignEvaluator evaluator(workload.model, workload.setting,
+                                         workload.system, params_);
+    return evaluator.evaluateAll(space.generate());
+}
+
+RuleOutcomes
+SanctionsStudy::classify(const dse::EvaluatedDesign &design) const
+{
+    RuleOutcomes outcomes;
+    policy::DeviceSpec spec = design.toSpec();
+    outcomes.oct2022 = policy::Oct2022Rule::classify(spec);
+    outcomes.oct2023DataCenter = policy::Oct2023Rule::classifyAs(
+        spec, policy::MarketSegment::DATA_CENTER);
+    outcomes.oct2023NonDataCenter = policy::Oct2023Rule::classifyAs(
+        spec, policy::MarketSegment::CONSUMER);
+    return outcomes;
+}
+
+SanctionsStudy::DatabaseSummary
+SanctionsStudy::classifyDatabase(const devices::Database &db)
+{
+    DatabaseSummary summary;
+    const auto specs = db.allSpecs();
+    summary.devices = specs.size();
+    for (const auto &spec : specs) {
+        summary.regulatedOct2022 +=
+            policy::isRegulated(policy::Oct2022Rule::classify(spec));
+        summary.regulatedOct2023 +=
+            policy::isRegulated(policy::Oct2023Rule::classify(spec));
+    }
+    summary.marketing = policy::summarizeMarketing(specs);
+    summary.architectural =
+        policy::ArchDataCenterClassifier::summarize(specs);
+    return summary;
+}
+
+} // namespace core
+} // namespace acs

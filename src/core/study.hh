@@ -1,0 +1,129 @@
+/**
+ * @file
+ * High-level API of the paper's study: standard workloads, baseline
+ * comparison, sweep execution, and rule classification of a design.
+ *
+ * This is the entry point downstream users should start from (see
+ * examples/quickstart.cpp).
+ */
+
+#ifndef ACS_CORE_STUDY_HH
+#define ACS_CORE_STUDY_HH
+
+#include <vector>
+
+#include "dse/analysis.hh"
+#include "dse/evaluate.hh"
+#include "devices/database.hh"
+#include "dse/sweep.hh"
+#include "hw/config.hh"
+#include "hw/presets.hh"
+#include "model/transformer.hh"
+#include "perf/simulator.hh"
+#include "policy/acr_rules.hh"
+#include "policy/marketing.hh"
+
+namespace acs {
+namespace core {
+
+/** A workload: model + setting + system mapping. */
+struct Workload
+{
+    model::TransformerConfig model;
+    model::InferenceSetting setting;
+    perf::SystemConfig system;
+};
+
+/**
+ * GPT-3 175B under the paper's standard setting, tensor-parallel over
+ * 4 devices (one device cannot hold the model; see DESIGN.md).
+ */
+Workload gpt3Workload();
+
+/**
+ * Llama 3 8B under the standard setting, tensor-parallel over the same
+ * 4-device system as GPT-3.
+ */
+Workload llamaWorkload();
+
+/**
+ * Workload registry: "gpt3", "llama", "llama70b", "mixtral" (all at
+ * the standard setting, TP=4). Fatal on unknown names; tools use this
+ * to map CLI arguments.
+ */
+Workload workloadByName(const std::string &name);
+
+/** Rule outcomes for one design evaluated as a data-center product. */
+struct RuleOutcomes
+{
+    policy::Classification oct2022 =
+        policy::Classification::NOT_APPLICABLE;
+    policy::Classification oct2023DataCenter =
+        policy::Classification::NOT_APPLICABLE;
+    policy::Classification oct2023NonDataCenter =
+        policy::Classification::NOT_APPLICABLE;
+};
+
+/** Full report for one design on one workload. */
+struct DesignReport
+{
+    dse::EvaluatedDesign design;
+    dse::EvaluatedDesign baseline; //!< the modeled A100
+    RuleOutcomes rules;
+
+    /** Relative TTFT vs baseline: negative means faster. */
+    double ttftDelta() const;
+    /** Relative TBT vs baseline: negative means faster. */
+    double tbtDelta() const;
+};
+
+/**
+ * The paper's study harness.
+ *
+ * Thread-compatible: const after construction.
+ */
+class SanctionsStudy
+{
+  public:
+    explicit SanctionsStudy(const perf::PerfParams &params =
+                                perf::PerfParams{});
+
+    /** Evaluate the modeled A100 baseline on @p workload. */
+    dse::EvaluatedDesign evaluateBaseline(const Workload &workload) const;
+
+    /** Evaluate any design on @p workload with baseline + rules. */
+    DesignReport evaluateDesign(const hw::HardwareConfig &cfg,
+                                const Workload &workload) const;
+
+    /** Evaluate every point of a sweep space on @p workload. */
+    std::vector<dse::EvaluatedDesign>
+    runSweep(const dse::SweepSpace &space, const Workload &workload)
+        const;
+
+    /** Classify a design under all rule generations. */
+    RuleOutcomes classify(const dse::EvaluatedDesign &design) const;
+
+    /** Per-rule regulated counts over a device catalogue. */
+    struct DatabaseSummary
+    {
+        std::size_t devices = 0;
+        std::size_t regulatedOct2022 = 0;
+        std::size_t regulatedOct2023 = 0;
+        policy::MarketingSummary marketing;      //!< Fig. 9 counts
+        policy::MarketingSummary architectural;  //!< Fig. 10 counts
+    };
+
+    /** Run the Sec. 5.2 classification study over a catalogue. */
+    static DatabaseSummary
+    classifyDatabase(const devices::Database &db);
+
+    const perf::PerfParams &params() const { return params_; }
+
+  private:
+    perf::PerfParams params_;
+};
+
+} // namespace core
+} // namespace acs
+
+#endif // ACS_CORE_STUDY_HH

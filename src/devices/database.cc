@@ -1,0 +1,283 @@
+#include "database.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace devices {
+
+namespace {
+
+using policy::MarketSegment;
+
+constexpr MarketSegment DC = MarketSegment::DATA_CENTER;
+constexpr MarketSegment CONS = MarketSegment::CONSUMER;
+constexpr MarketSegment WORK = MarketSegment::WORKSTATION;
+
+/*
+ * Catalogue rows (65 devices: 14 data-center + 51 non-data-center,
+ * matching the paper's Sec. 5.2 population):
+ * {name, vendor, year, month, segment,
+ *  tpp, devBW GB/s, die mm^2, non-planar, mem GB, memBW GB/s}
+ *
+ * TPP uses the vendor's advertised dense (non-sparse) tensor peak
+ * times bitwidth: FP16-accumulate rate for Ada/Hopper/CDNA parts and
+ * data-center Ampere, the FP32-accumulate headline rate for GeForce
+ * Ampere, packed-FP16 vector rate for pre-tensor-core parts, and the
+ * FP8-basis figure for the L4. Device bandwidth is the aggregate
+ * bidirectional interconnect (NVLink / Infinity Fabric; PCIe-only
+ * parts list the PCIe x16 bidirectional rate).
+ */
+const DeviceRecord CATALOGUE[] = {
+    // ---- Data center (14) ---------------------------------------------
+    {"NVIDIA A100 80GB", Vendor::NVIDIA, 2020, 11, DC,
+     4992.0, 600.0, 826.0, true, 80.0, 2039.0},
+    {"NVIDIA A800", Vendor::NVIDIA, 2022, 8, DC,
+     4992.0, 400.0, 826.0, true, 80.0, 2039.0},
+    {"NVIDIA A30", Vendor::NVIDIA, 2021, 4, DC,
+     2640.0, 200.0, 826.0, true, 24.0, 933.0},
+    {"NVIDIA A40", Vendor::NVIDIA, 2020, 10, DC,
+     2395.0, 112.5, 628.0, true, 48.0, 696.0},
+    {"NVIDIA H100 SXM", Vendor::NVIDIA, 2023, 3, DC,
+     15824.0, 900.0, 814.0, true, 80.0, 3350.0},
+    {"NVIDIA H800", Vendor::NVIDIA, 2023, 3, DC,
+     15824.0, 400.0, 814.0, true, 80.0, 3350.0},
+    {"NVIDIA H20", Vendor::NVIDIA, 2023, 11, DC,
+     2368.0, 900.0, 814.0, true, 96.0, 4000.0},
+    {"NVIDIA L40", Vendor::NVIDIA, 2022, 10, DC,
+     2898.0, 64.0, 608.5, true, 48.0, 864.0},
+    {"NVIDIA L20", Vendor::NVIDIA, 2023, 11, DC,
+     1912.0, 64.0, 608.5, true, 48.0, 864.0},
+    {"NVIDIA L4", Vendor::NVIDIA, 2023, 3, DC,
+     968.0, 64.0, 294.5, true, 24.0, 300.0},
+    {"NVIDIA L2", Vendor::NVIDIA, 2023, 12, DC,
+     1552.0, 64.0, 294.5, true, 24.0, 300.0},
+    {"AMD Instinct MI210", Vendor::AMD, 2021, 12, DC,
+     2896.0, 300.0, 724.0, true, 64.0, 1638.0},
+    {"AMD Instinct MI250X", Vendor::AMD, 2021, 11, DC,
+     6128.0, 800.0, 1448.0, true, 128.0, 3277.0},
+    {"AMD Instinct MI300X", Vendor::AMD, 2023, 12, DC,
+     20918.0, 1024.0, 2400.0, true, 192.0, 5300.0},
+
+    // ---- NVIDIA consumer (24) ------------------------------------------
+    {"NVIDIA RTX 2080 Ti", Vendor::NVIDIA, 2018, 9, CONS,
+     1722.0, 100.0, 754.0, true, 11.0, 616.0},
+    {"NVIDIA RTX 2080 Super", Vendor::NVIDIA, 2019, 7, CONS,
+     1427.0, 50.0, 545.0, true, 8.0, 496.0},
+    {"NVIDIA RTX 2080", Vendor::NVIDIA, 2018, 9, CONS,
+     1288.0, 50.0, 545.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 2070 Super", Vendor::NVIDIA, 2019, 7, CONS,
+     1160.0, 0.0, 545.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 2070", Vendor::NVIDIA, 2018, 10, CONS,
+     1007.0, 0.0, 445.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 2060 Super", Vendor::NVIDIA, 2019, 7, CONS,
+     918.0, 0.0, 445.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 2060", Vendor::NVIDIA, 2019, 1, CONS,
+     826.0, 0.0, 445.0, true, 6.0, 336.0},
+    {"NVIDIA GTX 1660 Ti", Vendor::NVIDIA, 2019, 2, CONS,
+     178.0, 0.0, 284.0, true, 6.0, 288.0},
+    {"NVIDIA RTX 3090 Ti", Vendor::NVIDIA, 2022, 3, CONS,
+     1280.0, 0.0, 628.0, true, 24.0, 1008.0},
+    {"NVIDIA RTX 3090", Vendor::NVIDIA, 2020, 9, CONS,
+     1136.0, 112.5, 628.0, true, 24.0, 936.0},
+    {"NVIDIA RTX 3080 Ti", Vendor::NVIDIA, 2021, 6, CONS,
+     1093.0, 0.0, 628.0, true, 12.0, 912.0},
+    {"NVIDIA RTX 3080", Vendor::NVIDIA, 2020, 9, CONS,
+     952.0, 0.0, 628.0, true, 10.0, 760.0},
+    {"NVIDIA RTX 3070 Ti", Vendor::NVIDIA, 2021, 6, CONS,
+     696.0, 0.0, 392.0, true, 8.0, 608.0},
+    {"NVIDIA RTX 3070", Vendor::NVIDIA, 2020, 10, CONS,
+     650.0, 0.0, 392.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 3060 Ti", Vendor::NVIDIA, 2020, 12, CONS,
+     518.0, 0.0, 392.0, true, 8.0, 448.0},
+    {"NVIDIA RTX 3060", Vendor::NVIDIA, 2021, 2, CONS,
+     410.0, 0.0, 276.0, true, 12.0, 360.0},
+    {"NVIDIA RTX 3050", Vendor::NVIDIA, 2022, 1, CONS,
+     291.0, 0.0, 276.0, true, 8.0, 224.0},
+    {"NVIDIA RTX 4090", Vendor::NVIDIA, 2022, 10, CONS,
+     5285.0, 63.0, 608.5, true, 24.0, 1008.0},
+    {"NVIDIA RTX 4090D", Vendor::NVIDIA, 2023, 12, CONS,
+     4708.0, 63.0, 608.5, true, 24.0, 1008.0},
+    {"NVIDIA RTX 4080", Vendor::NVIDIA, 2022, 11, CONS,
+     3118.0, 63.0, 378.6, true, 16.0, 717.0},
+    {"NVIDIA RTX 4070 Ti", Vendor::NVIDIA, 2023, 1, CONS,
+     2566.0, 63.0, 294.5, true, 12.0, 504.0},
+    {"NVIDIA RTX 4070", Vendor::NVIDIA, 2023, 4, CONS,
+     1866.0, 63.0, 294.5, true, 12.0, 504.0},
+    {"NVIDIA RTX 4060 Ti", Vendor::NVIDIA, 2023, 5, CONS,
+     1418.0, 63.0, 187.8, true, 8.0, 288.0},
+    {"NVIDIA RTX 4060", Vendor::NVIDIA, 2023, 6, CONS,
+     974.0, 63.0, 158.7, true, 8.0, 272.0},
+
+    // ---- NVIDIA workstation (6) ------------------------------------------
+    {"NVIDIA TITAN RTX", Vendor::NVIDIA, 2018, 12, WORK,
+     2088.0, 100.0, 754.0, true, 24.0, 672.0},
+    {"NVIDIA RTX A5000", Vendor::NVIDIA, 2021, 4, WORK,
+     1778.0, 112.5, 628.0, true, 24.0, 768.0},
+    {"NVIDIA RTX A4000", Vendor::NVIDIA, 2021, 4, WORK,
+     1227.0, 0.0, 392.0, true, 16.0, 448.0},
+    {"NVIDIA RTX A2000", Vendor::NVIDIA, 2021, 8, WORK,
+     510.0, 0.0, 276.0, true, 12.0, 288.0},
+    {"NVIDIA RTX 5000 Ada", Vendor::NVIDIA, 2023, 8, WORK,
+     4181.0, 63.0, 608.5, true, 32.0, 576.0},
+    {"NVIDIA RTX 4000 Ada", Vendor::NVIDIA, 2023, 8, WORK,
+     1530.0, 63.0, 294.5, true, 20.0, 360.0},
+
+    // ---- AMD consumer (18) -----------------------------------------------
+    {"AMD Radeon VII", Vendor::AMD, 2019, 2, CONS,
+     430.0, 0.0, 331.0, true, 16.0, 1024.0},
+    {"AMD RX 5700 XT", Vendor::AMD, 2019, 7, CONS,
+     312.0, 0.0, 251.0, true, 8.0, 448.0},
+    {"AMD RX 5600 XT", Vendor::AMD, 2020, 1, CONS,
+     230.0, 0.0, 251.0, true, 6.0, 336.0},
+    {"AMD RX 5500 XT", Vendor::AMD, 2019, 12, CONS,
+     166.0, 0.0, 158.0, true, 8.0, 224.0},
+    {"AMD RX 6900 XT", Vendor::AMD, 2020, 12, CONS,
+     738.0, 0.0, 520.0, true, 16.0, 512.0},
+    {"AMD RX 6950 XT", Vendor::AMD, 2022, 5, CONS,
+     757.0, 0.0, 520.0, true, 16.0, 576.0},
+    {"AMD RX 6800 XT", Vendor::AMD, 2020, 11, CONS,
+     664.0, 0.0, 520.0, true, 16.0, 512.0},
+    {"AMD RX 6800", Vendor::AMD, 2020, 11, CONS,
+     517.0, 0.0, 520.0, true, 16.0, 512.0},
+    {"AMD RX 6750 XT", Vendor::AMD, 2022, 5, CONS,
+     443.0, 0.0, 335.0, true, 12.0, 432.0},
+    {"AMD RX 6700 XT", Vendor::AMD, 2021, 3, CONS,
+     423.0, 0.0, 335.0, true, 12.0, 384.0},
+    {"AMD RX 6600 XT", Vendor::AMD, 2021, 8, CONS,
+     339.0, 0.0, 237.0, true, 8.0, 256.0},
+    {"AMD RX 6600", Vendor::AMD, 2021, 10, CONS,
+     286.0, 0.0, 237.0, true, 8.0, 224.0},
+    {"AMD RX 6500 XT", Vendor::AMD, 2022, 1, CONS,
+     184.0, 0.0, 107.0, true, 4.0, 144.0},
+    {"AMD RX 7900 XTX", Vendor::AMD, 2022, 12, CONS,
+     1965.0, 0.0, 522.0, true, 24.0, 960.0},
+    {"AMD RX 7900 XT", Vendor::AMD, 2022, 12, CONS,
+     1648.0, 0.0, 487.0, true, 20.0, 800.0},
+    {"AMD RX 7800 XT", Vendor::AMD, 2023, 9, CONS,
+     1195.0, 0.0, 350.0, true, 16.0, 624.0},
+    {"AMD RX 7700 XT", Vendor::AMD, 2023, 9, CONS,
+     1120.0, 0.0, 312.0, true, 12.0, 432.0},
+    {"AMD RX 7600 XT", Vendor::AMD, 2024, 1, CONS,
+     721.0, 0.0, 204.0, true, 16.0, 288.0},
+
+    // (RX 7600 completes the AMD consumer set at 19 entries? No —
+    // see count note below; the 7600 keeps the catalogue at 65.)
+    {"AMD RX 7600", Vendor::AMD, 2023, 5, CONS,
+     696.0, 0.0, 204.0, true, 8.0, 288.0},
+
+    // ---- AMD workstation (2) ----------------------------------------------
+    {"AMD Radeon Pro W6800", Vendor::AMD, 2021, 6, WORK,
+     570.0, 0.0, 520.0, true, 32.0, 512.0},
+    {"AMD Radeon Pro W7800", Vendor::AMD, 2023, 4, WORK,
+     1430.0, 0.0, 464.0, true, 32.0, 576.0},
+};
+
+} // anonymous namespace
+
+std::string
+toString(Vendor vendor)
+{
+    switch (vendor) {
+      case Vendor::NVIDIA: return "NVIDIA";
+      case Vendor::AMD:    return "AMD";
+    }
+    panic("unknown Vendor");
+}
+
+policy::DeviceSpec
+DeviceRecord::toSpec() const
+{
+    policy::DeviceSpec spec;
+    spec.name = name;
+    spec.tpp = tpp;
+    spec.deviceBandwidthGBps = deviceBandwidthGBps;
+    spec.dieAreaMm2 = dieAreaMm2;
+    spec.nonPlanarTransistor = nonPlanarTransistor;
+    spec.market = market;
+    spec.memCapacityGB = memCapacityGB;
+    spec.memBandwidthGBps = memBandwidthGBps;
+    return spec;
+}
+
+Database::Database()
+    : Database(std::vector<DeviceRecord>(std::begin(CATALOGUE),
+                                         std::end(CATALOGUE)))
+{}
+
+Database::Database(std::vector<DeviceRecord> records)
+    : records_(std::move(records))
+{
+    std::sort(records_.begin(), records_.end(),
+              [](const DeviceRecord &a, const DeviceRecord &b) {
+                  if (a.releaseYear != b.releaseYear)
+                      return a.releaseYear < b.releaseYear;
+                  if (a.releaseMonth != b.releaseMonth)
+                      return a.releaseMonth < b.releaseMonth;
+                  return a.name < b.name;
+              });
+    for (const DeviceRecord &rec : records_) {
+        fatalIf(rec.tpp < 0.0 || rec.dieAreaMm2 <= 0.0 ||
+                rec.memCapacityGB <= 0.0 || rec.memBandwidthGBps <= 0.0,
+                "malformed catalogue row: " + rec.name);
+    }
+}
+
+std::optional<DeviceRecord>
+Database::byName(const std::string &name) const
+{
+    for (const DeviceRecord &rec : records_) {
+        if (rec.name == name)
+            return rec;
+    }
+    return std::nullopt;
+}
+
+std::vector<DeviceRecord>
+Database::bySegment(policy::MarketSegment segment) const
+{
+    std::vector<DeviceRecord> out;
+    for (const DeviceRecord &rec : records_) {
+        if (rec.market == segment)
+            out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<DeviceRecord>
+Database::byVendor(Vendor vendor) const
+{
+    std::vector<DeviceRecord> out;
+    for (const DeviceRecord &rec : records_) {
+        if (rec.vendor == vendor)
+            out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<DeviceRecord>
+Database::byYearRange(int first_year, int last_year) const
+{
+    fatalIf(first_year > last_year,
+            "byYearRange: first_year must be <= last_year");
+    std::vector<DeviceRecord> out;
+    for (const DeviceRecord &rec : records_) {
+        if (rec.releaseYear >= first_year && rec.releaseYear <= last_year)
+            out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<policy::DeviceSpec>
+Database::allSpecs() const
+{
+    std::vector<policy::DeviceSpec> out;
+    out.reserve(records_.size());
+    for (const DeviceRecord &rec : records_)
+        out.push_back(rec.toSpec());
+    return out;
+}
+
+} // namespace devices
+} // namespace acs

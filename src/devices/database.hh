@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Database of real AMD/NVIDIA devices (2018-2024) used by the
+ * classification studies (Figs. 1, 2, 9, 10).
+ *
+ * Values come from vendor datasheets/whitepapers and the public spec
+ * databases the paper cites. TPP is the dense (non-sparse) peak tensor
+ * throughput times operation bitwidth; for pre-tensor-core devices the
+ * packed FP16 vector peak is used. Die area is the compute die(s)
+ * total; all listed devices use non-planar (FinFET) processes.
+ */
+
+#ifndef ACS_DEVICES_DATABASE_HH
+#define ACS_DEVICES_DATABASE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/device_spec.hh"
+
+namespace acs {
+namespace devices {
+
+/** Device vendor. */
+enum class Vendor
+{
+    NVIDIA,
+    AMD,
+};
+
+/** Human-readable vendor name. */
+std::string toString(Vendor vendor);
+
+/** One catalogued product. */
+struct DeviceRecord
+{
+    std::string name;
+    Vendor vendor = Vendor::NVIDIA;
+    int releaseYear = 0;
+    int releaseMonth = 0; //!< 1-12
+    policy::MarketSegment market = policy::MarketSegment::DATA_CENTER;
+
+    double tpp = 0.0;
+    double deviceBandwidthGBps = 0.0; //!< aggregate bidirectional
+    double dieAreaMm2 = 0.0;
+    bool nonPlanarTransistor = true;
+    double memCapacityGB = 0.0;
+    double memBandwidthGBps = 0.0;
+
+    /** Reduce to the classification view. */
+    policy::DeviceSpec toSpec() const;
+};
+
+/**
+ * The full catalogue.
+ *
+ * Thread-compatible: immutable after construction.
+ */
+class Database
+{
+  public:
+    /** Build the built-in catalogue. */
+    Database();
+
+    /**
+     * Build a custom catalogue (e.g. to study a hypothetical product
+     * line). Records are validated and date-sorted like the built-in
+     * set; fatal on malformed rows.
+     */
+    explicit Database(std::vector<DeviceRecord> records);
+
+    /** All records, release-date ordered. */
+    const std::vector<DeviceRecord> &all() const { return records_; }
+
+    /** Record count. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Find by exact name; empty when absent. */
+    std::optional<DeviceRecord> byName(const std::string &name) const;
+
+    /** Records in one market segment. */
+    std::vector<DeviceRecord> bySegment(policy::MarketSegment segment)
+        const;
+
+    /** Records by vendor. */
+    std::vector<DeviceRecord> byVendor(Vendor vendor) const;
+
+    /** Records released in [first_year, last_year]. */
+    std::vector<DeviceRecord> byYearRange(int first_year, int last_year)
+        const;
+
+    /** All records as classification specs. */
+    std::vector<policy::DeviceSpec> allSpecs() const;
+
+  private:
+    std::vector<DeviceRecord> records_;
+};
+
+} // namespace devices
+} // namespace acs
+
+#endif // ACS_DEVICES_DATABASE_HH

@@ -1,0 +1,116 @@
+#include "analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace dse {
+
+double
+ttftMs(const EvaluatedDesign &d)
+{
+    return units::toMs(d.ttftS);
+}
+
+double
+tbtMs(const EvaluatedDesign &d)
+{
+    return units::toMs(d.tbtS);
+}
+
+namespace {
+
+SummaryStats
+statsOf(const std::vector<EvaluatedDesign> &designs, const Metric &metric)
+{
+    std::vector<double> values;
+    values.reserve(designs.size());
+    for (const EvaluatedDesign &d : designs)
+        values.push_back(metric(d));
+    return summarize(values);
+}
+
+} // anonymous namespace
+
+std::vector<IndicatorDistribution>
+indicatorStudy(
+    const std::vector<EvaluatedDesign> &designs,
+    const std::vector<std::pair<
+        std::string, std::function<bool(const EvaluatedDesign &)>>>
+        &groups)
+{
+    fatalIf(designs.empty(), "indicatorStudy: empty baseline design set");
+
+    std::vector<IndicatorDistribution> out;
+
+    IndicatorDistribution baseline;
+    baseline.label = "TPP Only";
+    baseline.ttft = statsOf(designs, ttftMs);
+    baseline.tbt = statsOf(designs, tbtMs);
+    baseline.designCount = designs.size();
+    out.push_back(baseline);
+
+    for (const auto &[label, predicate] : groups) {
+        std::vector<EvaluatedDesign> subset;
+        for (const EvaluatedDesign &d : designs) {
+            if (predicate(d))
+                subset.push_back(d);
+        }
+        if (subset.empty()) {
+            warn("indicatorStudy: group '" + label + "' is empty");
+            continue;
+        }
+        IndicatorDistribution dist;
+        dist.label = label;
+        dist.ttft = statsOf(subset, ttftMs);
+        dist.tbt = statsOf(subset, tbtMs);
+        dist.ttftNarrowing = narrowingFactor(baseline.ttft, dist.ttft);
+        dist.tbtNarrowing = narrowingFactor(baseline.tbt, dist.tbt);
+        dist.designCount = subset.size();
+        out.push_back(std::move(dist));
+    }
+    return out;
+}
+
+std::function<bool(const EvaluatedDesign &)>
+fixedParameter(policy::ArchParameter param, double value)
+{
+    return [param, value](const EvaluatedDesign &d) {
+        const double v = policy::parameterValue(d.config, param);
+        const double tol = 1e-9 * std::max(std::abs(v), std::abs(value));
+        return std::abs(v - value) <= std::max(tol, 1e-12);
+    };
+}
+
+std::vector<EvaluatedDesign>
+paretoFront(const std::vector<EvaluatedDesign> &designs, const Metric &x,
+            const Metric &y)
+{
+    std::vector<EvaluatedDesign> sorted = designs;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const EvaluatedDesign &a, const EvaluatedDesign &b) {
+                  const double xa = x(a), xb = x(b);
+                  if (xa != xb)
+                      return xa < xb;
+                  return y(a) < y(b);
+              });
+
+    std::vector<EvaluatedDesign> front;
+    double best_y = std::numeric_limits<double>::infinity();
+    for (const EvaluatedDesign &d : sorted) {
+        const double yd = y(d);
+        if (yd < best_y) {
+            front.push_back(d);
+            best_y = yd;
+        }
+    }
+    return front;
+}
+
+} // namespace dse
+} // namespace acs

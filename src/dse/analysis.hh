@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Distribution and Pareto analysis over evaluated designs
+ * (Figs. 8, 11, 12).
+ */
+
+#ifndef ACS_DSE_ANALYSIS_HH
+#define ACS_DSE_ANALYSIS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dse/evaluate.hh"
+#include "policy/arch_policy.hh"
+
+namespace acs {
+namespace dse {
+
+/** Extract a metric from a design (for generic analyses). */
+using Metric = std::function<double(const EvaluatedDesign &)>;
+
+/** The TTFT metric in milliseconds. */
+double ttftMs(const EvaluatedDesign &d);
+/** The TBT metric in milliseconds. */
+double tbtMs(const EvaluatedDesign &d);
+
+/** One column of a Fig. 11/12-style distribution plot. */
+struct IndicatorDistribution
+{
+    std::string label;          //!< e.g. "1 Lane", "2.8 TB/s M. BW"
+    SummaryStats ttft;          //!< TTFT distribution (ms)
+    SummaryStats tbt;           //!< TBT distribution (ms)
+    double ttftNarrowing = 1.0; //!< vs the baseline TTFT range
+    double tbtNarrowing = 1.0;  //!< vs the baseline TBT range
+    std::size_t designCount = 0;
+};
+
+/**
+ * The paper's distribution study: start from the full @p designs set
+ * ("TPP only" column) and add one column per (label, predicate) pair
+ * holding designs where one architectural parameter is fixed.
+ *
+ * @param designs    Baseline design set (fatal if empty).
+ * @param groups     Label + membership predicate per column.
+ * @return Columns in input order, baseline first.
+ */
+std::vector<IndicatorDistribution> indicatorStudy(
+    const std::vector<EvaluatedDesign> &designs,
+    const std::vector<std::pair<
+        std::string, std::function<bool(const EvaluatedDesign &)>>>
+        &groups);
+
+/**
+ * Membership predicate for "parameter == value" columns.
+ *
+ * @param param Architectural parameter to pin.
+ * @param value Pinned value in base units (exact compare with small
+ *              relative tolerance for floating-point fields).
+ */
+std::function<bool(const EvaluatedDesign &)>
+fixedParameter(policy::ArchParameter param, double value);
+
+/**
+ * Pareto frontier minimizing (x, y): the subset of designs not
+ * dominated by any other design (smaller-or-equal on both metrics and
+ * strictly smaller on one). Returned sorted by x.
+ */
+std::vector<EvaluatedDesign>
+paretoFront(const std::vector<EvaluatedDesign> &designs, const Metric &x,
+            const Metric &y);
+
+} // namespace dse
+} // namespace acs
+
+#endif // ACS_DSE_ANALYSIS_HH

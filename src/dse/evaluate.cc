@@ -1,0 +1,161 @@
+#include "evaluate.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace dse {
+
+double
+EvaluatedDesign::ttftCostProduct() const
+{
+    return units::toMs(ttftS) * dieCostUsd;
+}
+
+double
+EvaluatedDesign::tbtCostProduct() const
+{
+    return units::toMs(tbtS) * dieCostUsd;
+}
+
+policy::DeviceSpec
+EvaluatedDesign::toSpec() const
+{
+    policy::DeviceSpec spec;
+    spec.name = config.name;
+    spec.tpp = tpp;
+    spec.deviceBandwidthGBps = units::toGBps(config.deviceBandwidth());
+    spec.dieAreaMm2 = dieAreaMm2;
+    spec.nonPlanarTransistor = config.nonPlanarTransistor;
+    spec.market = policy::MarketSegment::DATA_CENTER;
+    spec.memCapacityGB = config.memCapacityBytes / units::GB;
+    spec.memBandwidthGBps = units::toGBps(config.memBandwidth);
+    return spec;
+}
+
+DesignEvaluator::DesignEvaluator(const model::TransformerConfig &model_cfg,
+                                 const model::InferenceSetting &setting,
+                                 const perf::SystemConfig &sys,
+                                 const perf::PerfParams &params)
+    : modelCfg_(model_cfg), setting_(setting), sys_(sys), params_(params)
+{
+    modelCfg_.validate();
+    setting_.validate();
+    fatalIf(sys_.tensorParallel < 1,
+            "DesignEvaluator: tensorParallel must be >= 1");
+}
+
+EvaluatedDesign
+DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
+{
+    EvaluatedDesign d;
+    d.config = cfg;
+    d.tpp = cfg.tpp();
+    d.dieAreaMm2 = areaModel_.dieArea(cfg);
+    d.perfDensity = areaModel_.perfDensity(cfg);
+    d.underReticle = d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
+    if (costModel_.diesPerWafer(d.dieAreaMm2) > 0) {
+        d.dieCostUsd = costModel_.dieCostUsd(d.dieAreaMm2, cfg.process);
+        d.goodDieCostUsd =
+            costModel_.goodDieCostUsd(d.dieAreaMm2, cfg.process);
+    }
+
+    const perf::InferenceSimulator sim(cfg, params_);
+    const perf::InferenceResult result =
+        sim.run(modelCfg_, setting_, sys_);
+    d.ttftS = result.ttftS;
+    d.tbtS = result.tbtS;
+    return d;
+}
+
+std::vector<EvaluatedDesign>
+DesignEvaluator::evaluateAll(const std::vector<hw::HardwareConfig> &cfgs)
+    const
+{
+    std::vector<EvaluatedDesign> out;
+    out.reserve(cfgs.size());
+    for (const hw::HardwareConfig &cfg : cfgs)
+        out.push_back(evaluate(cfg));
+    return out;
+}
+
+std::vector<EvaluatedDesign>
+DesignEvaluator::evaluateAllParallel(
+    const std::vector<hw::HardwareConfig> &cfgs, unsigned threads) const
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, std::max<std::size_t>(1, cfgs.size()));
+    if (threads <= 1 || cfgs.size() < 2)
+        return evaluateAll(cfgs);
+
+    std::vector<EvaluatedDesign> out(cfgs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < cfgs.size();
+             i = next.fetch_add(1)) {
+            out[i] = evaluate(cfgs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return out;
+}
+
+std::vector<EvaluatedDesign>
+filterReticle(const std::vector<EvaluatedDesign> &designs)
+{
+    std::vector<EvaluatedDesign> out;
+    for (const EvaluatedDesign &d : designs) {
+        if (d.underReticle)
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<EvaluatedDesign>
+filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs)
+{
+    std::vector<EvaluatedDesign> out;
+    for (const EvaluatedDesign &d : designs) {
+        if (policy::Oct2023Rule::classify(d.toSpec()) ==
+            policy::Classification::NOT_APPLICABLE) {
+            out.push_back(d);
+        }
+    }
+    return out;
+}
+
+const EvaluatedDesign &
+minTtft(const std::vector<EvaluatedDesign> &designs)
+{
+    fatalIf(designs.empty(), "minTtft: empty design set");
+    return *std::min_element(designs.begin(), designs.end(),
+                             [](const EvaluatedDesign &a,
+                                const EvaluatedDesign &b) {
+                                 return a.ttftS < b.ttftS;
+                             });
+}
+
+const EvaluatedDesign &
+minTbt(const std::vector<EvaluatedDesign> &designs)
+{
+    fatalIf(designs.empty(), "minTbt: empty design set");
+    return *std::min_element(designs.begin(), designs.end(),
+                             [](const EvaluatedDesign &a,
+                                const EvaluatedDesign &b) {
+                                 return a.tbtS < b.tbtS;
+                             });
+}
+
+} // namespace dse
+} // namespace acs

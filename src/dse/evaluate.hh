@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-point evaluation: performance + area + cost + compliance.
+ */
+
+#ifndef ACS_DSE_EVALUATE_HH
+#define ACS_DSE_EVALUATE_HH
+
+#include <vector>
+
+#include "area/area_model.hh"
+#include "area/cost_model.hh"
+#include "hw/config.hh"
+#include "model/transformer.hh"
+#include "perf/simulator.hh"
+#include "policy/acr_rules.hh"
+
+namespace acs {
+namespace dse {
+
+/** One fully evaluated design point. */
+struct EvaluatedDesign
+{
+    hw::HardwareConfig config;
+
+    double tpp = 0.0;
+    double dieAreaMm2 = 0.0;
+    double perfDensity = 0.0;
+    double dieCostUsd = 0.0;     //!< raw (unyielded) silicon cost
+    double goodDieCostUsd = 0.0; //!< yield-adjusted cost
+
+    double ttftS = 0.0; //!< per-layer prefill latency
+    double tbtS = 0.0;  //!< per-layer decode latency
+
+    /** Single-die manufacturability (area <= 860 mm^2). */
+    bool underReticle = false;
+
+    /** Latency-cost products (Fig. 8), in ms * $. */
+    double ttftCostProduct() const;
+    double tbtCostProduct() const;
+
+    /** Reduce to a classification spec (marketed as data center). */
+    policy::DeviceSpec toSpec() const;
+};
+
+/**
+ * Evaluates designs for one (workload, system) context.
+ *
+ * Thread-compatible: const after construction.
+ */
+class DesignEvaluator
+{
+  public:
+    /**
+     * @param model_cfg Workload architecture.
+     * @param setting   Inference setting (batch/sequence/precision).
+     * @param sys       Tensor-parallel system configuration.
+     * @param params    Performance-model constants.
+     */
+    DesignEvaluator(const model::TransformerConfig &model_cfg,
+                    const model::InferenceSetting &setting,
+                    const perf::SystemConfig &sys,
+                    const perf::PerfParams &params = perf::PerfParams{});
+
+    /** Evaluate one design. */
+    EvaluatedDesign evaluate(const hw::HardwareConfig &cfg) const;
+
+    /** Evaluate a batch of designs. */
+    std::vector<EvaluatedDesign>
+    evaluateAll(const std::vector<hw::HardwareConfig> &cfgs) const;
+
+    /**
+     * Evaluate a batch of designs across worker threads.
+     *
+     * Deterministic: results are in input order, identical to
+     * evaluateAll (the models are const and thread-compatible).
+     *
+     * @param cfgs    Designs to evaluate.
+     * @param threads Worker count; 0 uses the hardware concurrency.
+     */
+    std::vector<EvaluatedDesign>
+    evaluateAllParallel(const std::vector<hw::HardwareConfig> &cfgs,
+                        unsigned threads = 0) const;
+
+  private:
+    model::TransformerConfig modelCfg_;
+    model::InferenceSetting setting_;
+    perf::SystemConfig sys_;
+    perf::PerfParams params_;
+    area::AreaModel areaModel_;
+    area::CostModel costModel_;
+};
+
+/** Keep only designs with area at or under the reticle limit. */
+std::vector<EvaluatedDesign>
+filterReticle(const std::vector<EvaluatedDesign> &designs);
+
+/**
+ * Keep only designs entirely unregulated under the Oct-2023
+ * data-center rule (the paper's compliance bar in Sec. 4.3: NAC
+ * devices may be denied, so compliant means NOT_APPLICABLE).
+ */
+std::vector<EvaluatedDesign>
+filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs);
+
+/** The design with minimum TTFT (fatal on empty input). */
+const EvaluatedDesign &
+minTtft(const std::vector<EvaluatedDesign> &designs);
+
+/** The design with minimum TBT (fatal on empty input). */
+const EvaluatedDesign &
+minTbt(const std::vector<EvaluatedDesign> &designs);
+
+} // namespace dse
+} // namespace acs
+
+#endif // ACS_DSE_EVALUATE_HH

@@ -1,0 +1,127 @@
+#include "sweep.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hw/presets.hh"
+
+namespace acs {
+namespace dse {
+
+std::size_t
+SweepSpace::size() const
+{
+    return systolicDims.size() * lanesPerCore.size() *
+           l1BytesPerCore.size() * l2Bytes.size() * memBandwidths.size() *
+           deviceBandwidths.size() * diesPerPackage.size();
+}
+
+std::vector<hw::HardwareConfig>
+SweepSpace::generate() const
+{
+    fatalIf(systolicDims.empty() || lanesPerCore.empty() ||
+            l1BytesPerCore.empty() || l2Bytes.empty() ||
+            memBandwidths.empty() || deviceBandwidths.empty() ||
+            diesPerPackage.empty(),
+            "SweepSpace: every parameter list must be non-empty");
+    fatalIf(tppTarget <= 0.0, "SweepSpace: tppTarget must be > 0");
+
+    constexpr double PHY_BW = 50.0 * units::GBPS;
+
+    std::vector<hw::HardwareConfig> out;
+    out.reserve(size());
+    for (int dies : diesPerPackage) {
+      fatalIf(dies < 1, "SweepSpace: diesPerPackage entries must be >= 1");
+      // TPP aggregates over the package; each die gets an equal share
+      // of the budget (Sec. 2.1).
+      for (int dim : systolicDims) {
+        for (int lanes : lanesPerCore) {
+            const int cores = hw::coresForTpp(tppTarget / dies, dim,
+                                              dim, lanes, base.clockHz,
+                                              base.opBitwidth);
+            if (cores < 1) {
+                std::ostringstream oss;
+                oss << "skipping " << dim << "x" << dim << " x" << lanes
+                    << " lanes: one core already exceeds TPP "
+                    << tppTarget;
+                warn(oss.str());
+                continue;
+            }
+            for (double l1 : l1BytesPerCore) {
+                for (double l2 : l2Bytes) {
+                    for (double mem_bw : memBandwidths) {
+                        for (double dev_bw : deviceBandwidths) {
+                            hw::HardwareConfig cfg = base;
+                            cfg.systolicDimX = dim;
+                            cfg.systolicDimY = dim;
+                            cfg.lanesPerCore = lanes;
+                            cfg.coreCount = cores;
+                            cfg.l1BytesPerCore = l1;
+                            cfg.l2Bytes = l2;
+                            cfg.memBandwidth = mem_bw;
+                            cfg.devicePhyCount = static_cast<int>(
+                                dev_bw / PHY_BW + 0.5);
+                            cfg.perPhyBandwidth = PHY_BW;
+                            cfg.diesPerPackage = dies;
+                            std::ostringstream name;
+                            name << "dse-" << dim << "x" << dim << "-l"
+                                 << lanes << "-c" << cores << "-L1."
+                                 << l1 / units::KIB << "K-L2."
+                                 << l2 / units::MIB << "M-hbm"
+                                 << mem_bw / units::TBPS << "T-dev"
+                                 << dev_bw / units::GBPS << "G";
+                            if (dies > 1)
+                                name << "-d" << dies;
+                            cfg.name = name.str();
+                            cfg.validate();
+                            out.push_back(cfg);
+                        }
+                    }
+                }
+            }
+        }
+      }
+    }
+    return out;
+}
+
+SweepSpace
+table3Space(double tpp_target, std::vector<double> device_bandwidths)
+{
+    SweepSpace space;
+    space.base = hw::modeledA100();
+    space.tppTarget = tpp_target;
+    space.systolicDims = {16, 32};
+    space.lanesPerCore = {1, 2, 4, 8};
+    space.l1BytesPerCore = {192.0 * units::KIB, 256.0 * units::KIB,
+                            512.0 * units::KIB, 1024.0 * units::KIB};
+    space.l2Bytes = {32.0 * units::MIB, 48.0 * units::MIB,
+                     64.0 * units::MIB, 80.0 * units::MIB};
+    space.memBandwidths = {2.0 * units::TBPS, 2.4 * units::TBPS,
+                           2.8 * units::TBPS, 3.2 * units::TBPS};
+    space.deviceBandwidths = std::move(device_bandwidths);
+    return space;
+}
+
+SweepSpace
+table5Space()
+{
+    SweepSpace space;
+    space.base = hw::modeledA100();
+    space.tppTarget = 4800.0;
+    space.systolicDims = {4, 8, 16};
+    space.lanesPerCore = {1, 2, 4, 8};
+    space.l1BytesPerCore = {32.0 * units::KIB, 64.0 * units::KIB,
+                            128.0 * units::KIB, 192.0 * units::KIB};
+    space.l2Bytes = {8.0 * units::MIB, 16.0 * units::MIB,
+                     32.0 * units::MIB, 40.0 * units::MIB};
+    space.memBandwidths = {0.8 * units::TBPS, 1.2 * units::TBPS,
+                           1.6 * units::TBPS, 2.0 * units::TBPS};
+    space.deviceBandwidths = {400.0 * units::GBPS, 500.0 * units::GBPS,
+                              600.0 * units::GBPS};
+    return space;
+}
+
+} // namespace dse
+} // namespace acs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Design-space sweep generation (Sec. 3.3, Tables 3 and 5).
+ *
+ * A SweepSpace is the cartesian product of architectural parameter
+ * lists at a fixed TPP target: systolic dims and lanes/core are swept
+ * and the core count is solved from Eq. 1 to stay at/under the target.
+ */
+
+#ifndef ACS_DSE_SWEEP_HH
+#define ACS_DSE_SWEEP_HH
+
+#include <vector>
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace dse {
+
+/** Parameter lists whose cartesian product is the design space. */
+struct SweepSpace
+{
+    /** Base configuration supplying every non-swept field. */
+    hw::HardwareConfig base;
+
+    /** TPP ceiling; core count is maximized under it (Eq. 1). */
+    double tppTarget = 4800.0;
+
+    std::vector<int> systolicDims;          //!< square DIMX = DIMY
+    std::vector<int> lanesPerCore;
+    std::vector<double> l1BytesPerCore;
+    std::vector<double> l2Bytes;
+    std::vector<double> memBandwidths;      //!< bytes/s
+    std::vector<double> deviceBandwidths;   //!< bytes/s, bidirectional
+    std::vector<int> diesPerPackage = {1};  //!< chiplet counts
+
+    /** Number of design points the space generates. */
+    std::size_t size() const;
+
+    /**
+     * Materialize every design point.
+     *
+     * Points whose TPP budget cannot fit even one core are skipped
+     * with a warning (they cannot exist). Device bandwidth is realized
+     * as 50 GB/s PHYs.
+     */
+    std::vector<hw::HardwareConfig> generate() const;
+};
+
+/**
+ * The Table 3 space used for Figs. 6 and 7.
+ *
+ * @param tpp_target       4800 (Fig. 6) or one of {1600, 2400, 4800}
+ *                         (Fig. 7).
+ * @param device_bandwidths Device-bandwidth list in bytes/s:
+ *                         {600 GB/s} for Fig. 6,
+ *                         {500, 700, 900 GB/s} for Fig. 7.
+ */
+SweepSpace table3Space(double tpp_target,
+                       std::vector<double> device_bandwidths);
+
+/**
+ * The Table 5 restricted space used for Fig. 12 (parameters at or
+ * below the modeled A100; 2304 points).
+ */
+SweepSpace table5Space();
+
+} // namespace dse
+} // namespace acs
+
+#endif // ACS_DSE_SWEEP_HH

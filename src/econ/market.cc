@@ -1,0 +1,102 @@
+#include "market.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace econ {
+
+void
+LinearMarket::validate() const
+{
+    fatalIf(demandSlope <= 0.0, "LinearMarket: demand slope must be > 0");
+    fatalIf(supplySlope < 0.0, "LinearMarket: supply slope must be >= 0");
+    fatalIf(demandIntercept <= supplyIntercept,
+            "LinearMarket: demand choke price must exceed the minimum "
+            "viable supply price (the market never clears otherwise)");
+}
+
+double
+LinearMarket::equilibriumQuantity() const
+{
+    validate();
+    return (demandIntercept - supplyIntercept) /
+           (demandSlope + supplySlope);
+}
+
+double
+LinearMarket::equilibriumPrice() const
+{
+    return demandIntercept - demandSlope * equilibriumQuantity();
+}
+
+namespace {
+
+// Surplus integrals at traded quantity q with buyers paying the
+// demand-curve price (the sanction is a quantity restriction, so the
+// scarcity rent accrues to sellers).
+Welfare
+welfareAt(const LinearMarket &m, double q)
+{
+    Welfare w;
+    w.quantity = q;
+    w.buyerPrice = m.demandIntercept - m.demandSlope * q;
+    w.consumerSurplus = 0.5 * m.demandSlope * q * q;
+    w.producerSurplus = w.buyerPrice * q -
+                        (m.supplyIntercept * q +
+                         0.5 * m.supplySlope * q * q);
+    w.totalSurplus = w.consumerSurplus + w.producerSurplus;
+    return w;
+}
+
+} // anonymous namespace
+
+Welfare
+restrictedWelfare(const LinearMarket &market, double quantity_cap)
+{
+    market.validate();
+    fatalIf(quantity_cap < 0.0,
+            "restrictedWelfare: quantity cap must be >= 0");
+
+    const double q_star = market.equilibriumQuantity();
+    const double q = std::min(quantity_cap, q_star);
+    Welfare w = welfareAt(market, q);
+    const Welfare optimal = welfareAt(market, q_star);
+    w.deadweightLoss = optimal.totalSurplus - w.totalSurplus;
+    return w;
+}
+
+double
+deadweightFraction(const LinearMarket &market, double quantity_cap)
+{
+    const Welfare w = restrictedWelfare(market, quantity_cap);
+    const Welfare optimal =
+        restrictedWelfare(market, market.equilibriumQuantity());
+    panicIf(optimal.totalSurplus <= 0.0,
+            "free-market surplus must be positive");
+    return w.deadweightLoss / optimal.totalSurplus;
+}
+
+LinearMarket
+marketFromAnchors(double unit_price, double annual_volume,
+                  double demand_elasticity, double supply_elasticity)
+{
+    fatalIf(unit_price <= 0.0, "marketFromAnchors: price must be > 0");
+    fatalIf(annual_volume <= 0.0, "marketFromAnchors: volume must be > 0");
+    fatalIf(demand_elasticity >= 0.0,
+            "marketFromAnchors: demand elasticity must be < 0");
+    fatalIf(supply_elasticity <= 0.0,
+            "marketFromAnchors: supply elasticity must be > 0");
+
+    LinearMarket m;
+    m.demandSlope = -unit_price / (demand_elasticity * annual_volume);
+    m.demandIntercept = unit_price + m.demandSlope * annual_volume;
+    m.supplySlope = unit_price / (supply_elasticity * annual_volume);
+    m.supplyIntercept = unit_price - m.supplySlope * annual_volume;
+    m.validate();
+    return m;
+}
+
+} // namespace econ
+} // namespace acs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Linear supply/demand market model quantifying the economic language
+ * of Secs. 2.4 and 5.1: sanctions act as a supply restriction
+ * (quantity cap); the model computes the resulting price, consumer and
+ * producer surplus, and deadweight loss.
+ *
+ * This is the repo's quantitative stand-in for the paper's qualitative
+ * externality discussion (documented in DESIGN.md): it lets the
+ * externality bench compare rule variants by how much total surplus
+ * each destroys.
+ */
+
+#ifndef ACS_ECON_MARKET_HH
+#define ACS_ECON_MARKET_HH
+
+namespace acs {
+namespace econ {
+
+/**
+ * A linear market: inverse demand P = a - b Q, inverse supply
+ * P = c + d Q, with a > c (the market clears at positive quantity).
+ */
+struct LinearMarket
+{
+    double demandIntercept = 0.0; //!< a: choke price
+    double demandSlope = 0.0;     //!< b > 0
+    double supplyIntercept = 0.0; //!< c: minimum viable price
+    double supplySlope = 0.0;     //!< d >= 0
+
+    /** Fatal unless the market is well-formed and clears. */
+    void validate() const;
+
+    /** Free-market equilibrium quantity. */
+    double equilibriumQuantity() const;
+
+    /** Free-market equilibrium price. */
+    double equilibriumPrice() const;
+};
+
+/** Welfare at a (possibly restricted) traded quantity. */
+struct Welfare
+{
+    double quantity = 0.0;
+    double buyerPrice = 0.0;       //!< price buyers pay (demand curve)
+    double consumerSurplus = 0.0;
+    double producerSurplus = 0.0;
+    double totalSurplus = 0.0;
+    double deadweightLoss = 0.0;   //!< vs the free-market optimum
+};
+
+/**
+ * Welfare under a binding quantity cap (the sanction).
+ *
+ * @param market Market definition (validated).
+ * @param quantity_cap Maximum tradable quantity (>= 0); caps above the
+ *        equilibrium do not bind.
+ */
+Welfare restrictedWelfare(const LinearMarket &market, double quantity_cap);
+
+/**
+ * Deadweight loss as a fraction of free-market total surplus.
+ *
+ * @return Value in [0, 1].
+ */
+double deadweightFraction(const LinearMarket &market, double quantity_cap);
+
+/**
+ * Build a market for a device class from observable anchors.
+ *
+ * @param unit_price     Free-market price per device (> 0).
+ * @param annual_volume  Free-market volume (> 0).
+ * @param demand_elasticity Price elasticity of demand at equilibrium
+ *        (< 0, e.g. -1.5); steeper demand means scarcer substitutes.
+ * @param supply_elasticity Price elasticity of supply at equilibrium
+ *        (> 0, e.g. 1.0).
+ */
+LinearMarket marketFromAnchors(double unit_price, double annual_volume,
+                               double demand_elasticity,
+                               double supply_elasticity);
+
+} // namespace econ
+} // namespace acs
+
+#endif // ACS_ECON_MARKET_HH

@@ -1,0 +1,54 @@
+#include "presets.hh"
+
+#include "common/units.hh"
+
+namespace acs {
+namespace hw {
+
+HardwareConfig
+modeledA100()
+{
+    HardwareConfig cfg;
+    cfg.name = "modeled-A100";
+    cfg.coreCount = 108;
+    cfg.lanesPerCore = 4;
+    cfg.systolicDimX = 16;
+    cfg.systolicDimY = 16;
+    cfg.vectorWidth = 32;
+    cfg.clockHz = 1410.0 * units::MHZ;
+    cfg.opBitwidth = 16;
+    cfg.l1BytesPerCore = 192.0 * units::KIB;
+    cfg.l2Bytes = 40.0 * units::MIB;
+    cfg.memCapacityBytes = 80.0 * units::GB;
+    cfg.memBandwidth = 2.0 * units::TBPS;
+    cfg.devicePhyCount = 12;
+    cfg.perPhyBandwidth = 50.0 * units::GBPS; // 12 x 50 = 600 GB/s
+    cfg.process = ProcessNode::N7;
+    cfg.nonPlanarTransistor = true;
+    cfg.diesPerPackage = 1;
+    return cfg;
+}
+
+HardwareConfig
+modeledA800()
+{
+    HardwareConfig cfg = modeledA100();
+    cfg.name = "modeled-A800";
+    cfg.devicePhyCount = 8; // 8 x 50 = 400 GB/s
+    return cfg;
+}
+
+HardwareConfig
+modeledH20Style()
+{
+    HardwareConfig cfg = modeledA100();
+    cfg.name = "modeled-H20-style";
+    // Cap TPP well under 4800 by disabling cores, keep rich memory.
+    cfg.coreCount = 20;
+    cfg.memBandwidth = 4.0 * units::TBPS;
+    cfg.devicePhyCount = 18; // 900 GB/s NVLink-class interconnect
+    return cfg;
+}
+
+} // namespace hw
+} // namespace acs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Named hardware presets used throughout the paper's experiments.
+ */
+
+#ifndef ACS_HW_PRESETS_HH
+#define ACS_HW_PRESETS_HH
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace hw {
+
+/**
+ * The paper's modeled NVIDIA A100 (Sec. 3.3, Table 3).
+ *
+ * 108 cores, 4 lanes/core, 16x16 FP16 systolic arrays, 192 KiB L1/core,
+ * 40 MiB L2, 80 GB HBM at 2 TB/s, 600 GB/s NVLink, 1410 MHz — giving
+ * TPP ~= 4990 and the baseline every DSE compares against.
+ */
+HardwareConfig modeledA100();
+
+/**
+ * A modeled NVIDIA A800: the A100 die with device bandwidth reduced to
+ * 400 GB/s to duck the Oct-2022 rule (Sec. 2.2).
+ */
+HardwareConfig modeledA800();
+
+/**
+ * A modeled NVIDIA H20-style device: TPP capped under 4800 * (~900 ->
+ * 4 TB/s-class memory retained), used in discussions of the Oct-2023
+ * adaptation strategy (Sec. 4.1).
+ */
+HardwareConfig modeledH20Style();
+
+} // namespace hw
+} // namespace acs
+
+#endif // ACS_HW_PRESETS_HH

@@ -1,0 +1,82 @@
+#include "graphics.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace model {
+
+double
+GraphicsWorkload::pixels() const
+{
+    return static_cast<double>(width) * height;
+}
+
+double
+GraphicsWorkload::fragments() const
+{
+    return pixels() * overdraw;
+}
+
+void
+GraphicsWorkload::validate() const
+{
+    fatalIf(width < 1 || height < 1,
+            name + ": resolution must be positive");
+    fatalIf(shadeFlopsPerFragment <= 0.0,
+            name + ": shadeFlopsPerFragment must be > 0");
+    fatalIf(overdraw <= 0.0, name + ": overdraw must be > 0");
+    fatalIf(textureBytesPerFragment <= 0.0,
+            name + ": textureBytesPerFragment must be > 0");
+    fatalIf(geometryFlopsPerFrame <= 0.0,
+            name + ": geometryFlopsPerFrame must be > 0");
+    fatalIf(rasterBytesPerPixel <= 0.0,
+            name + ": rasterBytesPerPixel must be > 0");
+}
+
+GraphicsWorkload
+GraphicsWorkload::aaa1440p()
+{
+    GraphicsWorkload w;
+    w.name = "AAA 1440p";
+    w.width = 2560;
+    w.height = 1440;
+    w.shadeFlopsPerFragment = 3200.0;
+    w.overdraw = 2.4;
+    w.textureBytesPerFragment = 56.0;
+    w.geometryFlopsPerFrame = 6.0e9;
+    w.rasterBytesPerPixel = 20.0;
+    return w;
+}
+
+GraphicsWorkload
+GraphicsWorkload::esports1080p()
+{
+    GraphicsWorkload w;
+    w.name = "esports 1080p";
+    w.width = 1920;
+    w.height = 1080;
+    w.shadeFlopsPerFragment = 1200.0;
+    w.overdraw = 1.8;
+    w.textureBytesPerFragment = 32.0;
+    w.geometryFlopsPerFrame = 2.0e9;
+    w.rasterBytesPerPixel = 12.0;
+    return w;
+}
+
+GraphicsWorkload
+GraphicsWorkload::rayTraced4k()
+{
+    GraphicsWorkload w;
+    w.name = "ray-traced 4K";
+    w.width = 3840;
+    w.height = 2160;
+    w.shadeFlopsPerFragment = 5200.0;
+    w.overdraw = 1.6;
+    w.textureBytesPerFragment = 96.0;
+    w.geometryFlopsPerFrame = 9.0e9;
+    w.rasterBytesPerPixel = 24.0;
+    return w;
+}
+
+} // namespace model
+} // namespace acs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Stylized real-time rendering workloads (Sec. 5.4).
+ *
+ * The paper's externality-aware policy argument rests on gaming and AI
+ * workloads stressing different architectural resources: graphics
+ * rendering is SIMT-compute and latency-bound irregular-memory work
+ * that barely uses systolic arrays or sustained HBM bandwidth, so a
+ * policy capping matmul hardware and memory bandwidth leaves gaming
+ * performance intact. These workload descriptions drive the
+ * perf::GraphicsModel proxy used by the gaming-policy bench.
+ */
+
+#ifndef ACS_MODEL_GRAPHICS_HH
+#define ACS_MODEL_GRAPHICS_HH
+
+#include <string>
+
+namespace acs {
+namespace model {
+
+/** Per-frame resource footprint of a rendering workload. */
+struct GraphicsWorkload
+{
+    std::string name;
+    int width = 1920;
+    int height = 1080;
+
+    /** SIMT shading FLOPs per output fragment. */
+    double shadeFlopsPerFragment = 2500.0;
+    /** Average fragments shaded per output pixel (overdraw). */
+    double overdraw = 2.2;
+    /** Texture/geometry bytes sampled per fragment (irregular). */
+    double textureBytesPerFragment = 48.0;
+    /** Geometry/vertex FLOPs per frame. */
+    double geometryFlopsPerFrame = 4.0e9;
+    /** Raster/blend bytes written per output pixel. */
+    double rasterBytesPerPixel = 16.0;
+
+    /** Output pixels per frame. */
+    double pixels() const;
+    /** Shaded fragments per frame. */
+    double fragments() const;
+    /** Fatal unless all fields are positive. */
+    void validate() const;
+
+    /** AAA single-player title at 2560x1440, heavy shading. */
+    static GraphicsWorkload aaa1440p();
+    /** Competitive esports title at 1920x1080, light shading. */
+    static GraphicsWorkload esports1080p();
+    /** Ray-traced showcase at 3840x2160 with heavy irregular reads. */
+    static GraphicsWorkload rayTraced4k();
+};
+
+} // namespace model
+} // namespace acs
+
+#endif // ACS_MODEL_GRAPHICS_HH

@@ -1,0 +1,294 @@
+#include "ops.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace model {
+
+namespace {
+
+// FLOPs per element of the common vector kernels.
+constexpr double LAYERNORM_FLOPS = 5.0;
+constexpr double SOFTMAX_FLOPS = 5.0;
+constexpr double GELU_FLOPS = 8.0;
+constexpr double SWIGLU_FLOPS = 6.0; // SiLU + elementwise gate multiply
+constexpr double ADD_FLOPS = 1.0;
+
+// Build a weight-stationary GEMM op: activations(m x k) * W(k x n).
+Op
+weightMatmul(std::string name, long m, long n, long k, int elem_bytes)
+{
+    Op op;
+    op.name = std::move(name);
+    op.kind = OpKind::MATMUL;
+    op.mm = {m, n, k, 1, true};
+    op.flops = 2.0 * static_cast<double>(m) * n * k;
+    op.weightBytes = static_cast<double>(k) * n * elem_bytes;
+    op.inputBytes = static_cast<double>(m) * k * elem_bytes;
+    op.outputBytes = static_cast<double>(m) * n * elem_bytes;
+    return op;
+}
+
+// Build a vector op over `elements` values with `inputs` input streams.
+Op
+vectorOp(std::string name, double elements, double flops_per_elem,
+         int inputs, int elem_bytes)
+{
+    Op op;
+    op.name = std::move(name);
+    op.kind = OpKind::VECTOR;
+    op.flops = elements * flops_per_elem;
+    op.inputBytes = elements * inputs * elem_bytes;
+    op.outputBytes = elements * elem_bytes;
+    return op;
+}
+
+Op
+allReduce(std::string name, double payload_bytes)
+{
+    Op op;
+    op.name = std::move(name);
+    op.kind = OpKind::ALLREDUCE;
+    op.commBytes = payload_bytes;
+    return op;
+}
+
+void
+checkParallelism(const TransformerConfig &cfg, int tp)
+{
+    fatalIf(tp < 1, cfg.name + ": tensor_parallel must be >= 1");
+    fatalIf(cfg.numHeads % tp != 0,
+            cfg.name + ": tensor_parallel must divide numHeads");
+    fatalIf(cfg.numKvHeads % tp != 0,
+            cfg.name + ": tensor_parallel must divide numKvHeads "
+            "(KV heads are replicated otherwise; unsupported)");
+    fatalIf(cfg.ffnDim % tp != 0,
+            cfg.name + ": tensor_parallel must divide ffnDim");
+}
+
+/*
+ * Shared layer skeleton. Prefill and decode differ only in the number
+ * of query tokens per sequence (q_len) and the attended context length
+ * (ctx_len): prefill has q_len = inputLen, ctx_len = inputLen; decode
+ * has q_len = 1, ctx_len = decodeContextLen().
+ */
+LayerGraph
+buildLayer(const TransformerConfig &cfg, const InferenceSetting &setting,
+           int tp, long q_len, long ctx_len, const std::string &phase)
+{
+    cfg.validate();
+    setting.validate();
+    checkParallelism(cfg, tp);
+
+    const int eb = setting.bytesPerValue;
+    const long b = setting.batch;
+    const long d = cfg.modelDim;
+    const long hd = cfg.headDim();
+    const long heads = cfg.numHeads / tp;
+    const long kv_heads = cfg.numKvHeads / tp;
+    const long kv = cfg.kvDim() / tp;      // sharded K/V width
+    const long q_width = d / tp;           // sharded Q width
+    const long ffn = cfg.ffnDim / tp;
+    const long tokens = b * q_len;
+
+    LayerGraph g;
+    g.name = cfg.name + " " + phase + " layer";
+
+    // --- Attention block --------------------------------------------
+    g.ops.push_back(vectorOp("pre-norm", static_cast<double>(tokens) * d,
+                             LAYERNORM_FLOPS, 1, eb));
+    g.ops.back().memoryPasses = 2;
+
+    // Fused column-parallel QKV projection.
+    g.ops.push_back(weightMatmul("qkv-proj", tokens, q_width + 2 * kv, d,
+                                 eb));
+    // KV-cache append for the new tokens.
+    g.ops.back().outputBytes +=
+        2.0 * static_cast<double>(b) * q_len * kv * eb;
+
+    // Attention scores Q K^T: per query head, (q_len x hd)(hd x ctx).
+    {
+        Op op;
+        op.name = "attn-score";
+        op.kind = OpKind::MATMUL;
+        op.mm = {q_len, ctx_len, hd, b * heads, false};
+        op.flops = 2.0 * static_cast<double>(b) * heads * q_len * ctx_len *
+                   hd;
+        // Q operand per query head; K operand shared by GQA groups.
+        op.inputBytes = static_cast<double>(b) * heads * q_len * hd * eb +
+                        static_cast<double>(b) * kv_heads * ctx_len * hd *
+                        eb;
+        op.outputBytes = static_cast<double>(b) * heads * q_len * ctx_len *
+                         eb;
+        g.ops.push_back(op);
+    }
+
+    g.ops.push_back(vectorOp(
+        "softmax",
+        static_cast<double>(b) * heads * q_len * ctx_len, SOFTMAX_FLOPS, 1,
+        eb));
+    g.ops.back().memoryPasses = 3;
+
+    // Attention-weighted values: (q_len x ctx)(ctx x hd) per head.
+    {
+        Op op;
+        op.name = "attn-value";
+        op.kind = OpKind::MATMUL;
+        op.mm = {q_len, hd, ctx_len, b * heads, false};
+        op.flops = 2.0 * static_cast<double>(b) * heads * q_len * hd *
+                   ctx_len;
+        op.inputBytes = static_cast<double>(b) * heads * q_len * ctx_len *
+                        eb +
+                        static_cast<double>(b) * kv_heads * ctx_len * hd *
+                        eb;
+        op.outputBytes = static_cast<double>(b) * heads * q_len * hd * eb;
+        g.ops.push_back(op);
+    }
+
+    // Row-parallel output projection, then allreduce across TP ranks.
+    g.ops.push_back(weightMatmul("out-proj", tokens, d, q_width, eb));
+    if (tp > 1) {
+        g.ops.push_back(allReduce("attn-allreduce",
+                                  static_cast<double>(tokens) * d * eb));
+    }
+    g.ops.push_back(vectorOp("residual-1",
+                             static_cast<double>(tokens) * d, ADD_FLOPS, 2,
+                             eb));
+
+    // --- FFN block ----------------------------------------------------
+    g.ops.push_back(vectorOp("post-norm",
+                             static_cast<double>(tokens) * d,
+                             LAYERNORM_FLOPS, 1, eb));
+    g.ops.back().memoryPasses = 2;
+
+    if (cfg.isMoe()) {
+        // Router: tiny (tokens x E) projection + top-k selection.
+        g.ops.push_back(weightMatmul("moe-router", tokens,
+                                     cfg.numExperts, d, eb));
+        g.ops.push_back(vectorOp(
+            "moe-topk",
+            static_cast<double>(tokens) * cfg.numExperts,
+            SOFTMAX_FLOPS, 1, eb));
+        g.ops.push_back(vectorOp("moe-dispatch",
+                                 static_cast<double>(tokens) * d,
+                                 ADD_FLOPS, 1, eb));
+
+        // Each token visits expertsPerToken experts; every touched
+        // expert streams its (TP-sharded) weights from HBM — with few
+        // tokens (decode) the weight traffic dwarfs the math, making
+        // MoE decode even more bandwidth-bound than dense FFNs.
+        const long routed = tokens * cfg.expertsPerToken;
+        const long touched = std::min<long>(cfg.numExperts, routed);
+        const long rows_per_expert =
+            (routed + touched - 1) / touched;
+        const bool swiglu = cfg.activation == Activation::SWIGLU;
+        const long up_cols = swiglu ? 2 * ffn : ffn;
+
+        Op up;
+        up.name = swiglu ? "moe-expert-gate-up" : "moe-expert-up";
+        up.kind = OpKind::MATMUL;
+        up.mm = {rows_per_expert, up_cols, d, touched, true};
+        up.flops = 2.0 * static_cast<double>(routed) * up_cols * d;
+        up.weightBytes =
+            static_cast<double>(touched) * d * up_cols * eb;
+        up.inputBytes = static_cast<double>(routed) * d * eb;
+        up.outputBytes = static_cast<double>(routed) * up_cols * eb;
+        g.ops.push_back(up);
+
+        g.ops.push_back(vectorOp(swiglu ? "moe-swiglu" : "moe-gelu",
+                                 static_cast<double>(routed) * ffn,
+                                 swiglu ? SWIGLU_FLOPS : GELU_FLOPS,
+                                 swiglu ? 2 : 1, eb));
+
+        Op down;
+        down.name = "moe-expert-down";
+        down.kind = OpKind::MATMUL;
+        down.mm = {rows_per_expert, d, ffn, touched, true};
+        down.flops = 2.0 * static_cast<double>(routed) * d * ffn;
+        down.weightBytes =
+            static_cast<double>(touched) * ffn * d * eb;
+        down.inputBytes = static_cast<double>(routed) * ffn * eb;
+        down.outputBytes = static_cast<double>(routed) * d * eb;
+        g.ops.push_back(down);
+
+        // Weighted combine of the k expert outputs per token.
+        g.ops.push_back(vectorOp(
+            "moe-combine", static_cast<double>(tokens) * d,
+            2.0 * cfg.expertsPerToken, cfg.expertsPerToken, eb));
+    } else if (cfg.activation == Activation::SWIGLU) {
+        // Fused gate+up projection (column parallel).
+        g.ops.push_back(weightMatmul("ffn-gate-up", tokens, 2 * ffn, d,
+                                     eb));
+        g.ops.push_back(vectorOp("swiglu",
+                                 static_cast<double>(tokens) * ffn,
+                                 SWIGLU_FLOPS, 2, eb));
+    } else {
+        g.ops.push_back(weightMatmul("ffn-up", tokens, ffn, d, eb));
+        g.ops.push_back(vectorOp("gelu",
+                                 static_cast<double>(tokens) * ffn,
+                                 GELU_FLOPS, 1, eb));
+    }
+
+    if (!cfg.isMoe())
+        g.ops.push_back(weightMatmul("ffn-down", tokens, d, ffn, eb));
+    if (tp > 1) {
+        g.ops.push_back(allReduce("ffn-allreduce",
+                                  static_cast<double>(tokens) * d * eb));
+    }
+    g.ops.push_back(vectorOp("residual-2",
+                             static_cast<double>(tokens) * d, ADD_FLOPS, 2,
+                             eb));
+    return g;
+}
+
+} // anonymous namespace
+
+std::string
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MATMUL:    return "matmul";
+      case OpKind::VECTOR:    return "vector";
+      case OpKind::ALLREDUCE: return "allreduce";
+    }
+    panic("unknown OpKind");
+}
+
+double
+LayerGraph::totalFlops() const
+{
+    double sum = 0.0;
+    for (const Op &op : ops)
+        sum += op.flops;
+    return sum;
+}
+
+double
+LayerGraph::totalWeightBytes() const
+{
+    double sum = 0.0;
+    for (const Op &op : ops)
+        sum += op.weightBytes;
+    return sum;
+}
+
+LayerGraph
+buildPrefillGraph(const TransformerConfig &cfg,
+                  const InferenceSetting &setting, int tensor_parallel)
+{
+    return buildLayer(cfg, setting, tensor_parallel, setting.inputLen,
+                      setting.inputLen, "prefill");
+}
+
+LayerGraph
+buildDecodeGraph(const TransformerConfig &cfg,
+                 const InferenceSetting &setting, int tensor_parallel)
+{
+    return buildLayer(cfg, setting, tensor_parallel, 1,
+                      setting.decodeContextLen(), "decode");
+}
+
+} // namespace model
+} // namespace acs

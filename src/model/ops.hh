@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Per-layer operator graphs for transformer inference.
+ *
+ * The builders emit the operator sequence one device executes for one
+ * decoder layer, with dimensions already sharded for Megatron-style
+ * tensor parallelism (column-parallel QKV/FFN-up, row-parallel
+ * out-proj/FFN-down, one allreduce after each row-parallel matmul).
+ * The performance model (acs::perf) assigns latency to each op.
+ */
+
+#ifndef ACS_MODEL_OPS_HH
+#define ACS_MODEL_OPS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/transformer.hh"
+
+namespace acs {
+namespace model {
+
+/** Operator classes the performance model distinguishes. */
+enum class OpKind
+{
+    MATMUL,    //!< dense GEMM (systolic arrays)
+    VECTOR,    //!< elementwise / reduction op (vector units)
+    ALLREDUCE, //!< tensor-parallel collective (device interconnect)
+};
+
+/** Human-readable op-kind name. */
+std::string toString(OpKind kind);
+
+/** GEMM dimensions: batchCount independent (m x k)(k x n) products. */
+struct MatmulShape
+{
+    long m = 0;
+    long n = 0;
+    long k = 0;
+    long batchCount = 1;
+    /** True when the B operand is a resident weight matrix. */
+    bool weightStationary = false;
+};
+
+/**
+ * One operator with its resource footprint.
+ *
+ * Byte fields partition memory traffic by source so the performance
+ * model can reason about residency: weights always stream from HBM;
+ * activations may be served by the global buffer when they fit.
+ */
+struct Op
+{
+    std::string name;
+    OpKind kind = OpKind::VECTOR;
+    MatmulShape mm;           //!< valid iff kind == MATMUL
+
+    double flops = 0.0;       //!< floating point operations (MAC = 2)
+    double weightBytes = 0.0; //!< resident weights read from HBM
+    double inputBytes = 0.0;  //!< activation/KV-cache operand bytes
+    double outputBytes = 0.0; //!< activation result bytes
+    double commBytes = 0.0;   //!< ALLREDUCE payload per device
+
+    /**
+     * Passes an unfused vector kernel makes over its tensor (softmax
+     * reads its input three times: max, exp-sum, normalize; norms
+     * twice). Consumed only when PerfParams::modelMultiPassVector is
+     * set.
+     */
+    int memoryPasses = 1;
+};
+
+/** A named operator sequence for one decoder layer on one device. */
+struct LayerGraph
+{
+    std::string name;
+    std::vector<Op> ops;
+
+    /** Sum of op FLOPs. */
+    double totalFlops() const;
+
+    /** Sum of weight bytes (the per-layer weight working set). */
+    double totalWeightBytes() const;
+};
+
+/**
+ * Operator graph for the prefill phase of one decoder layer.
+ *
+ * All setting.batch x setting.inputLen tokens are processed at once.
+ *
+ * @param cfg             Model architecture (validated).
+ * @param setting         Batch/sequence/precision setting (validated).
+ * @param tensor_parallel TP degree; must divide numHeads, numKvHeads
+ *                        and ffnDim (fatal otherwise).
+ */
+LayerGraph buildPrefillGraph(const TransformerConfig &cfg,
+                             const InferenceSetting &setting,
+                             int tensor_parallel);
+
+/**
+ * Operator graph for one auto-regressive decode step of one layer, at
+ * the representative mid-generation context length
+ * (setting.decodeContextLen()).
+ *
+ * @see buildPrefillGraph for parameter requirements.
+ */
+LayerGraph buildDecodeGraph(const TransformerConfig &cfg,
+                            const InferenceSetting &setting,
+                            int tensor_parallel);
+
+} // namespace model
+} // namespace acs
+
+#endif // ACS_MODEL_OPS_HH

@@ -1,0 +1,137 @@
+#include "transformer.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace model {
+
+std::string
+toString(Activation act)
+{
+    switch (act) {
+      case Activation::GELU:   return "GELU";
+      case Activation::SWIGLU: return "SwiGLU";
+    }
+    panic("unknown Activation");
+}
+
+long
+TransformerConfig::paramsPerLayer() const
+{
+    const long d = modelDim;
+    const long kv = kvDim();
+    // Attention: Q (d x d), K and V (d x kv each), output (d x d).
+    long attn = d * d + 2 * d * kv + d * d;
+    // FFN: GELU has up+down; SwiGLU has gate+up+down; MoE replicates
+    // the FFN per expert and adds a (d x E) router.
+    long ffn_mats = activation == Activation::SWIGLU ? 3 : 2;
+    long ffn = ffn_mats * d * static_cast<long>(ffnDim);
+    if (isMoe())
+        ffn = ffn * numExperts + d * numExperts;
+    return attn + ffn;
+}
+
+long
+TransformerConfig::totalParams() const
+{
+    return paramsPerLayer() * numLayers;
+}
+
+void
+TransformerConfig::validate() const
+{
+    fatalIf(numLayers < 1, name + ": numLayers must be >= 1");
+    fatalIf(modelDim < 1, name + ": modelDim must be >= 1");
+    fatalIf(ffnDim < 1, name + ": ffnDim must be >= 1");
+    fatalIf(numHeads < 1, name + ": numHeads must be >= 1");
+    fatalIf(numKvHeads < 1, name + ": numKvHeads must be >= 1");
+    fatalIf(modelDim % numHeads != 0,
+            name + ": modelDim must be divisible by numHeads");
+    fatalIf(numHeads % numKvHeads != 0,
+            name + ": numHeads must be divisible by numKvHeads");
+    fatalIf(numExperts < 0, name + ": numExperts must be >= 0");
+    if (isMoe()) {
+        fatalIf(expertsPerToken < 1 || expertsPerToken > numExperts,
+                name + ": expertsPerToken must be in [1, numExperts]");
+    }
+}
+
+TransformerConfig
+gpt3_175b()
+{
+    TransformerConfig cfg;
+    cfg.name = "GPT-3 175B";
+    cfg.numLayers = 96;
+    cfg.modelDim = 12288;
+    cfg.ffnDim = 49152;
+    cfg.numHeads = 96;
+    cfg.numKvHeads = 96;
+    cfg.activation = Activation::GELU;
+    return cfg;
+}
+
+TransformerConfig
+llama3_70b()
+{
+    TransformerConfig cfg;
+    cfg.name = "Llama 3 70B";
+    cfg.numLayers = 80;
+    cfg.modelDim = 8192;
+    cfg.ffnDim = 28672;
+    cfg.numHeads = 64;
+    cfg.numKvHeads = 8;
+    cfg.activation = Activation::SWIGLU;
+    return cfg;
+}
+
+TransformerConfig
+llama3_8b()
+{
+    TransformerConfig cfg;
+    cfg.name = "Llama 3 8B";
+    cfg.numLayers = 32;
+    cfg.modelDim = 4096;
+    cfg.ffnDim = 14336;
+    cfg.numHeads = 32;
+    cfg.numKvHeads = 8;
+    cfg.activation = Activation::SWIGLU;
+    return cfg;
+}
+
+TransformerConfig
+mixtral_8x7b()
+{
+    TransformerConfig cfg = llama3_8b();
+    cfg.name = "Mixtral 8x7B";
+    cfg.numExperts = 8;
+    cfg.expertsPerToken = 2;
+    return cfg;
+}
+
+void
+InferenceSetting::validate() const
+{
+    fatalIf(batch < 1, "InferenceSetting: batch must be >= 1");
+    fatalIf(inputLen < 1, "InferenceSetting: inputLen must be >= 1");
+    fatalIf(outputLen < 1, "InferenceSetting: outputLen must be >= 1");
+    fatalIf(bytesPerValue < 1,
+            "InferenceSetting: bytesPerValue must be >= 1");
+}
+
+double
+kvCacheBytesPerLayer(const TransformerConfig &cfg,
+                     const InferenceSetting &setting, int ctx_len,
+                     int tensor_parallel)
+{
+    cfg.validate();
+    setting.validate();
+    fatalIf(ctx_len < 1, "kvCacheBytesPerLayer: ctx_len must be >= 1");
+    fatalIf(tensor_parallel < 1,
+            "kvCacheBytesPerLayer: tensor_parallel must be >= 1");
+    // K and V, one vector of kvDim per token, sharded over TP ranks.
+    return 2.0 * setting.batch * static_cast<double>(ctx_len) *
+           cfg.kvDim() * setting.bytesPerValue / tensor_parallel;
+}
+
+} // namespace model
+} // namespace acs

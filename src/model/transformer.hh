@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Decoder-only transformer model descriptions (Sec. 3.1/3.2, Table 2).
+ */
+
+#ifndef ACS_MODEL_TRANSFORMER_HH
+#define ACS_MODEL_TRANSFORMER_HH
+
+#include <string>
+
+namespace acs {
+namespace model {
+
+/** FFN activation function variant. */
+enum class Activation
+{
+    GELU,   //!< GPT-3 style: FFN is (d -> ffn) GELU (ffn -> d)
+    SWIGLU, //!< Llama style: gate+up (d -> 2*ffn), SiLU*gate, down
+};
+
+/** Human-readable activation name. */
+std::string toString(Activation act);
+
+/**
+ * Architecture of a decoder-only transformer (Table 2).
+ *
+ * Grouped-query attention is expressed by numKvHeads < numHeads
+ * (numKvHeads == numHeads is standard multi-head attention).
+ */
+struct TransformerConfig
+{
+    std::string name = "unnamed";
+    int numLayers = 0;
+    int modelDim = 0;   //!< hidden size d
+    int ffnDim = 0;     //!< FFN intermediate size
+    int numHeads = 0;   //!< attention (query) heads
+    int numKvHeads = 0; //!< key/value heads (GQA groups)
+    Activation activation = Activation::GELU;
+
+    // Mixture-of-experts FFN (the trillion-parameter scaling route the
+    // paper's introduction cites). 0 experts = dense FFN.
+    int numExperts = 0;      //!< expert FFNs per layer (0 = dense)
+    int expertsPerToken = 0; //!< top-k routing fan-out
+
+    /** True when the FFN is a routed mixture of experts. */
+    bool isMoe() const { return numExperts > 0; }
+
+    /** Per-head dimension (modelDim / numHeads). */
+    int headDim() const { return modelDim / numHeads; }
+
+    /** K/V projection width (numKvHeads * headDim). */
+    int kvDim() const { return numKvHeads * headDim(); }
+
+    /** Weight parameters in one decoder layer (attention + FFN). */
+    long paramsPerLayer() const;
+
+    /** Weight parameters in the full stack (excluding embeddings). */
+    long totalParams() const;
+
+    /** Fatal unless dimensions are consistent (divisibility etc.). */
+    void validate() const;
+};
+
+/** GPT-3 175B (Table 2): 96 layers, d 12288, ffn 49152, 96/96 heads. */
+TransformerConfig gpt3_175b();
+
+/** Llama 3 8B (Table 2): 32 layers, d 4096, ffn 14336, 32/8 heads. */
+TransformerConfig llama3_8b();
+
+/**
+ * Llama 3 70B (extension): 80 layers, d 8192, ffn 28672, 64/8 heads —
+ * a mid-size GQA model between the paper's two evaluation points.
+ */
+TransformerConfig llama3_70b();
+
+/**
+ * Mixtral-8x7B-class MoE (extension): the Llama-architecture layer
+ * with 8 SwiGLU experts, top-2 routing — exercises the
+ * mixture-of-experts path whose decode is even more memory-bandwidth
+ * bound than dense models.
+ */
+TransformerConfig mixtral_8x7b();
+
+/**
+ * The paper's standard inference setting (Sec. 3.2): batch 32, input
+ * sequence 2048, output sequence 1024, FP16 weights/activations.
+ */
+struct InferenceSetting
+{
+    int batch = 32;
+    int inputLen = 2048;
+    int outputLen = 1024;
+    int bytesPerValue = 2; //!< FP16
+
+    /** Fatal unless all fields are positive. */
+    void validate() const;
+
+    /**
+     * Context length used for the representative decode step: the
+     * midpoint of generation (inputLen + outputLen / 2).
+     */
+    int decodeContextLen() const { return inputLen + outputLen / 2; }
+};
+
+/**
+ * KV-cache bytes per layer per device at context length @p ctx_len
+ * with tensor parallelism @p tensor_parallel (K and V, all batches).
+ */
+double kvCacheBytesPerLayer(const TransformerConfig &cfg,
+                            const InferenceSetting &setting, int ctx_len,
+                            int tensor_parallel);
+
+} // namespace model
+} // namespace acs
+
+#endif // ACS_MODEL_TRANSFORMER_HH

@@ -1,0 +1,95 @@
+#include "graphics_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace perf {
+
+double
+FrameResult::fps() const
+{
+    panicIf(frameS <= 0.0, "frame time must be positive");
+    return 1.0 / frameS;
+}
+
+GraphicsModel::GraphicsModel(const hw::HardwareConfig &cfg,
+                             const GraphicsParams &params)
+    : cfg_(cfg), params_(params)
+{
+    cfg_.validate();
+    fatalIf(params_.textureInflightBytes <= 0.0 ||
+            params_.memLatencyS <= 0.0,
+            "GraphicsParams: texture concurrency/latency must be > 0");
+    fatalIf(params_.cacheHitBase < 0.0 || params_.cacheHitMax > 1.0 ||
+            params_.cacheHitBase > params_.cacheHitMax,
+            "GraphicsParams: inconsistent cache hit-rate bounds");
+}
+
+double
+GraphicsModel::textureHitRate() const
+{
+    const double doublings = std::max(
+        0.0, std::log2(cfg_.l2Bytes / (8.0 * units::MIB)));
+    return std::min(params_.cacheHitMax,
+                    params_.cacheHitBase +
+                        params_.cacheHitPerDoubling * doublings);
+}
+
+double
+GraphicsModel::textureBandwidth() const
+{
+    // Irregular accesses are latency-bound: the achievable bandwidth
+    // is capped by request concurrency regardless of how fast the
+    // memory is, which is exactly why capping HBM bandwidth does not
+    // hurt gaming (Sec. 5.4).
+    const double latency_bound =
+        params_.textureInflightBytes / params_.memLatencyS;
+    return std::min(cfg_.memBandwidth, latency_bound);
+}
+
+FrameResult
+GraphicsModel::frameTime(const model::GraphicsWorkload &workload,
+                         bool use_tensor_upscaler) const
+{
+    workload.validate();
+
+    FrameResult r;
+    const double vector_flops = cfg_.peakVectorFlops();
+
+    r.geometryS = workload.geometryFlopsPerFrame / vector_flops;
+    r.shadeS = workload.fragments() * workload.shadeFlopsPerFragment /
+               vector_flops;
+
+    const double miss_rate = 1.0 - textureHitRate();
+    const double texture_bytes =
+        workload.fragments() * workload.textureBytesPerFragment *
+        miss_rate;
+    r.textureS = texture_bytes / textureBandwidth();
+
+    r.rasterS = workload.pixels() * workload.rasterBytesPerPixel /
+                cfg_.memBandwidth; // streaming writes: full bandwidth
+
+    if (use_tensor_upscaler) {
+        fatalIf(cfg_.totalSystolicFpus() <= 0,
+                "tensor upscaler requires systolic arrays");
+        r.upscaleS = workload.pixels() * params_.upscaleFlopsPerPixel /
+                     (cfg_.peakTensorTops() * 1e12 * 0.5);
+    }
+
+    // Shading overlaps texture latency (warps switch while waiting);
+    // geometry, raster, and upscale serialize with the overlapped
+    // core.
+    const double overlapped =
+        std::max(r.shadeS, r.textureS) +
+        (1.0 - params_.shadeTextureOverlap) *
+            std::min(r.shadeS, r.textureS);
+    r.frameS = r.geometryS + overlapped + r.rasterS + r.upscaleS;
+    return r;
+}
+
+} // namespace perf
+} // namespace acs

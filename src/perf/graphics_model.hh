@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Frame-time proxy for rendering workloads (Sec. 5.4).
+ *
+ * Captures the architectural contrast the paper's gaming-policy case
+ * study relies on:
+ *  - shading runs on the SIMT vector units (systolic arrays idle);
+ *  - texture sampling is latency-bound and irregular, so it uses only
+ *    a small fraction of peak HBM bandwidth and benefits from on-chip
+ *    cache (L2) capacity;
+ *  - an optional DLSS-style upscaler is the only consumer of systolic
+ *    arrays, and alternative upscalers can run on vector units.
+ *
+ * Consequently a policy that caps systolic-array dimensions and HBM
+ * bandwidth (policy::ArchPolicy::gamingFocused) barely moves frame
+ * rate while crippling LLM decode.
+ */
+
+#ifndef ACS_PERF_GRAPHICS_MODEL_HH
+#define ACS_PERF_GRAPHICS_MODEL_HH
+
+#include "hw/config.hh"
+#include "model/graphics.hh"
+
+namespace acs {
+namespace perf {
+
+/** Tunable constants of the frame-time proxy. */
+struct GraphicsParams
+{
+    /**
+     * Texture reads are latency-bound: the achievable texture
+     * bandwidth is outstanding-bytes / memory-latency, independent of
+     * peak HBM bandwidth once HBM exceeds that concurrency limit
+     * (Sec. 5.4: "memory bandwidth utilization is low").
+     */
+    double textureInflightBytes = 256.0 * 1024;
+    double memLatencyS = 700e-9;
+
+    /** Texture hit-rate gained per doubling of L2 from 8 MiB. */
+    double cacheHitBase = 0.55;
+    double cacheHitPerDoubling = 0.06;
+    double cacheHitMax = 0.85;
+
+    /** Fraction of shading that overlaps texture latency. */
+    double shadeTextureOverlap = 0.7;
+
+    /** Upscaler matmul FLOPs per output pixel (DLSS-class CNN). */
+    double upscaleFlopsPerPixel = 4000.0;
+};
+
+/** Per-frame timing breakdown. */
+struct FrameResult
+{
+    double geometryS = 0.0;
+    double shadeS = 0.0;
+    double textureS = 0.0;
+    double rasterS = 0.0;
+    double upscaleS = 0.0;
+    double frameS = 0.0;
+
+    /** Frames per second. */
+    double fps() const;
+};
+
+/**
+ * Frame-time estimator for one device.
+ *
+ * Thread-compatible: const after construction.
+ */
+class GraphicsModel
+{
+  public:
+    explicit GraphicsModel(const hw::HardwareConfig &cfg,
+                           const GraphicsParams &params =
+                               GraphicsParams{});
+
+    /**
+     * Time one frame.
+     *
+     * @param workload Rendering workload (validated).
+     * @param use_tensor_upscaler Run a DLSS-style upscaler on the
+     *        systolic arrays (adds upscaleS; requires arrays).
+     */
+    FrameResult frameTime(const model::GraphicsWorkload &workload,
+                          bool use_tensor_upscaler = false) const;
+
+    /** Effective texture-path bandwidth (bytes/s) of the device. */
+    double textureBandwidth() const;
+
+    /** Texture hit rate implied by the device's L2 capacity. */
+    double textureHitRate() const;
+
+  private:
+    hw::HardwareConfig cfg_;
+    GraphicsParams params_;
+};
+
+} // namespace perf
+} // namespace acs
+
+#endif // ACS_PERF_GRAPHICS_MODEL_HH

@@ -1,0 +1,208 @@
+#include "matmul_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "perf/tile_sim.hh"
+
+namespace acs {
+namespace perf {
+
+namespace {
+
+// FP16 element size; the tensor path the TPP definition regulates.
+constexpr double ELEM_BYTES = 2.0;
+
+double
+ceilDiv(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+} // anonymous namespace
+
+std::string
+toString(Bound bound)
+{
+    switch (bound) {
+      case Bound::COMPUTE:       return "compute";
+      case Bound::HBM:           return "hbm";
+      case Bound::GLOBAL_BUFFER: return "global-buffer";
+      case Bound::INTERCONNECT:  return "interconnect";
+    }
+    panic("unknown Bound");
+}
+
+MatmulModel::MatmulModel(const hw::HardwareConfig &cfg,
+                         const PerfParams &params)
+    : cfg_(cfg), params_(params)
+{
+    cfg_.validate();
+}
+
+TileChoice
+chooseTiles(const hw::HardwareConfig &cfg, const model::MatmulShape &mm,
+            const PerfParams &params)
+{
+    fatalIf(mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1,
+            "chooseTiles: degenerate GEMM dims");
+
+    // Per-lane local-buffer budget holds A tile (Tm x Tk), B tile
+    // (Tk x Tn), and the C accumulator (Tm x Tn); double buffered. A
+    // square Tm = Tn choice balances pipeline utilization and global-
+    // buffer traffic. The no-tiling ablation ignores L1 capacity and
+    // assumes a generous fixed kernel tile instead.
+    long tile = 256;
+    if (params.modelTiling) {
+        const double budget_elems =
+            cfg.l1BytesPerLane() * params.l1TileFraction / ELEM_BYTES;
+        tile = static_cast<long>(std::floor(std::sqrt(
+            std::max(1.0, budget_elems / 3.0))));
+        tile = std::max<long>(tile, 1);
+    }
+
+    TileChoice choice;
+    choice.tileM = std::min<long>(tile, mm.m);
+    choice.tileN = std::min<long>(
+        std::max<long>(tile, cfg.systolicDimY), mm.n);
+
+    // Skinny GEMMs (decode): shrink the column tile toward one array
+    // width so the tile count can cover all systolic arrays, as real
+    // GEMM kernels do with reduced-N / split-N scheduling.
+    const double arrays = cfg.totalSystolicArrays();
+    auto tiles = [&]() {
+        return static_cast<double>(mm.batchCount) *
+               ceilDiv(static_cast<double>(mm.m), choice.tileM) *
+               ceilDiv(static_cast<double>(mm.n), choice.tileN);
+    };
+    while (tiles() < arrays && choice.tileN > cfg.systolicDimY) {
+        choice.tileN =
+            std::max<long>(choice.tileN / 2, cfg.systolicDimY);
+    }
+    return choice;
+}
+
+double
+blockedHbmTraffic(const hw::HardwareConfig &cfg, const model::Op &op,
+                  const PerfParams &params)
+{
+    const auto &mm = op.mm;
+    if (!mm.weightStationary || !params.modelL2Blocking) {
+        // Attention GEMMs (and the no-blocking ablation) stream both
+        // operands once.
+        return op.weightBytes + op.inputBytes + op.outputBytes;
+    }
+    // Choose the better blocking orientation: keep a panel of one
+    // operand resident in the global buffer and stream the other
+    // operand once per panel.
+    const double budget = cfg.l2Bytes * params.l2BlockingFraction;
+    const double k_bytes = static_cast<double>(mm.k) * ELEM_BYTES;
+    const double panel_rows =
+        std::max(1.0, std::floor(budget / k_bytes));
+    const double passes_b =
+        ceilDiv(static_cast<double>(mm.m), panel_rows);
+    const double passes_a =
+        ceilDiv(static_cast<double>(mm.n), panel_rows);
+    const double strat_a_resident =
+        op.inputBytes + op.weightBytes * passes_b;
+    const double strat_b_resident =
+        op.weightBytes + op.inputBytes * passes_a;
+    return std::min(strat_a_resident, strat_b_resident) +
+           op.outputBytes;
+}
+
+double
+MatmulModel::globalBufferBandwidth() const
+{
+    return params_.l2BytesPerCyclePerFpu *
+           static_cast<double>(cfg_.totalSystolicFpus()) * cfg_.clockHz;
+}
+
+MatmulTiming
+MatmulModel::time(const model::Op &op) const
+{
+    fatalIf(op.kind != model::OpKind::MATMUL,
+            "MatmulModel::time requires a MATMUL op: " + op.name);
+    const auto &mm = op.mm;
+    fatalIf(mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1,
+            "MatmulModel::time: degenerate GEMM dims in " + op.name);
+
+    MatmulTiming t;
+
+    const TileChoice tiles_choice = chooseTiles(cfg_, mm, params_);
+    t.tileM = tiles_choice.tileM;
+    t.tileN = tiles_choice.tileN;
+    const double arrays_avail = cfg_.totalSystolicArrays();
+    auto tile_count = [&]() {
+        return static_cast<double>(mm.batchCount) *
+               ceilDiv(static_cast<double>(mm.m), t.tileM) *
+               ceilDiv(static_cast<double>(mm.n), t.tileN);
+    };
+
+    // ---- Compute time --------------------------------------------------
+    // Pipeline-fill loss: each (k-slice, n-slice) wave streams tileM
+    // rows through a DIMX x DIMY array and pays DIMX + DIMY cycles of
+    // fill/drain.
+    double pipe_util = 1.0;
+    if (params_.modelPipelineFill) {
+        const double exposed_fill =
+            (1.0 - params_.pipelineFillOverlap) *
+            (cfg_.systolicDimX + cfg_.systolicDimY);
+        pipe_util = static_cast<double>(t.tileM) /
+                    (t.tileM + exposed_fill);
+    }
+
+    // Work-distribution loss: the last wave of tiles may not fill all
+    // systolic arrays.
+    const double arrays = arrays_avail;
+    const double tiles = tile_count();
+    const double tile_util = tiles / (ceilDiv(tiles, arrays) * arrays);
+
+    t.utilization = pipe_util * tile_util;
+    const double peak_flops = cfg_.peakTensorTops() * 1e12;
+    panicIf(peak_flops <= 0.0, "peak tensor throughput must be positive");
+    t.computeS = op.flops / (peak_flops * t.utilization);
+
+    const double hbm_traffic = blockedHbmTraffic(cfg_, op, params_);
+    t.hbmTrafficBytes = hbm_traffic;
+    t.hbmS = hbm_traffic / (cfg_.memBandwidth * params_.memEfficiency);
+
+    // ---- Global-buffer traffic ------------------------------------------
+    // Lanes within a core share the local buffer, so a core's lanes
+    // process adjacent Tm-slices against a shared (k x Tn) B slab: A
+    // re-reads once per column strip, B once per (lanes x Tm) row
+    // group.
+    const double k_elems = static_cast<double>(mm.k);
+    const double l2_traffic =
+        static_cast<double>(mm.batchCount) *
+            (ceilDiv(static_cast<double>(mm.n), t.tileN) *
+                 static_cast<double>(mm.m) * k_elems +
+             ceilDiv(static_cast<double>(mm.m),
+                     static_cast<double>(cfg_.lanesPerCore) * t.tileM) *
+                 static_cast<double>(mm.n) * k_elems) *
+            ELEM_BYTES +
+        op.outputBytes;
+    t.globalBufS = l2_traffic /
+                   (globalBufferBandwidth() * params_.l2Efficiency);
+
+    // ---- Roofline combination -------------------------------------------
+    t.totalS = std::max({t.computeS, t.hbmS, t.globalBufS}) +
+               params_.kernelOverheadS;
+    if (t.totalS == t.computeS + params_.kernelOverheadS)
+        t.bound = Bound::COMPUTE;
+    else if (t.totalS == t.hbmS + params_.kernelOverheadS)
+        t.bound = Bound::HBM;
+    else
+        t.bound = Bound::GLOBAL_BUFFER;
+
+    // Detailed mode: take the latency from the explicit wave
+    // schedule; the analytic decomposition above still labels the
+    // binding resource and utilization.
+    if (params_.gemmMode == GemmMode::TILE_SIM)
+        t.totalS = simulateGemm(cfg_, op, params_).totalS;
+    return t;
+}
+
+} // namespace perf
+} // namespace acs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tile-level GEMM latency model for the systolic-array template.
+ *
+ * The model captures the architecture sensitivities the paper's DSE
+ * depends on:
+ *  - pipeline fill/drain loss per tile wave: util ~ Tm / (Tm+DIMX+DIMY),
+ *    which penalizes big arrays on skinny decode GEMMs;
+ *  - tile sizes limited by the per-lane share of the local buffer, which
+ *    drives both pipeline utilization and L2 traffic (the paper's
+ *    "L1 size is the best TTFT indicator" result);
+ *  - global-buffer blocking, which determines how many times the
+ *    streamed operand re-reads from HBM (L2-size sensitivity);
+ *  - HBM and global-buffer bandwidth roofs.
+ */
+
+#ifndef ACS_PERF_MATMUL_MODEL_HH
+#define ACS_PERF_MATMUL_MODEL_HH
+
+#include "hw/config.hh"
+#include "model/ops.hh"
+#include "perf/perf_params.hh"
+
+namespace acs {
+namespace perf {
+
+/** Where an op's latency comes from. */
+enum class Bound
+{
+    COMPUTE,
+    HBM,
+    GLOBAL_BUFFER,
+    INTERCONNECT,
+};
+
+/** Human-readable bound name. */
+std::string toString(Bound bound);
+
+/** Detailed timing of one GEMM. */
+struct MatmulTiming
+{
+    double computeS = 0.0;    //!< systolic compute time
+    double hbmS = 0.0;        //!< HBM streaming time
+    double globalBufS = 0.0;  //!< L2 <-> L1 streaming time
+    double utilization = 0.0; //!< achieved fraction of peak tensor TOPS
+    long tileM = 0;           //!< chosen output-tile rows
+    long tileN = 0;           //!< chosen output-tile columns
+    double hbmTrafficBytes = 0.0;
+    Bound bound = Bound::COMPUTE;
+
+    /** Final latency: the binding resource (+ launch overhead). */
+    double totalS = 0.0;
+};
+
+/** Output-tile shape chosen by the tiling policy. */
+struct TileChoice
+{
+    long tileM = 1;
+    long tileN = 1;
+};
+
+/**
+ * The shared tiling policy: square tiles sized by the per-lane local
+ * buffer budget, column tiles shrunk toward one array width when the
+ * tile count cannot cover all systolic arrays (skinny decode GEMMs).
+ * Used by both the closed-form MatmulModel and the wave-level tile
+ * simulator so the two are directly comparable.
+ */
+TileChoice chooseTiles(const hw::HardwareConfig &cfg,
+                       const model::MatmulShape &mm,
+                       const PerfParams &params);
+
+/**
+ * HBM traffic of one GEMM under global-buffer blocking: the cheaper
+ * of keeping an A panel or a B panel resident, re-streaming the other
+ * operand once per panel pass (weight-stationary ops only; attention
+ * GEMMs stream both operands once).
+ */
+double blockedHbmTraffic(const hw::HardwareConfig &cfg,
+                         const model::Op &op, const PerfParams &params);
+
+/**
+ * GEMM latency estimator for one device.
+ *
+ * Thread-compatible: const after construction.
+ */
+class MatmulModel
+{
+  public:
+    /**
+     * @param cfg    Device to model (validated; copied).
+     * @param params Model constants.
+     */
+    MatmulModel(const hw::HardwareConfig &cfg, const PerfParams &params);
+
+    /**
+     * Time one GEMM operator.
+     *
+     * @param op Operator with kind == MATMUL (fatal otherwise).
+     * @return Detailed timing.
+     */
+    MatmulTiming time(const model::Op &op) const;
+
+    /** Peak global-buffer bandwidth (bytes/s) of the modeled device. */
+    double globalBufferBandwidth() const;
+
+  private:
+    hw::HardwareConfig cfg_;
+    PerfParams params_;
+};
+
+} // namespace perf
+} // namespace acs
+
+#endif // ACS_PERF_MATMUL_MODEL_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tunable constants of the analytical performance model.
+ */
+
+#ifndef ACS_PERF_PERF_PARAMS_HH
+#define ACS_PERF_PERF_PARAMS_HH
+
+namespace acs {
+namespace perf {
+
+/** How GEMM latency is derived. */
+enum class GemmMode
+{
+    ANALYTIC, //!< closed-form roofline (fast; the default)
+    TILE_SIM, //!< wave-level schedule simulation (detailed)
+};
+
+/**
+ * Efficiency and microarchitectural constants.
+ *
+ * Defaults are calibrated so the modeled A100 reproduces the paper's
+ * first-order behaviour (see DESIGN.md). The ablation bench
+ * (bench/abl_perf_model) sweeps the modeling switches.
+ */
+struct PerfParams
+{
+    /** GEMM latency derivation (closed form vs wave simulation). */
+    GemmMode gemmMode = GemmMode::ANALYTIC;
+
+    /**
+     * Charge vector kernels their multi-pass traffic (softmax makes
+     * three passes over its tensor, normalization two). Off by
+     * default: the calibrated baselines assume fused single-pass
+     * kernels; the ablation bench quantifies the difference.
+     */
+    bool modelMultiPassVector = false;
+    /** Achievable fraction of peak HBM bandwidth. */
+    double memEfficiency = 0.85;
+
+    /** Achievable fraction of peak global-buffer bandwidth. */
+    double l2Efficiency = 0.9;
+
+    /**
+     * Global buffer bandwidth: bytes/cycle per systolic-array FPU
+     * (the buffer is banked to feed the compute, so bandwidth scales
+     * with peak tensor throughput — equal-TPP designs have equal L2
+     * bandwidth and differ only in the traffic their tiling creates).
+     * 1/16 B/cycle/FPU gives the modeled A100 ~9.7 TB/s, keeping
+     * Table-3-class caches compute-bound while small (32-64 KiB) L1s
+     * become global-buffer bound, as in the paper's Fig. 12.
+     */
+    double l2BytesPerCyclePerFpu = 0.0625;
+
+    /** Fraction of L2 usable as a blocking buffer (rest is staging). */
+    double l2BlockingFraction = 0.5;
+
+    /** Fraction of L1 usable for tile operands (double buffering). */
+    double l1TileFraction = 0.5;
+
+    /**
+     * Fixed per-kernel launch + pipeline-ramp overhead (seconds).
+     *
+     * Dominant for the tiny decode kernels (batch-32 GEMVs finish in
+     * tens of microseconds), negligible for prefill kernels. This is
+     * what keeps decode latency from scaling perfectly with HBM
+     * bandwidth, as in the paper's Fig. 6/7 optimized-design deltas.
+     */
+    double kernelOverheadS = 20e-6;
+
+    /** Per-hop latency of one allreduce ring step (seconds). */
+    double allreduceStepLatencyS = 2e-6;
+
+    /** Achievable fraction of peak interconnect bandwidth. */
+    double interconnectEfficiency = 0.8;
+
+    /** Model systolic pipeline fill/drain loss (ablation switch). */
+    bool modelPipelineFill = true;
+
+    /**
+     * Fraction of the per-wave fill/drain (DIMX + DIMY cycles) hidden
+     * by double-buffered weights and drain/fill overlap. 0 exposes the
+     * full fill each wave; 0.875 leaves 1/8 exposed (calibrated so the
+     * modeled A100 reaches ~90% prefill utilization, matching the
+     * paper's "near peak FLOPs during prefill" observation).
+     */
+    double pipelineFillOverlap = 0.875;
+
+    /** Model L1-capacity-limited tiling (ablation switch). */
+    bool modelTiling = true;
+
+    /** Model L2-capacity GEMM blocking for HBM traffic (ablation). */
+    bool modelL2Blocking = true;
+};
+
+} // namespace perf
+} // namespace acs
+
+#endif // ACS_PERF_PERF_PARAMS_HH

@@ -1,0 +1,55 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "perf/simulator.hh"
+
+namespace acs {
+namespace perf {
+
+RooflineAnalysis
+analyzeRoofline(const hw::HardwareConfig &cfg,
+                const model::LayerGraph &graph, int tensor_parallel,
+                const PerfParams &params)
+{
+    cfg.validate();
+    const InferenceSimulator sim(cfg, params);
+    const LayerResult timing =
+        sim.simulateLayer(graph, tensor_parallel);
+    panicIf(timing.ops.size() != graph.ops.size(),
+            "op/timing size mismatch");
+
+    RooflineAnalysis analysis;
+    analysis.peakFlops = cfg.peakTensorTops() * 1e12;
+    analysis.memBandwidth = cfg.memBandwidth * params.memEfficiency;
+    analysis.ridgeIntensity =
+        analysis.peakFlops / analysis.memBandwidth;
+
+    for (std::size_t i = 0; i < graph.ops.size(); ++i) {
+        const model::Op &op = graph.ops[i];
+        if (op.kind == model::OpKind::ALLREDUCE || op.flops <= 0.0)
+            continue;
+        const double bytes =
+            op.weightBytes + op.inputBytes + op.outputBytes;
+        if (bytes <= 0.0)
+            continue;
+
+        RooflinePoint point;
+        point.name = op.name;
+        point.intensity = op.flops / bytes;
+        const double latency = timing.ops[i].latencyS;
+        panicIf(latency <= 0.0, "op latency must be positive");
+        point.achievedFlops = op.flops / latency;
+        point.rooflineFlops =
+            std::min(analysis.peakFlops,
+                     point.intensity * analysis.memBandwidth);
+        point.computeBound =
+            point.intensity >= analysis.ridgeIntensity;
+        analysis.points.push_back(std::move(point));
+    }
+    return analysis;
+}
+
+} // namespace perf
+} // namespace acs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Roofline analysis of a layer graph (Sec. 3.1 background; [81]).
+ *
+ * Places every operator on the classic roofline: arithmetic intensity
+ * (FLOPs per HBM byte) against achieved throughput, with the device's
+ * compute and bandwidth ceilings. Reproduces the paper's framing that
+ * prefill GEMMs sit right of the ridge (compute-bound, near peak)
+ * while decode GEMMs and the softmax/norm operators sit deep in the
+ * bandwidth-limited region.
+ */
+
+#ifndef ACS_PERF_ROOFLINE_HH
+#define ACS_PERF_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hh"
+#include "model/ops.hh"
+#include "perf/perf_params.hh"
+
+namespace acs {
+namespace perf {
+
+/** One operator placed on the roofline. */
+struct RooflinePoint
+{
+    std::string name;
+    double intensity = 0.0;      //!< FLOPs per HBM byte
+    double achievedFlops = 0.0;  //!< FLOPs / modeled latency
+    double rooflineFlops = 0.0;  //!< ceiling at this intensity
+    bool computeBound = false;   //!< right of the ridge point
+};
+
+/** Roofline summary of one layer graph on one device. */
+struct RooflineAnalysis
+{
+    double peakFlops = 0.0;      //!< tensor peak (FLOPs/s)
+    double memBandwidth = 0.0;   //!< effective HBM bandwidth (B/s)
+    double ridgeIntensity = 0.0; //!< peak / bandwidth (FLOPs/B)
+    std::vector<RooflinePoint> points;
+};
+
+/**
+ * Analyze @p graph on @p cfg.
+ *
+ * Communication ops carry no FLOPs and are skipped; vector ops use
+ * the vector peak for their ceiling comparison but are placed on the
+ * same chart.
+ *
+ * @param cfg             Device (validated).
+ * @param graph           Operator sequence.
+ * @param tensor_parallel TP degree used when timing collectives.
+ * @param params          Performance-model constants.
+ */
+RooflineAnalysis analyzeRoofline(const hw::HardwareConfig &cfg,
+                                 const model::LayerGraph &graph,
+                                 int tensor_parallel,
+                                 const PerfParams &params =
+                                     PerfParams{});
+
+} // namespace perf
+} // namespace acs
+
+#endif // ACS_PERF_ROOFLINE_HH

@@ -1,0 +1,126 @@
+#include "simulator.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace perf {
+
+double
+LayerResult::mfu(double peak_flops) const
+{
+    panicIf(peak_flops <= 0.0, "mfu: peak_flops must be positive");
+    if (latencyS <= 0.0)
+        return 0.0;
+    return flops / (latencyS * peak_flops);
+}
+
+double
+InferenceResult::endToEndLatencyS() const
+{
+    return ttftFullModelS + outputLen * tbtFullModelS;
+}
+
+double
+InferenceResult::decodeThroughputTokensPerS() const
+{
+    panicIf(tbtFullModelS <= 0.0, "decode latency must be positive");
+    return batch / tbtFullModelS;
+}
+
+double
+InferenceResult::throughputTokensPerS() const
+{
+    const double e2e = endToEndLatencyS();
+    panicIf(e2e <= 0.0, "end-to-end latency must be positive");
+    return static_cast<double>(batch) * outputLen / e2e;
+}
+
+InferenceSimulator::InferenceSimulator(const hw::HardwareConfig &cfg,
+                                       const PerfParams &params)
+    : cfg_(cfg), params_(params), matmul_(cfg, params),
+      vector_(cfg, params), comm_(cfg, params)
+{
+    cfg_.validate();
+}
+
+LayerResult
+InferenceSimulator::simulateLayer(const model::LayerGraph &graph,
+                                  int tensor_parallel) const
+{
+    fatalIf(tensor_parallel < 1,
+            "simulateLayer: tensor_parallel must be >= 1");
+
+    LayerResult result;
+    for (const model::Op &op : graph.ops) {
+        OpTiming timing;
+        timing.name = op.name;
+        timing.kind = op.kind;
+        switch (op.kind) {
+          case model::OpKind::MATMUL: {
+            const MatmulTiming t = matmul_.time(op);
+            timing.latencyS = t.totalS;
+            timing.bound = t.bound;
+            timing.utilization = t.utilization;
+            break;
+          }
+          case model::OpKind::VECTOR: {
+            const VectorTiming t = vector_.time(op);
+            timing.latencyS = t.totalS;
+            timing.bound = t.bound;
+            break;
+          }
+          case model::OpKind::ALLREDUCE: {
+            const CommTiming t = comm_.time(op, tensor_parallel);
+            timing.latencyS = t.totalS;
+            timing.bound = Bound::INTERCONNECT;
+            break;
+          }
+        }
+        result.latencyS += timing.latencyS;
+        result.flops += op.flops;
+        result.ops.push_back(std::move(timing));
+    }
+    return result;
+}
+
+InferenceResult
+InferenceSimulator::run(const model::TransformerConfig &model_cfg,
+                        const model::InferenceSetting &setting,
+                        const SystemConfig &sys) const
+{
+    model_cfg.validate();
+    setting.validate();
+    fatalIf(sys.tensorParallel < 1,
+            "SystemConfig: tensorParallel must be >= 1");
+
+    const model::LayerGraph prefill =
+        model::buildPrefillGraph(model_cfg, setting, sys.tensorParallel);
+    const model::LayerGraph decode =
+        model::buildDecodeGraph(model_cfg, setting, sys.tensorParallel);
+
+    InferenceResult r;
+    r.prefill = simulateLayer(prefill, sys.tensorParallel);
+    r.decode = simulateLayer(decode, sys.tensorParallel);
+    r.ttftS = r.prefill.latencyS;
+    r.tbtS = r.decode.latencyS;
+    r.ttftFullModelS = r.ttftS * model_cfg.numLayers;
+    r.tbtFullModelS = r.tbtS * model_cfg.numLayers;
+
+    r.weightBytesPerDevice =
+        static_cast<double>(model_cfg.totalParams()) *
+        setting.bytesPerValue / sys.tensorParallel;
+    const int final_ctx = setting.inputLen + setting.outputLen;
+    r.kvCacheBytesPerDevice =
+        model::kvCacheBytesPerLayer(model_cfg, setting, final_ctx,
+                                    sys.tensorParallel) *
+        model_cfg.numLayers;
+    r.fitsMemory = r.weightBytesPerDevice + r.kvCacheBytesPerDevice <=
+                   cfg_.memCapacityBytes;
+    r.numLayers = model_cfg.numLayers;
+    r.batch = setting.batch;
+    r.outputLen = setting.outputLen;
+    return r;
+}
+
+} // namespace perf
+} // namespace acs

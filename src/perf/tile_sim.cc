@@ -1,0 +1,136 @@
+#include "tile_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "perf/matmul_model.hh"
+
+namespace acs {
+namespace perf {
+
+namespace {
+
+constexpr double ELEM_BYTES = 2.0;
+
+long
+ceilDivL(long a, long b)
+{
+    return (a + b - 1) / b;
+}
+
+} // anonymous namespace
+
+long
+GemmTrace::totalTiles() const
+{
+    long total = 0;
+    for (const WaveRecord &w : waves)
+        total += w.tilesInWave;
+    return total;
+}
+
+GemmTrace
+simulateGemm(const hw::HardwareConfig &cfg, const model::Op &op,
+             const PerfParams &params)
+{
+    cfg.validate();
+    fatalIf(op.kind != model::OpKind::MATMUL,
+            "simulateGemm requires a MATMUL op: " + op.name);
+    const auto &mm = op.mm;
+    fatalIf(mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1,
+            "simulateGemm: degenerate GEMM dims in " + op.name);
+
+    GemmTrace trace;
+    const TileChoice tiles = chooseTiles(cfg, mm, params);
+    trace.tileM = tiles.tileM;
+    trace.tileN = tiles.tileN;
+
+    const long m_tiles = ceilDivL(mm.m, tiles.tileM);
+    const long n_tiles = ceilDivL(mm.n, tiles.tileN);
+    const long jobs = mm.batchCount * m_tiles * n_tiles;
+    const long arrays = cfg.totalSystolicArrays();
+    const long waves = ceilDivL(jobs, arrays);
+
+    // Remainder tile shapes at the problem edges.
+    const long m_rem = mm.m - (m_tiles - 1) * tiles.tileM;
+    const long n_rem = mm.n - (n_tiles - 1) * tiles.tileN;
+
+    const double exposed_fill =
+        params.modelPipelineFill
+            ? (1.0 - params.pipelineFillOverlap) *
+                  (cfg.systolicDimX + cfg.systolicDimY)
+            : 0.0;
+
+    // Per-tile systolic time for a (tm x tn) tile over the full k.
+    auto tile_compute_s = [&](long tm, long tn) {
+        const double k_waves =
+            static_cast<double>(ceilDivL(mm.k, cfg.systolicDimX)) *
+            ceilDivL(tn, cfg.systolicDimY);
+        const double cycles = k_waves * (tm + exposed_fill);
+        return cycles / cfg.clockHz;
+    };
+
+    // Amortized HBM service per tile (streaming is smooth across the
+    // whole GEMM; blocking decides total traffic).
+    const double hbm_total = blockedHbmTraffic(cfg, op, params);
+    const double hbm_bw = cfg.memBandwidth * params.memEfficiency;
+    const double hbm_per_tile =
+        hbm_total / static_cast<double>(jobs) / hbm_bw;
+
+    const double l2_bw =
+        params.l2BytesPerCyclePerFpu *
+        static_cast<double>(cfg.totalSystolicFpus()) * cfg.clockHz *
+        params.l2Efficiency;
+
+    // Walk the schedule. Jobs are assigned round-robin in
+    // (batch, mi, ni) order; a wave's compute time is its slowest
+    // tile and its fetch traffic is the operand slabs it touches
+    // (lanes of a core share the local buffer, so a B slab is fetched
+    // once per lane group working the same column strip).
+    double l2_free = 0.0, hbm_free = 0.0, compute_free = 0.0;
+    long job = 0;
+    trace.waves.reserve(static_cast<std::size_t>(waves));
+    for (long w = 0; w < waves; ++w) {
+        WaveRecord rec;
+        rec.waveIndex = w;
+        rec.tilesInWave = std::min<long>(arrays, jobs - job);
+
+        double slowest = 0.0;
+        double l2_bytes = 0.0;
+        const long lanes = cfg.lanesPerCore;
+        for (long i = 0; i < rec.tilesInWave; ++i, ++job) {
+            const long flat = job % (m_tiles * n_tiles);
+            const long mi = flat / n_tiles;
+            const long ni = flat % n_tiles;
+            const long tm = mi + 1 == m_tiles ? m_rem : tiles.tileM;
+            const long tn = ni + 1 == n_tiles ? n_rem : tiles.tileN;
+            slowest = std::max(slowest, tile_compute_s(tm, tn));
+            // A slab per tile; B slab shared across the core's lanes.
+            l2_bytes += (static_cast<double>(tm) * mm.k +
+                         static_cast<double>(mm.k) * tn / lanes) *
+                        ELEM_BYTES;
+        }
+        rec.computeS = slowest;
+        rec.globalBufS = l2_bytes / l2_bw;
+        rec.hbmS = hbm_per_tile * rec.tilesInWave;
+
+        // Double buffering: this wave's operands were fetched while
+        // the previous wave computed; the fetch channels are shared
+        // pipes, so waves queue on them.
+        const double l2_done = l2_free + rec.globalBufS;
+        const double hbm_done = hbm_free + rec.hbmS;
+        l2_free = l2_done;
+        hbm_free = hbm_done;
+        rec.startS = std::max({compute_free, l2_done, hbm_done});
+        rec.endS = rec.startS + rec.computeS;
+        compute_free = rec.endS;
+        trace.waves.push_back(rec);
+    }
+    trace.totalS = (trace.waves.empty() ? 0.0 : trace.waves.back().endS) +
+                   params.kernelOverheadS;
+    return trace;
+}
+
+} // namespace perf
+} // namespace acs

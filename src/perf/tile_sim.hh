@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wave-level discrete GEMM simulation.
+ *
+ * Where MatmulModel computes a closed-form roofline estimate, the tile
+ * simulator actually walks the schedule: tile jobs are assigned to
+ * systolic arrays in waves, each wave's compute and its (double
+ * buffered) operand transfers contend for the global buffer and HBM,
+ * and edge waves carry their true remainder shapes. It exists to
+ * cross-validate the analytical model (tests assert agreement) and to
+ * expose a per-wave trace for inspection.
+ */
+
+#ifndef ACS_PERF_TILE_SIM_HH
+#define ACS_PERF_TILE_SIM_HH
+
+#include <vector>
+
+#include "hw/config.hh"
+#include "model/ops.hh"
+#include "perf/perf_params.hh"
+
+namespace acs {
+namespace perf {
+
+/** One scheduling wave across all systolic arrays. */
+struct WaveRecord
+{
+    long waveIndex = 0;
+    long tilesInWave = 0;   //!< may be short on the last wave
+    double computeS = 0.0;  //!< slowest tile's systolic time
+    double globalBufS = 0.0;//!< operand traffic service time
+    double hbmS = 0.0;      //!< HBM share of the wave's traffic
+    double startS = 0.0;    //!< when the wave's compute begins
+    double endS = 0.0;      //!< when the wave completes
+};
+
+/** Full trace of one simulated GEMM. */
+struct GemmTrace
+{
+    std::vector<WaveRecord> waves;
+    long tileM = 0;
+    long tileN = 0;
+    double totalS = 0.0;
+
+    /** Total tiles scheduled. */
+    long totalTiles() const;
+};
+
+/**
+ * Simulate one GEMM wave by wave.
+ *
+ * Uses the same tile-selection policy as MatmulModel (so the two are
+ * directly comparable) but derives timing from the explicit schedule:
+ * wave i's operand fetches overlap wave i-1's compute (double
+ * buffering), so each wave completes at
+ *   end_i = max(end_{i-1}, fetch_ready_i) + compute_i
+ * with fetch_ready_i tracking the shared global-buffer and HBM
+ * service queues.
+ *
+ * @param cfg    Device (validated).
+ * @param op     Operator with kind == MATMUL (fatal otherwise).
+ * @param params Model constants.
+ */
+GemmTrace simulateGemm(const hw::HardwareConfig &cfg,
+                       const model::Op &op,
+                       const PerfParams &params = PerfParams{});
+
+} // namespace perf
+} // namespace acs
+
+#endif // ACS_PERF_TILE_SIM_HH

@@ -1,0 +1,47 @@
+#include "vector_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace perf {
+
+VectorModel::VectorModel(const hw::HardwareConfig &cfg,
+                         const PerfParams &params)
+    : cfg_(cfg), params_(params)
+{
+    cfg_.validate();
+    globalBufBandwidth_ = MatmulModel(cfg_, params_)
+                              .globalBufferBandwidth();
+}
+
+VectorTiming
+VectorModel::time(const model::Op &op) const
+{
+    fatalIf(op.kind != model::OpKind::VECTOR,
+            "VectorModel::time requires a VECTOR op: " + op.name);
+
+    VectorTiming t;
+    t.computeS = op.flops / cfg_.peakVectorFlops();
+
+    const int passes =
+        params_.modelMultiPassVector ? std::max(1, op.memoryPasses) : 1;
+    const double bytes = op.inputBytes * passes + op.outputBytes;
+    t.servedByGlobalBuffer =
+        bytes <= cfg_.l2Bytes * params_.l2BlockingFraction;
+    const double bw = t.servedByGlobalBuffer
+                          ? globalBufBandwidth_ * params_.l2Efficiency
+                          : cfg_.memBandwidth * params_.memEfficiency;
+    t.memoryS = bytes / bw;
+
+    t.totalS = std::max(t.computeS, t.memoryS) + params_.kernelOverheadS;
+    t.bound = t.computeS >= t.memoryS
+                  ? Bound::COMPUTE
+                  : (t.servedByGlobalBuffer ? Bound::GLOBAL_BUFFER
+                                            : Bound::HBM);
+    return t;
+}
+
+} // namespace perf
+} // namespace acs

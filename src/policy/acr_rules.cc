@@ -1,0 +1,132 @@
+#include "acr_rules.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace policy {
+
+std::string
+toString(MarketSegment segment)
+{
+    switch (segment) {
+      case MarketSegment::DATA_CENTER: return "data-center";
+      case MarketSegment::CONSUMER:    return "consumer";
+      case MarketSegment::WORKSTATION: return "workstation";
+    }
+    panic("unknown MarketSegment");
+}
+
+bool
+isNonDataCenter(MarketSegment segment)
+{
+    return segment != MarketSegment::DATA_CENTER;
+}
+
+double
+DeviceSpec::perfDensity() const
+{
+    if (!nonPlanarTransistor || dieAreaMm2 <= 0.0)
+        return 0.0;
+    return tpp / dieAreaMm2;
+}
+
+std::string
+toString(Classification c)
+{
+    switch (c) {
+      case Classification::NOT_APPLICABLE:   return "not-applicable";
+      case Classification::NAC_ELIGIBLE:     return "nac-eligible";
+      case Classification::LICENSE_REQUIRED: return "license-required";
+    }
+    panic("unknown Classification");
+}
+
+bool
+isRegulated(Classification c)
+{
+    return c != Classification::NOT_APPLICABLE;
+}
+
+Classification
+Oct2022Rule::classify(const DeviceSpec &spec)
+{
+    if (spec.tpp >= TPP_THRESHOLD &&
+        spec.deviceBandwidthGBps >= BANDWIDTH_THRESHOLD_GBPS) {
+        return Classification::LICENSE_REQUIRED;
+    }
+    return Classification::NOT_APPLICABLE;
+}
+
+Classification
+Oct2023Rule::classify(const DeviceSpec &spec)
+{
+    return classifyAs(spec, spec.market);
+}
+
+Classification
+Oct2023Rule::classifyAs(const DeviceSpec &spec, MarketSegment segment)
+{
+    const double tpp = spec.tpp;
+    const double pd = spec.perfDensity();
+
+    if (isNonDataCenter(segment)) {
+        if (tpp >= TPP_LICENSE)
+            return Classification::NAC_ELIGIBLE;
+        return Classification::NOT_APPLICABLE;
+    }
+
+    // Data-center track.
+    if (tpp >= TPP_LICENSE || (tpp >= TPP_LOW && pd >= PD_LICENSE))
+        return Classification::LICENSE_REQUIRED;
+    if ((tpp >= TPP_MID && pd >= PD_LOW) ||
+        (tpp >= TPP_LOW && pd >= PD_MID)) {
+        return Classification::NAC_ELIGIBLE;
+    }
+    return Classification::NOT_APPLICABLE;
+}
+
+double
+Oct2023Rule::minUnregulatedDieArea(double tpp)
+{
+    fatalIf(tpp >= TPP_LICENSE,
+            "no die area escapes a license at TPP >= 4800");
+    fatalIf(tpp < 0.0, "TPP must be non-negative");
+    if (tpp >= TPP_MID)
+        return tpp / PD_LOW;
+    if (tpp >= TPP_LOW)
+        return tpp / PD_MID;
+    return 0.0;
+}
+
+double
+Oct2023Rule::minNacDieArea(double tpp)
+{
+    fatalIf(tpp >= TPP_LICENSE,
+            "no die area reaches NAC at TPP >= 4800");
+    fatalIf(tpp < 0.0, "TPP must be non-negative");
+    if (tpp >= TPP_LOW)
+        return tpp / PD_LICENSE;
+    return 0.0;
+}
+
+double
+HbmPackageSpec::bandwidthDensity() const
+{
+    fatalIf(packageAreaMm2 <= 0.0,
+            name + ": HBM package area must be > 0");
+    return bandwidthGBps / packageAreaMm2;
+}
+
+Classification
+Dec2024HbmRule::classify(const HbmPackageSpec &spec)
+{
+    const double density = spec.bandwidthDensity();
+    if (density <= CONTROL_DENSITY)
+        return Classification::NOT_APPLICABLE;
+    if (density < EXCEPTION_DENSITY)
+        return Classification::NAC_ELIGIBLE;
+    return Classification::LICENSE_REQUIRED;
+}
+
+} // namespace policy
+} // namespace acs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The BIS Advanced Computing Rule classifiers (Table 1) and the
+ * Dec-2024 HBM rule (Sec. 2.1).
+ */
+
+#ifndef ACS_POLICY_ACR_RULES_HH
+#define ACS_POLICY_ACR_RULES_HH
+
+#include <string>
+
+#include "policy/device_spec.hh"
+
+namespace acs {
+namespace policy {
+
+/** Export-control outcome for a device. */
+enum class Classification
+{
+    NOT_APPLICABLE,   //!< not covered by the rule
+    NAC_ELIGIBLE,     //!< Notified Advanced Computing license exception
+    LICENSE_REQUIRED, //!< regular export license required
+};
+
+/** Human-readable classification name. */
+std::string toString(Classification c);
+
+/** True when the rule covers the device at all (NAC or license). */
+bool isRegulated(Classification c);
+
+/**
+ * October 2022 Advanced Computing Rule (Table 1a).
+ *
+ * A device requires a license iff TPP >= 4800 AND aggregate
+ * bidirectional device bandwidth >= 600 GB/s. There is no NAC tier.
+ */
+class Oct2022Rule
+{
+  public:
+    static constexpr double TPP_THRESHOLD = 4800.0;
+    static constexpr double BANDWIDTH_THRESHOLD_GBPS = 600.0;
+
+    /** Classify a device under the Oct-2022 specifications. */
+    static Classification classify(const DeviceSpec &spec);
+};
+
+/**
+ * October 2023 Advanced Computing Rule (Table 1b).
+ *
+ * Data-center devices:
+ *   License:  TPP >= 4800, or TPP >= 1600 and PD >= 5.92.
+ *   NAC:      4800 > TPP >= 2400 and 5.92 > PD >= 1.6,
+ *             or TPP >= 1600 and 5.92 > PD >= 3.2.
+ * Non-data-center devices:
+ *   NAC:      TPP >= 4800.
+ */
+class Oct2023Rule
+{
+  public:
+    static constexpr double TPP_LICENSE = 4800.0;
+    static constexpr double TPP_MID = 2400.0;
+    static constexpr double TPP_LOW = 1600.0;
+    static constexpr double PD_LICENSE = 5.92;
+    static constexpr double PD_MID = 3.2;
+    static constexpr double PD_LOW = 1.6;
+
+    /** Classify using the device's own marketing segment. */
+    static Classification classify(const DeviceSpec &spec);
+
+    /**
+     * Classify as if the device were marketed in @p segment — the
+     * "rebranding" probe of Sec. 5.2 / Fig. 9.
+     */
+    static Classification classifyAs(const DeviceSpec &spec,
+                                     MarketSegment segment);
+
+    /**
+     * Minimum applicable die area (mm^2) for a data-center device of
+     * @p tpp to be entirely outside the rule (Sec. 2.5 / Fig. 2):
+     * the PD floors translate to die-area floors. Returns 0 when the
+     * TPP alone already escapes regulation.
+     *
+     * Fatal for tpp >= 4800 (no die area escapes a license then).
+     */
+    static double minUnregulatedDieArea(double tpp);
+
+    /**
+     * Minimum applicable die area (mm^2) for a data-center device of
+     * @p tpp to be (at worst) NAC eligible. Returns 0 when TPP < 1600.
+     * Fatal for tpp >= 4800.
+     */
+    static double minNacDieArea(double tpp);
+};
+
+/** An HBM package as regulated by the Dec-2024 rule. */
+struct HbmPackageSpec
+{
+    std::string name;
+    double bandwidthGBps = 0.0; //!< package memory bandwidth
+    double packageAreaMm2 = 0.0;
+
+    /** Memory bandwidth density in GB/s/mm^2 (fatal on zero area). */
+    double bandwidthDensity() const;
+};
+
+/**
+ * December 2024 HBM export control (Sec. 2.1).
+ *
+ * Packages with memory bandwidth density > 2.0 GB/s/mm^2 are
+ * controlled; those with density < 3.3 may apply for license exception
+ * HBM (mapped to NAC_ELIGIBLE), denser packages require a license.
+ * Does not apply to HBM installed inside computing devices pre-export.
+ */
+class Dec2024HbmRule
+{
+  public:
+    static constexpr double CONTROL_DENSITY = 2.0;
+    static constexpr double EXCEPTION_DENSITY = 3.3;
+
+    /** Classify an HBM package (commodity, not device-installed). */
+    static Classification classify(const HbmPackageSpec &spec);
+};
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_ACR_RULES_HH

@@ -1,0 +1,119 @@
+#include "arch_policy.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace acs {
+namespace policy {
+
+std::string
+toString(ArchParameter param)
+{
+    switch (param) {
+      case ArchParameter::TPP:              return "tpp";
+      case ArchParameter::MEM_BANDWIDTH:    return "mem-bandwidth";
+      case ArchParameter::MEM_CAPACITY:     return "mem-capacity";
+      case ArchParameter::L1_PER_CORE:      return "l1-per-core";
+      case ArchParameter::L2_SIZE:          return "l2-size";
+      case ArchParameter::DEVICE_BANDWIDTH: return "device-bandwidth";
+      case ArchParameter::SYSTOLIC_DIM:     return "systolic-dim";
+      case ArchParameter::LANES_PER_CORE:   return "lanes-per-core";
+    }
+    panic("unknown ArchParameter");
+}
+
+double
+parameterValue(const hw::HardwareConfig &cfg, ArchParameter param)
+{
+    switch (param) {
+      case ArchParameter::TPP:
+        return cfg.tpp();
+      case ArchParameter::MEM_BANDWIDTH:
+        return cfg.memBandwidth;
+      case ArchParameter::MEM_CAPACITY:
+        return cfg.memCapacityBytes;
+      case ArchParameter::L1_PER_CORE:
+        return cfg.l1BytesPerCore;
+      case ArchParameter::L2_SIZE:
+        return cfg.l2Bytes;
+      case ArchParameter::DEVICE_BANDWIDTH:
+        return cfg.deviceBandwidth();
+      case ArchParameter::SYSTOLIC_DIM:
+        return std::max(cfg.systolicDimX, cfg.systolicDimY);
+      case ArchParameter::LANES_PER_CORE:
+        return cfg.lanesPerCore;
+    }
+    panic("unknown ArchParameter");
+}
+
+ArchPolicy::ArchPolicy(std::string name)
+    : name_(std::move(name))
+{}
+
+ArchPolicy &
+ArchPolicy::addLimit(ArchParameter param, double max_value)
+{
+    fatalIf(max_value < 0.0,
+            name_ + ": policy ceiling must be non-negative");
+    limits_.push_back({param, max_value});
+    return *this;
+}
+
+bool
+ArchPolicy::compliant(const hw::HardwareConfig &cfg) const
+{
+    for (const ArchLimit &limit : limits_) {
+        if (parameterValue(cfg, limit.param) > limit.maxValue)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+ArchPolicy::violations(const hw::HardwareConfig &cfg) const
+{
+    std::vector<std::string> out;
+    for (const ArchLimit &limit : limits_) {
+        const double value = parameterValue(cfg, limit.param);
+        if (value > limit.maxValue) {
+            std::ostringstream oss;
+            oss << toString(limit.param) << " = " << value << " > "
+                << limit.maxValue;
+            out.push_back(oss.str());
+        }
+    }
+    return out;
+}
+
+ArchPolicy
+ArchPolicy::gamingFocused()
+{
+    ArchPolicy p("gaming-focused");
+    p.addLimit(ArchParameter::SYSTOLIC_DIM, 8.0);
+    p.addLimit(ArchParameter::MEM_BANDWIDTH, 1.6 * units::TBPS);
+    return p;
+}
+
+ArchPolicy
+ArchPolicy::tppPlusMemoryBandwidth()
+{
+    ArchPolicy p("tpp+mem-bandwidth");
+    p.addLimit(ArchParameter::TPP, 4800.0);
+    p.addLimit(ArchParameter::MEM_BANDWIDTH, 0.8 * units::TBPS);
+    return p;
+}
+
+ArchPolicy
+ArchPolicy::tppPlusL1Cache()
+{
+    ArchPolicy p("tpp+l1-cache");
+    p.addLimit(ArchParameter::TPP, 4800.0);
+    p.addLimit(ArchParameter::L1_PER_CORE, 32.0 * units::KIB);
+    return p;
+}
+
+} // namespace policy
+} // namespace acs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The architecture-first policy framework (Sec. 5.3/5.4, Fig. 3).
+ *
+ * Instead of regulating only theoretical performance (TPP), a policy is
+ * a set of ceilings on disclosed architectural parameters. The paper
+ * shows such policies predict workload performance far better (narrower
+ * latency distributions) and can be scoped to a workload-of-interest
+ * (e.g. gaming devices that are inherently AI-limited).
+ */
+
+#ifndef ACS_POLICY_ARCH_POLICY_HH
+#define ACS_POLICY_ARCH_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace policy {
+
+/** Architectural parameters a policy may constrain. */
+enum class ArchParameter
+{
+    TPP,              //!< total processing performance (unitless)
+    MEM_BANDWIDTH,    //!< HBM bandwidth, bytes/s
+    MEM_CAPACITY,     //!< HBM capacity, bytes
+    L1_PER_CORE,      //!< local buffer per core, bytes
+    L2_SIZE,          //!< global buffer, bytes
+    DEVICE_BANDWIDTH, //!< aggregate bidirectional interconnect, bytes/s
+    SYSTOLIC_DIM,     //!< max(DIMX, DIMY) of the systolic arrays
+    LANES_PER_CORE,   //!< lanes per core
+};
+
+/** Human-readable parameter name. */
+std::string toString(ArchParameter param);
+
+/** Read @p param from a hardware configuration, in base units. */
+double parameterValue(const hw::HardwareConfig &cfg, ArchParameter param);
+
+/** One ceiling: the parameter must stay <= maxValue to comply. */
+struct ArchLimit
+{
+    ArchParameter param = ArchParameter::TPP;
+    double maxValue = 0.0;
+};
+
+/**
+ * A named set of architectural ceilings.
+ *
+ * Empty policies are vacuously compliant.
+ */
+class ArchPolicy
+{
+  public:
+    /** @param name Policy name used in reports. */
+    explicit ArchPolicy(std::string name);
+
+    /** Add a ceiling (fatal on negative maxValue). Returns *this. */
+    ArchPolicy &addLimit(ArchParameter param, double max_value);
+
+    /** True when @p cfg satisfies every ceiling. */
+    bool compliant(const hw::HardwareConfig &cfg) const;
+
+    /** Human-readable description of every violated ceiling. */
+    std::vector<std::string> violations(const hw::HardwareConfig &cfg)
+        const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<ArchLimit> &limits() const { return limits_; }
+
+    /**
+     * The paper's gaming-focused case study (Sec. 5.4): cap systolic
+     * array dimensions at 8 and memory bandwidth at 1.6 TB/s — AI
+     * (decode) performance is architecturally limited while SIMT/
+     * vector resources stay unconstrained for graphics.
+     */
+    static ArchPolicy gamingFocused();
+
+    /**
+     * The combined TPP + memory-bandwidth policy of Sec. 5.3 (the
+     * "42.4x narrower distribution" result): TPP <= 4800 and HBM
+     * bandwidth <= 0.8 TB/s.
+     */
+    static ArchPolicy tppPlusMemoryBandwidth();
+
+    /**
+     * The combined TPP + L1-capacity policy targeting TTFT (Sec. 5.3):
+     * TPP <= 4800 and L1 <= 32 KiB per core.
+     */
+    static ArchPolicy tppPlusL1Cache();
+
+  private:
+    std::string name_;
+    std::vector<ArchLimit> limits_;
+};
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_ARCH_POLICY_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The minimal device view the export-control rules operate on.
+ *
+ * Both real products (acs::devices) and modeled designs (acs::hw +
+ * acs::area) reduce to this spec for classification.
+ */
+
+#ifndef ACS_POLICY_DEVICE_SPEC_HH
+#define ACS_POLICY_DEVICE_SPEC_HH
+
+#include <string>
+
+namespace acs {
+namespace policy {
+
+/** How the vendor markets the device (the Oct-2023 rule's pivot). */
+enum class MarketSegment
+{
+    DATA_CENTER,
+    CONSUMER,
+    WORKSTATION,
+};
+
+/** Human-readable segment name. */
+std::string toString(MarketSegment segment);
+
+/** True for the segments the Oct-2023 rule treats as non-data-center. */
+bool isNonDataCenter(MarketSegment segment);
+
+/** Datasheet-level quantities the rules consume. */
+struct DeviceSpec
+{
+    std::string name;
+    double tpp = 0.0;               //!< TOPS x bitwidth, package total
+    double deviceBandwidthGBps = 0.0; //!< aggregate bidirectional I/O
+    double dieAreaMm2 = 0.0;        //!< applicable (non-planar) die area
+    bool nonPlanarTransistor = true;
+    MarketSegment market = MarketSegment::DATA_CENTER;
+
+    // Architectural parameters used by architecture-first policy.
+    double memCapacityGB = 0.0;
+    double memBandwidthGBps = 0.0;
+
+    /**
+     * BIS Performance Density: TPP over applicable die area; zero when
+     * no die area is applicable (planar process).
+     */
+    double perfDensity() const;
+};
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_DEVICE_SPEC_HH

@@ -1,0 +1,81 @@
+#include "historical.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace policy {
+
+namespace {
+
+// CTP word-length adjustment factor.
+double
+wordFactor(int bits)
+{
+    fatalIf(bits < 1, "CTP word length must be >= 1 bit");
+    if (bits >= 32)
+        return static_cast<double>(bits) / 64.0;
+    return 0.3 + static_cast<double>(bits) / 96.0;
+}
+
+} // anonymous namespace
+
+double
+compositeTheoreticalPerformance(
+    const std::vector<CtpResource> &resources)
+{
+    fatalIf(resources.empty(), "CTP requires at least one resource");
+    std::vector<double> adjusted;
+    adjusted.reserve(resources.size());
+    for (const CtpResource &res : resources) {
+        fatalIf(res.ratedMops <= 0.0,
+                "CTP resource rate must be > 0");
+        adjusted.push_back(res.ratedMops * wordFactor(res.wordLengthBits));
+    }
+    std::sort(adjusted.rbegin(), adjusted.rend());
+    double ctp = adjusted.front();
+    for (std::size_t i = 1; i < adjusted.size(); ++i)
+        ctp += 0.75 * adjusted[i];
+    return ctp;
+}
+
+double
+adjustedPeakPerformance(const std::vector<AppProcessor> &processors)
+{
+    fatalIf(processors.empty(), "APP requires at least one processor");
+    double app = 0.0;
+    for (const AppProcessor &proc : processors) {
+        fatalIf(proc.fp64TeraFlops < 0.0,
+                "APP rate must be non-negative");
+        app += (proc.isVector ? 0.9 : 0.3) * proc.fp64TeraFlops;
+    }
+    return app;
+}
+
+MetricHistory
+metricHistory(const hw::HardwareConfig &cfg)
+{
+    cfg.validate();
+
+    MetricHistory h;
+    // CTP: tensor path (FP16 ops) + vector path (FP32 ops), in Mops.
+    const double tensor_mops = cfg.peakTensorTops() * 1e6;
+    const double vector_mops = cfg.peakVectorFlops() / 1e6;
+    h.ctpMtops = compositeTheoreticalPerformance(
+        {{tensor_mops, cfg.opBitwidth}, {vector_mops, 32}});
+
+    // APP: FP64 at half the FP32 vector rate, GPU counted as one
+    // vector processor per die.
+    const double fp64_tflops = cfg.peakVectorFlops() / 2.0 / 1e12;
+    std::vector<AppProcessor> procs(
+        static_cast<std::size_t>(cfg.diesPerPackage),
+        AppProcessor{fp64_tflops / cfg.diesPerPackage, true});
+    h.appWt = adjustedPeakPerformance(procs);
+
+    h.tpp = cfg.tpp();
+    return h;
+}
+
+} // namespace policy
+} // namespace acs

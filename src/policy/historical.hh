@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Historical export-control performance metrics (Sec. 6.1).
+ *
+ * Before TPP, US export controls classified computers by Composite
+ * Theoretical Performance (CTP, 1991, in MTOPS) and Adjusted Peak
+ * Performance (APP, 2006, in Weighted TeraFLOPS). Implementing both
+ * lets the repo compare how each metric generation ranks the same
+ * hardware — the paper's argument that the metrics "stem from compute
+ * regulations from the 1990s" and have drifted from workload reality.
+ *
+ * The implementations follow the published definitions at the level of
+ * detail a datasheet supports:
+ *  - CTP: per execution resource, effective rate R (Mops) adjusted by
+ *    a word-length factor L/64 (L >= 32; 0.3 + L/96 for shorter
+ *    words), aggregated as R1' + 0.75 * sum(Ri') over remaining
+ *    resources.
+ *  - APP: sum of W * R over processors, R the 64-bit FLOPs rate in
+ *    TFLOPS, W = 0.9 for vector processors and 0.3 otherwise.
+ */
+
+#ifndef ACS_POLICY_HISTORICAL_HH
+#define ACS_POLICY_HISTORICAL_HH
+
+#include <vector>
+
+#include "hw/config.hh"
+
+namespace acs {
+namespace policy {
+
+/** One execution resource as CTP sees it. */
+struct CtpResource
+{
+    double ratedMops = 0.0; //!< theoretical ops/s in millions
+    int wordLengthBits = 64;
+};
+
+/**
+ * Composite Theoretical Performance in MTOPS.
+ *
+ * @param resources Per-unit rates, strongest first (fatal if empty or
+ *        any rate is non-positive).
+ */
+double compositeTheoreticalPerformance(
+    const std::vector<CtpResource> &resources);
+
+/** One processor as APP sees it. */
+struct AppProcessor
+{
+    double fp64TeraFlops = 0.0; //!< 64-bit floating-point TFLOPS
+    bool isVector = false;      //!< vector processor weighting (0.9)
+};
+
+/**
+ * Adjusted Peak Performance in Weighted TeraFLOPS.
+ *
+ * @param processors Per-processor 64-bit rates (fatal if empty or any
+ *        rate is negative).
+ */
+double adjustedPeakPerformance(
+    const std::vector<AppProcessor> &processors);
+
+/** All three metric generations evaluated on one device. */
+struct MetricHistory
+{
+    double ctpMtops = 0.0;
+    double appWt = 0.0;
+    double tpp = 0.0;
+};
+
+/**
+ * Evaluate CTP, APP, and TPP for a modeled device.
+ *
+ * The tensor path provides the dominant CTP resource (FP16 ops) and
+ * the vector path the secondary one; APP uses the device's FP64
+ * capability, taken as half the FP32 vector rate (A100-like) unless
+ * the device advertises none.
+ */
+MetricHistory metricHistory(const hw::HardwareConfig &cfg);
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_HISTORICAL_HH

@@ -1,0 +1,101 @@
+#include "marketing.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace policy {
+
+std::string
+toString(MarketingConsistency c)
+{
+    switch (c) {
+      case MarketingConsistency::CONSISTENT_DC:     return "consistent-dc";
+      case MarketingConsistency::FALSE_DC:          return "false-dc";
+      case MarketingConsistency::CONSISTENT_NON_DC:
+        return "consistent-non-dc";
+      case MarketingConsistency::FALSE_NON_DC:      return "false-non-dc";
+    }
+    panic("unknown MarketingConsistency");
+}
+
+MarketingConsistency
+analyzeMarketing(const DeviceSpec &spec)
+{
+    const bool regulated_as_dc = isRegulated(
+        Oct2023Rule::classifyAs(spec, MarketSegment::DATA_CENTER));
+    const bool regulated_as_non_dc = isRegulated(
+        Oct2023Rule::classifyAs(spec, MarketSegment::CONSUMER));
+
+    if (isNonDataCenter(spec.market)) {
+        // Unregulated today, but the DC track would regulate it.
+        if (!regulated_as_non_dc && regulated_as_dc)
+            return MarketingConsistency::FALSE_NON_DC;
+        return MarketingConsistency::CONSISTENT_NON_DC;
+    }
+    // Regulated today, but rebranding would deregulate it.
+    if (regulated_as_dc && !regulated_as_non_dc)
+        return MarketingConsistency::FALSE_DC;
+    return MarketingConsistency::CONSISTENT_DC;
+}
+
+MarketingSummary
+summarizeMarketing(const std::vector<DeviceSpec> &specs)
+{
+    MarketingSummary s;
+    for (const DeviceSpec &spec : specs) {
+        switch (analyzeMarketing(spec)) {
+          case MarketingConsistency::CONSISTENT_DC:     ++s.consistentDc;
+            break;
+          case MarketingConsistency::FALSE_DC:          ++s.falseDc;
+            break;
+          case MarketingConsistency::CONSISTENT_NON_DC:
+            ++s.consistentNonDc;
+            break;
+          case MarketingConsistency::FALSE_NON_DC:      ++s.falseNonDc;
+            break;
+        }
+    }
+    return s;
+}
+
+bool
+ArchDataCenterClassifier::isDataCenter(const DeviceSpec &spec)
+{
+    return spec.memCapacityGB > MEM_CAPACITY_GB ||
+           spec.memBandwidthGBps > MEM_BANDWIDTH_GBPS;
+}
+
+MarketingConsistency
+ArchDataCenterClassifier::analyze(const DeviceSpec &spec)
+{
+    const bool arch_dc = isDataCenter(spec);
+    if (isNonDataCenter(spec.market)) {
+        return arch_dc ? MarketingConsistency::FALSE_NON_DC
+                       : MarketingConsistency::CONSISTENT_NON_DC;
+    }
+    return arch_dc ? MarketingConsistency::CONSISTENT_DC
+                   : MarketingConsistency::FALSE_DC;
+}
+
+MarketingSummary
+ArchDataCenterClassifier::summarize(const std::vector<DeviceSpec> &specs)
+{
+    MarketingSummary s;
+    for (const DeviceSpec &spec : specs) {
+        switch (analyze(spec)) {
+          case MarketingConsistency::CONSISTENT_DC:     ++s.consistentDc;
+            break;
+          case MarketingConsistency::FALSE_DC:          ++s.falseDc;
+            break;
+          case MarketingConsistency::CONSISTENT_NON_DC:
+            ++s.consistentNonDc;
+            break;
+          case MarketingConsistency::FALSE_NON_DC:      ++s.falseNonDc;
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace policy
+} // namespace acs

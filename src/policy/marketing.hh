@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Marketing-based classification analysis (Sec. 5.2, Figs. 9/10).
+ */
+
+#ifndef ACS_POLICY_MARKETING_HH
+#define ACS_POLICY_MARKETING_HH
+
+#include <vector>
+
+#include "policy/acr_rules.hh"
+#include "policy/device_spec.hh"
+
+namespace acs {
+namespace policy {
+
+/**
+ * Consistency of a device's regulation across marketing segments.
+ *
+ * "False data center": a data-center-marketed device that is regulated
+ * today but would be unregulated rebranded as a consumer device.
+ * "False non-data center": a non-data-center device that is
+ * unregulated today but would be regulated rebranded as data center.
+ */
+enum class MarketingConsistency
+{
+    CONSISTENT_DC,
+    FALSE_DC,
+    CONSISTENT_NON_DC,
+    FALSE_NON_DC,
+};
+
+/** Human-readable consistency label. */
+std::string toString(MarketingConsistency c);
+
+/** Analyze one device under the Oct-2023 rule (Fig. 9 probe). */
+MarketingConsistency analyzeMarketing(const DeviceSpec &spec);
+
+/** Counts of each consistency class over a device set. */
+struct MarketingSummary
+{
+    int consistentDc = 0;
+    int falseDc = 0;
+    int consistentNonDc = 0;
+    int falseNonDc = 0;
+};
+
+/** Analyze a whole device set (Fig. 9 headline counts). */
+MarketingSummary summarizeMarketing(const std::vector<DeviceSpec> &specs);
+
+/**
+ * The paper's architecture-based data-center classifier (Fig. 10):
+ * a device is architecturally data-center when it has more than
+ * 32 GB of memory OR more than 1600 GB/s of memory bandwidth.
+ */
+class ArchDataCenterClassifier
+{
+  public:
+    static constexpr double MEM_CAPACITY_GB = 32.0;
+    static constexpr double MEM_BANDWIDTH_GBPS = 1600.0;
+
+    /** True when the architecture says "data center". */
+    static bool isDataCenter(const DeviceSpec &spec);
+
+    /**
+     * Consistency of the architectural classification with the
+     * marketing segment: FALSE_DC when a data-center-marketed device
+     * is architecturally non-DC, FALSE_NON_DC for the reverse.
+     */
+    static MarketingConsistency analyze(const DeviceSpec &spec);
+
+    /** Counts over a device set (Fig. 10 headline counts). */
+    static MarketingSummary
+    summarize(const std::vector<DeviceSpec> &specs);
+};
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_MARKETING_HH

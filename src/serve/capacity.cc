@@ -1,0 +1,63 @@
+#include "capacity.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace serve {
+
+void
+Slo::validate() const
+{
+    fatalIf(ttftMaxS <= 0.0, "Slo: ttftMaxS must be > 0");
+    fatalIf(tbtMaxS <= 0.0, "Slo: tbtMaxS must be > 0");
+}
+
+ServingEstimate
+estimateServing(const perf::InferenceResult &result, int tensor_parallel,
+                const Slo &slo)
+{
+    slo.validate();
+    fatalIf(tensor_parallel < 1,
+            "estimateServing: tensor_parallel must be >= 1");
+    fatalIf(result.tbtFullModelS <= 0.0 || result.ttftFullModelS <= 0.0,
+            "estimateServing: result carries no latencies");
+
+    ServingEstimate e;
+    e.ttftS = result.ttftFullModelS;
+    e.tbtS = result.tbtFullModelS;
+    e.meetsTtftSlo = e.ttftS <= slo.ttftMaxS;
+    e.meetsTbtSlo = e.tbtS <= slo.tbtMaxS;
+    e.tokensPerSecondPerDevice =
+        result.throughputTokensPerS() / tensor_parallel;
+    return e;
+}
+
+FleetPlan
+planFleet(const ServingEstimate &estimate, int tensor_parallel,
+          double demand_tokens_per_s)
+{
+    fatalIf(tensor_parallel < 1,
+            "planFleet: tensor_parallel must be >= 1");
+    fatalIf(demand_tokens_per_s <= 0.0,
+            "planFleet: demand must be > 0");
+
+    FleetPlan plan;
+    plan.feasible = estimate.meetsSlo();
+    if (estimate.tokensPerSecondPerDevice <= 0.0)
+        return plan;
+
+    const double unit_throughput =
+        estimate.tokensPerSecondPerDevice * tensor_parallel;
+    const long units = static_cast<long>(
+        std::ceil(demand_tokens_per_s / unit_throughput));
+    plan.devices = units * tensor_parallel;
+    plan.utilization =
+        demand_tokens_per_s /
+        (static_cast<double>(units) * unit_throughput);
+    return plan;
+}
+
+} // namespace serve
+} // namespace acs

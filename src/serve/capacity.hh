@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Serving-capacity planning on top of the inference simulator.
+ *
+ * The paper's economics sections reason about sanctions "reducing the
+ * supply of computing" (Sec. 2.4); this module turns per-layer
+ * latencies into fleet arithmetic: whether a device meets latency
+ * SLOs, its serving throughput, and how many devices (and how much
+ * silicon spend) a demand level requires — the concrete "sanctions
+ * tax" on an inference provider.
+ */
+
+#ifndef ACS_SERVE_CAPACITY_HH
+#define ACS_SERVE_CAPACITY_HH
+
+#include "perf/simulator.hh"
+
+namespace acs {
+namespace serve {
+
+/** Interactive-serving latency objectives (full model, seconds). */
+struct Slo
+{
+    double ttftMaxS = 10.0;  //!< max time to first token
+    double tbtMaxS = 0.200;  //!< max time between tokens
+
+    /** Fatal unless both bounds are positive. */
+    void validate() const;
+};
+
+/** Serving characteristics of one system (tp devices). */
+struct ServingEstimate
+{
+    double ttftS = 0.0;              //!< full-model prefill latency
+    double tbtS = 0.0;               //!< full-model per-token latency
+    bool meetsTtftSlo = false;
+    bool meetsTbtSlo = false;
+    double tokensPerSecondPerDevice = 0.0;
+
+    /** Both SLOs satisfied. */
+    bool meetsSlo() const { return meetsTtftSlo && meetsTbtSlo; }
+};
+
+/**
+ * Evaluate serving behaviour of one system.
+ *
+ * @param result          Simulator output for the workload.
+ * @param tensor_parallel Devices in the serving unit.
+ * @param slo             Latency objectives (validated).
+ */
+ServingEstimate estimateServing(const perf::InferenceResult &result,
+                                int tensor_parallel, const Slo &slo);
+
+/** A provisioned fleet for a demand level. */
+struct FleetPlan
+{
+    long devices = 0;          //!< total devices provisioned
+    double utilization = 0.0;  //!< demand / provisioned throughput
+    bool feasible = false;     //!< SLOs met by the building block
+};
+
+/**
+ * Devices needed to serve @p demand_tokens_per_s.
+ *
+ * @param estimate        Per-device serving characteristics.
+ * @param tensor_parallel Devices per serving unit (fleet grows in
+ *                        units of this).
+ * @param demand_tokens_per_s Aggregate generation demand (> 0).
+ */
+FleetPlan planFleet(const ServingEstimate &estimate,
+                    int tensor_parallel, double demand_tokens_per_s);
+
+} // namespace serve
+} // namespace acs
+
+#endif // ACS_SERVE_CAPACITY_HH

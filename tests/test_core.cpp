@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Integration tests for acs_core: the study API and the paper's
+ * headline shapes (tolerant ranges so the tests assert reproduction,
+ * not bit-exactness).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/study.hh"
+
+namespace acs {
+namespace core {
+namespace {
+
+class StudyFixture : public ::testing::Test
+{
+  protected:
+    SanctionsStudy study_;
+};
+
+// ---- API basics -------------------------------------------------------------
+
+TEST_F(StudyFixture, WorkloadsMatchSec32)
+{
+    const Workload gpt3 = gpt3Workload();
+    EXPECT_EQ(gpt3.model.name, "GPT-3 175B");
+    EXPECT_EQ(gpt3.setting.batch, 32);
+    EXPECT_EQ(gpt3.setting.inputLen, 2048);
+    EXPECT_EQ(gpt3.setting.outputLen, 1024);
+    EXPECT_EQ(gpt3.system.tensorParallel, 4);
+
+    const Workload llama = llamaWorkload();
+    EXPECT_EQ(llama.model.name, "Llama 3 8B");
+    EXPECT_EQ(llama.system.tensorParallel, 4);
+}
+
+TEST_F(StudyFixture, BaselineIsTheModeledA100)
+{
+    const auto baseline = study_.evaluateBaseline(gpt3Workload());
+    EXPECT_EQ(baseline.config.name, "modeled-A100");
+    EXPECT_NEAR(baseline.tpp, 4990.5, 1.0);
+}
+
+TEST_F(StudyFixture, DesignReportDeltasAreRelative)
+{
+    const DesignReport report =
+        study_.evaluateDesign(hw::modeledA100(), gpt3Workload());
+    EXPECT_NEAR(report.ttftDelta(), 0.0, 1e-12);
+    EXPECT_NEAR(report.tbtDelta(), 0.0, 1e-12);
+}
+
+TEST_F(StudyFixture, ClassifyA100UnderAllRules)
+{
+    const DesignReport report =
+        study_.evaluateDesign(hw::modeledA100(), gpt3Workload());
+    EXPECT_EQ(report.rules.oct2022,
+              policy::Classification::LICENSE_REQUIRED);
+    // Modeled A100 TPP 4990 >= 4800 -> DC license, non-DC NAC.
+    EXPECT_EQ(report.rules.oct2023DataCenter,
+              policy::Classification::LICENSE_REQUIRED);
+    EXPECT_EQ(report.rules.oct2023NonDataCenter,
+              policy::Classification::NAC_ELIGIBLE);
+}
+
+TEST_F(StudyFixture, A800StyleDesignEscapesOct2022Only)
+{
+    const DesignReport report =
+        study_.evaluateDesign(hw::modeledA800(), gpt3Workload());
+    EXPECT_EQ(report.rules.oct2022,
+              policy::Classification::NOT_APPLICABLE);
+    EXPECT_TRUE(policy::isRegulated(report.rules.oct2023DataCenter));
+}
+
+// ---- paper headline shapes -----------------------------------------------------
+
+TEST_F(StudyFixture, Fig5TppScalingDominatesPrefill)
+{
+    // Sec. 4.1: +25% TPP (4000 -> 5000) cuts TTFT by ~16%.
+    const Workload w = gpt3Workload();
+    auto with_cores = [&](double tpp) {
+        hw::HardwareConfig cfg = hw::modeledA100();
+        cfg.coreCount = hw::coresForTpp(tpp, 16, 16, 4, cfg.clockHz);
+        return study_.evaluateDesign(cfg, w).design;
+    };
+    const auto d4000 = with_cores(4000.0);
+    const auto d5000 = with_cores(5000.0);
+    const double delta = d5000.ttftS / d4000.ttftS - 1.0;
+    EXPECT_LT(delta, -0.10);
+    EXPECT_GT(delta, -0.25);
+}
+
+TEST_F(StudyFixture, Fig5DeviceBandwidthBarelyMovesTbt)
+{
+    // Sec. 4.1: 600 -> 1000 GB/s only changes TBT by ~0.27%.
+    const Workload w = gpt3Workload();
+    auto with_bw = [&](int phys) {
+        hw::HardwareConfig cfg = hw::modeledA100();
+        cfg.coreCount = 103;
+        cfg.devicePhyCount = phys;
+        return study_.evaluateDesign(cfg, w).design;
+    };
+    const auto d600 = with_bw(12);
+    const auto d1000 = with_bw(20);
+    const double delta = std::abs(d1000.tbtS / d600.tbtS - 1.0);
+    EXPECT_LT(delta, 0.01);
+    EXPECT_GT(delta, 0.0005);
+}
+
+TEST_F(StudyFixture, Fig6CompliantDesignsBeatA100)
+{
+    // Sec. 4.2 headline: manufacturable Oct-2022-compliant designs
+    // improve TTFT slightly and TBT by ~27% (GPT-3) via 3.2 TB/s HBM.
+    const Workload w = gpt3Workload();
+    const auto baseline = study_.evaluateBaseline(w);
+    const auto designs = dse::filterReticle(study_.runSweep(
+        dse::table3Space(4800.0, {600.0 * units::GBPS}), w));
+    ASSERT_FALSE(designs.empty());
+
+    const auto &best_ttft = dse::minTtft(designs);
+    const double ttft_delta = best_ttft.ttftS / baseline.ttftS - 1.0;
+    EXPECT_LT(ttft_delta, 0.0);
+    EXPECT_GT(ttft_delta, -0.12); // small improvement only
+
+    const auto &best_tbt = dse::minTbt(designs);
+    const double tbt_delta = best_tbt.tbtS / baseline.tbtS - 1.0;
+    EXPECT_LT(tbt_delta, -0.20);
+    EXPECT_GT(tbt_delta, -0.45);
+    // The paper's mechanism: the fast-decode design maxes HBM.
+    EXPECT_DOUBLE_EQ(best_tbt.config.memBandwidth, 3.2 * units::TBPS);
+}
+
+TEST_F(StudyFixture, Fig7All4800DesignsViolatePd)
+{
+    // Sec. 4.3: the PD floor invalidates every 4800-TPP design.
+    const Workload w = gpt3Workload();
+    const auto designs = study_.runSweep(
+        dse::table3Space(4800.0, {500.0 * units::GBPS}), w);
+    for (const auto &d : designs) {
+        EXPECT_TRUE(policy::isRegulated(
+            policy::Oct2023Rule::classify(d.toSpec())))
+            << d.config.name;
+    }
+}
+
+TEST_F(StudyFixture, Fig7Compliant2400TtftMuchSlowerThanA100)
+{
+    // Sec. 4.3: fastest compliant 2400-TPP TTFT is ~79% slower (GPT-3).
+    const Workload w = gpt3Workload();
+    const auto baseline = study_.evaluateBaseline(w);
+    const auto compliant = dse::filterOct2023Unregulated(
+        dse::filterReticle(study_.runSweep(
+            dse::table3Space(2400.0, {500.0 * units::GBPS,
+                                      700.0 * units::GBPS,
+                                      900.0 * units::GBPS}),
+            w)));
+    ASSERT_FALSE(compliant.empty());
+    const double delta =
+        dse::minTtft(compliant).ttftS / baseline.ttftS - 1.0;
+    EXPECT_GT(delta, 0.50);
+    EXPECT_LT(delta, 1.20);
+    // But decode still improves (memory bandwidth unregulated).
+    EXPECT_LT(dse::minTbt(compliant).tbtS, baseline.tbtS);
+}
+
+TEST_F(StudyFixture, Table4ComplianceRoughlyDoublesGoodDieCost)
+{
+    const Workload w = gpt3Workload();
+    const auto designs = dse::filterReticle(study_.runSweep(
+        dse::table3Space(2400.0, {500.0 * units::GBPS,
+                                  700.0 * units::GBPS,
+                                  900.0 * units::GBPS}),
+        w));
+    std::vector<dse::EvaluatedDesign> ok, bad;
+    for (const auto &d : designs) {
+        if (policy::Oct2023Rule::classify(d.toSpec()) ==
+            policy::Classification::NOT_APPLICABLE) {
+            ok.push_back(d);
+        } else {
+            bad.push_back(d);
+        }
+    }
+    ASSERT_FALSE(ok.empty());
+    ASSERT_FALSE(bad.empty());
+    const auto &best_ok = dse::minTtft(ok);
+    const auto &best_bad = dse::minTbt(bad); // representative cheap one
+    EXPECT_GT(best_ok.dieAreaMm2, 700.0); // PD floor forces big dies
+    EXPECT_GT(best_ok.goodDieCostUsd, best_bad.goodDieCostUsd);
+}
+
+TEST_F(StudyFixture, Fig12MemoryBandwidthIsTheTbtIndicator)
+{
+    // Sec. 5.3: fixing 0.8 TB/s memory BW slows median TBT by ~110%
+    // (GPT-3) and narrows the distribution by >10x.
+    const Workload w = gpt3Workload();
+    const auto baseline = study_.evaluateBaseline(w);
+    const auto designs = dse::filterReticle(
+        study_.runSweep(dse::table5Space(), w));
+    const auto dists = dse::indicatorStudy(
+        designs,
+        {{"0.8TB/s", dse::fixedParameter(
+                         policy::ArchParameter::MEM_BANDWIDTH,
+                         0.8 * units::TBPS)}});
+    ASSERT_EQ(dists.size(), 2u);
+    const double median_slowdown =
+        dists[1].tbt.median / units::toMs(baseline.tbtS) - 1.0;
+    EXPECT_GT(median_slowdown, 0.60);
+    EXPECT_GT(dists[1].tbtNarrowing, 10.0);
+}
+
+TEST_F(StudyFixture, Fig12SmallL1IsTheTtftIndicator)
+{
+    // Sec. 5.3: 32 KB L1 devices have the slowest median TTFT.
+    const Workload w = gpt3Workload();
+    const auto baseline = study_.evaluateBaseline(w);
+    const auto designs = dse::filterReticle(
+        study_.runSweep(dse::table5Space(), w));
+    const auto dists = dse::indicatorStudy(
+        designs,
+        {{"32KB", dse::fixedParameter(
+                      policy::ArchParameter::L1_PER_CORE,
+                      32.0 * units::KIB)}});
+    const double median_slowdown =
+        dists[1].ttft.median / units::toMs(baseline.ttftS) - 1.0;
+    EXPECT_GT(median_slowdown, 0.35);
+    EXPECT_LT(median_slowdown, 1.00);
+    // And it is slower than the unconstrained median.
+    EXPECT_GT(dists[1].ttft.median, dists[0].ttft.median);
+}
+
+TEST_F(StudyFixture, CustomPerfParamsPropagate)
+{
+    perf::PerfParams params;
+    params.kernelOverheadS = 0.0;
+    const SanctionsStudy fast(params);
+    const auto with = study_.evaluateBaseline(gpt3Workload());
+    const auto without = fast.evaluateBaseline(gpt3Workload());
+    EXPECT_LT(without.tbtS, with.tbtS);
+    EXPECT_DOUBLE_EQ(fast.params().kernelOverheadS, 0.0);
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace acs

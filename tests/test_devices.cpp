@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for acs_devices: catalogue integrity and the paper's
+ * classification headlines over the real-device population.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "devices/database.hh"
+#include "policy/acr_rules.hh"
+#include "policy/marketing.hh"
+
+namespace acs {
+namespace devices {
+namespace {
+
+class DatabaseFixture : public ::testing::Test
+{
+  protected:
+    Database db_;
+};
+
+// ---- catalogue integrity -----------------------------------------------------
+
+TEST_F(DatabaseFixture, HasSixtyFiveDevices)
+{
+    // Sec. 5.2: "we calculated TPP and PD for 65 GPUs".
+    EXPECT_EQ(db_.size(), 65u);
+}
+
+TEST_F(DatabaseFixture, FourteenDataCenterDevices)
+{
+    // Sec. 5.2: 14 data-center marketed, 51 consumer/workstation.
+    EXPECT_EQ(db_.bySegment(policy::MarketSegment::DATA_CENTER).size(),
+              14u);
+    EXPECT_EQ(db_.bySegment(policy::MarketSegment::CONSUMER).size() +
+                  db_.bySegment(policy::MarketSegment::WORKSTATION)
+                      .size(),
+              51u);
+}
+
+TEST_F(DatabaseFixture, AllRecordsWellFormed)
+{
+    for (const DeviceRecord &rec : db_.all()) {
+        EXPECT_FALSE(rec.name.empty());
+        EXPECT_GE(rec.releaseYear, 2018) << rec.name;
+        EXPECT_LE(rec.releaseYear, 2024) << rec.name;
+        EXPECT_GE(rec.releaseMonth, 1) << rec.name;
+        EXPECT_LE(rec.releaseMonth, 12) << rec.name;
+        EXPECT_GT(rec.tpp, 0.0) << rec.name;
+        EXPECT_GE(rec.deviceBandwidthGBps, 0.0) << rec.name;
+        EXPECT_GT(rec.dieAreaMm2, 0.0) << rec.name;
+        EXPECT_GT(rec.memCapacityGB, 0.0) << rec.name;
+        EXPECT_GT(rec.memBandwidthGBps, 0.0) << rec.name;
+    }
+}
+
+TEST_F(DatabaseFixture, SortedByReleaseDate)
+{
+    const auto &all = db_.all();
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        const bool ordered =
+            all[i - 1].releaseYear < all[i].releaseYear ||
+            (all[i - 1].releaseYear == all[i].releaseYear &&
+             all[i - 1].releaseMonth <= all[i].releaseMonth);
+        EXPECT_TRUE(ordered) << all[i - 1].name << " vs " << all[i].name;
+    }
+}
+
+TEST_F(DatabaseFixture, NamesAreUnique)
+{
+    std::vector<std::string> names;
+    for (const DeviceRecord &rec : db_.all())
+        names.push_back(rec.name);
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end());
+}
+
+TEST_F(DatabaseFixture, LookupByName)
+{
+    const auto a100 = db_.byName("NVIDIA A100 80GB");
+    ASSERT_TRUE(a100.has_value());
+    EXPECT_DOUBLE_EQ(a100->tpp, 4992.0);
+    EXPECT_DOUBLE_EQ(a100->deviceBandwidthGBps, 600.0);
+    EXPECT_DOUBLE_EQ(a100->dieAreaMm2, 826.0);
+    EXPECT_FALSE(db_.byName("NVIDIA B200").has_value());
+}
+
+TEST_F(DatabaseFixture, VendorSplit)
+{
+    const auto nv = db_.byVendor(Vendor::NVIDIA);
+    const auto amd = db_.byVendor(Vendor::AMD);
+    EXPECT_EQ(nv.size() + amd.size(), db_.size());
+    EXPECT_GT(nv.size(), amd.size());
+}
+
+TEST_F(DatabaseFixture, YearRangeFilter)
+{
+    const auto in_2023 = db_.byYearRange(2023, 2023);
+    for (const DeviceRecord &rec : in_2023)
+        EXPECT_EQ(rec.releaseYear, 2023);
+    EXPECT_EQ(db_.byYearRange(2018, 2024).size(), db_.size());
+    EXPECT_THROW(db_.byYearRange(2024, 2018), FatalError);
+}
+
+TEST_F(DatabaseFixture, ToSpecPreservesFields)
+{
+    const auto rec = db_.byName("NVIDIA H20");
+    ASSERT_TRUE(rec.has_value());
+    const policy::DeviceSpec spec = rec->toSpec();
+    EXPECT_EQ(spec.name, rec->name);
+    EXPECT_DOUBLE_EQ(spec.tpp, rec->tpp);
+    EXPECT_DOUBLE_EQ(spec.memBandwidthGBps, rec->memBandwidthGBps);
+    EXPECT_EQ(spec.market, rec->market);
+}
+
+// ---- paper classification headlines ---------------------------------------------
+
+TEST_F(DatabaseFixture, Oct2022RegulatesOnlyFlagships)
+{
+    // Paper Fig. 1a: A100, H100-class, MI250X, MI300X.
+    std::vector<std::string> licensed;
+    for (const auto &spec : db_.allSpecs()) {
+        if (policy::isRegulated(policy::Oct2022Rule::classify(spec)))
+            licensed.push_back(spec.name);
+    }
+    EXPECT_EQ(licensed.size(), 4u);
+    for (const char *name :
+         {"NVIDIA A100 80GB", "NVIDIA H100 SXM", "AMD Instinct MI250X",
+          "AMD Instinct MI300X"}) {
+        EXPECT_NE(std::find(licensed.begin(), licensed.end(), name),
+                  licensed.end())
+            << name;
+    }
+}
+
+TEST_F(DatabaseFixture, A800EscapedOct2022ButNotOct2023)
+{
+    // Sec. 2.2: the A800 was the Oct-2022 workaround; Oct 2023
+    // (PD 6.04) sanctions it.
+    const auto spec = db_.byName("NVIDIA A800")->toSpec();
+    EXPECT_EQ(policy::Oct2022Rule::classify(spec),
+              policy::Classification::NOT_APPLICABLE);
+    EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+              policy::Classification::LICENSE_REQUIRED);
+}
+
+TEST_F(DatabaseFixture, H800EscapedOct2022ButNotOct2023)
+{
+    const auto spec = db_.byName("NVIDIA H800")->toSpec();
+    EXPECT_EQ(policy::Oct2022Rule::classify(spec),
+              policy::Classification::NOT_APPLICABLE);
+    EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+              policy::Classification::LICENSE_REQUIRED);
+    EXPECT_NEAR(spec.perfDensity(), 19.45, 0.1); // paper's H800 PD
+}
+
+TEST_F(DatabaseFixture, Mi210NowNeedsNac)
+{
+    // Sec. 2.2: "previously unregulated, but now requires NAC".
+    const auto spec = db_.byName("AMD Instinct MI210")->toSpec();
+    EXPECT_EQ(policy::Oct2022Rule::classify(spec),
+              policy::Classification::NOT_APPLICABLE);
+    EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+              policy::Classification::NAC_ELIGIBLE);
+}
+
+TEST_F(DatabaseFixture, Rtx4090NowNeedsNac)
+{
+    // Sec. 2.2: the RTX 4090 (5285 TPP) now requires NAC exceptions.
+    const auto spec = db_.byName("NVIDIA RTX 4090")->toSpec();
+    EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+              policy::Classification::NAC_ELIGIBLE);
+}
+
+TEST_F(DatabaseFixture, Rtx4090DDucksTheNonDcThreshold)
+{
+    // Sec. 2.2: the 4090D (4708 TPP) disables cores to duck 4800.
+    const auto spec = db_.byName("NVIDIA RTX 4090D")->toSpec();
+    EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+              policy::Classification::NOT_APPLICABLE);
+}
+
+TEST_F(DatabaseFixture, H20AndL20ComplyWithOct2023)
+{
+    // Sec. 2.2: NVIDIA's Nov-2023 compliant China SKUs.
+    for (const char *name : {"NVIDIA H20", "NVIDIA L20", "NVIDIA L2"}) {
+        const auto spec = db_.byName(name)->toSpec();
+        EXPECT_EQ(policy::Oct2023Rule::classify(spec),
+                  policy::Classification::NOT_APPLICABLE)
+            << name;
+    }
+}
+
+TEST_F(DatabaseFixture, MarketingSummaryMatchesPaperCounts)
+{
+    // Fig. 9: 4 false data center, 7 false non-data center.
+    const auto summary = policy::summarizeMarketing(db_.allSpecs());
+    EXPECT_EQ(summary.falseDc, 4);
+    EXPECT_EQ(summary.falseNonDc, 7);
+}
+
+TEST_F(DatabaseFixture, FalseDataCenterDevicesIncludeL40AndA40)
+{
+    // Sec. 5.2 names the L40 and A40 explicitly.
+    for (const char *name : {"NVIDIA L40", "NVIDIA A40"}) {
+        const auto spec = db_.byName(name)->toSpec();
+        EXPECT_EQ(policy::analyzeMarketing(spec),
+                  policy::MarketingConsistency::FALSE_DC)
+            << name;
+    }
+}
+
+TEST_F(DatabaseFixture, FalseNonDcIncludes4080And7900Xtx)
+{
+    // Sec. 5.2 names the RTX 4080 and RX 7900 XTX explicitly.
+    for (const char *name :
+         {"NVIDIA RTX 4080", "AMD RX 7900 XTX"}) {
+        const auto spec = db_.byName(name)->toSpec();
+        EXPECT_EQ(policy::analyzeMarketing(spec),
+                  policy::MarketingConsistency::FALSE_NON_DC)
+            << name;
+    }
+}
+
+TEST_F(DatabaseFixture, ArchClassifierNearlyEliminatesInconsistency)
+{
+    // Fig. 10: no false non-DC; the only false DC are small-memory
+    // AD104-class data-center parts (L4/L2; the A30 also trips the
+    // >32 GB test in our catalogue).
+    const auto summary =
+        policy::ArchDataCenterClassifier::summarize(db_.allSpecs());
+    EXPECT_EQ(summary.falseNonDc, 0);
+    EXPECT_LE(summary.falseDc, 3);
+    for (const char *name : {"NVIDIA L4", "NVIDIA L2"}) {
+        EXPECT_EQ(policy::ArchDataCenterClassifier::analyze(
+                      db_.byName(name)->toSpec()),
+                  policy::MarketingConsistency::FALSE_DC)
+            << name;
+    }
+}
+
+TEST_F(DatabaseFixture, VendorNames)
+{
+    EXPECT_EQ(toString(Vendor::NVIDIA), "NVIDIA");
+    EXPECT_EQ(toString(Vendor::AMD), "AMD");
+}
+
+} // anonymous namespace
+} // namespace devices
+} // namespace acs

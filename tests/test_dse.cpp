@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for acs_dse: sweep generation (Tables 3/5), design
+ * evaluation, compliance filters, and the distribution/Pareto
+ * analyses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/study.hh"
+#include "dse/analysis.hh"
+#include "dse/evaluate.hh"
+#include "dse/sweep.hh"
+#include "hw/presets.hh"
+
+namespace acs {
+namespace dse {
+namespace {
+
+core::Workload
+smallWorkload()
+{
+    // Llama on one device: cheapest evaluation for unit tests.
+    core::Workload w;
+    w.model = model::llama3_8b();
+    w.setting = model::InferenceSetting{};
+    w.system.tensorParallel = 1;
+    return w;
+}
+
+DesignEvaluator
+makeEvaluator()
+{
+    const core::Workload w = smallWorkload();
+    return DesignEvaluator(w.model, w.setting, w.system);
+}
+
+// ---- sweep spaces -----------------------------------------------------------
+
+TEST(SweepSpace, Table3SizeMatchesPaper)
+{
+    // 2 dims x 4 lanes x 4 L1 x 4 L2 x 4 memBW x 1 devBW = 512.
+    EXPECT_EQ(table3Space(4800.0, {600.0 * units::GBPS}).size(), 512u);
+    // x 3 device bandwidths = 1536 (Fig. 7).
+    EXPECT_EQ(table3Space(2400.0,
+                          {500.0 * units::GBPS, 700.0 * units::GBPS,
+                           900.0 * units::GBPS})
+                  .size(),
+              1536u);
+}
+
+TEST(SweepSpace, Table5SizeMatchesPaper)
+{
+    // 3 dims x 4 lanes x 4 L1 x 4 L2 x 4 memBW x 3 devBW = 2304.
+    EXPECT_EQ(table5Space().size(), 2304u);
+}
+
+TEST(SweepSpace, GenerateProducesEveryPoint)
+{
+    const SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    EXPECT_EQ(space.generate().size(), space.size());
+}
+
+TEST(SweepSpace, AllGeneratedPointsRespectTppTarget)
+{
+    for (double target : {1600.0, 2400.0, 4800.0}) {
+        const SweepSpace space =
+            table3Space(target, {600.0 * units::GBPS});
+        for (const hw::HardwareConfig &cfg : space.generate()) {
+            EXPECT_LE(cfg.tpp(), target * (1.0 + 1e-9)) << cfg.name;
+            // And near the target: adding one core would exceed it.
+            hw::HardwareConfig plus = cfg;
+            plus.coreCount += 1;
+            EXPECT_GT(plus.tpp(), target) << cfg.name;
+        }
+    }
+}
+
+TEST(SweepSpace, GeneratedNamesAreUnique)
+{
+    const auto cfgs =
+        table3Space(4800.0, {600.0 * units::GBPS}).generate();
+    std::set<std::string> names;
+    for (const auto &cfg : cfgs)
+        names.insert(cfg.name);
+    EXPECT_EQ(names.size(), cfgs.size());
+}
+
+TEST(SweepSpace, DeviceBandwidthRealizedAs50GbpsPhys)
+{
+    SweepSpace space = table3Space(4800.0, {500.0 * units::GBPS});
+    for (const auto &cfg : space.generate()) {
+        EXPECT_EQ(cfg.devicePhyCount, 10);
+        EXPECT_DOUBLE_EQ(cfg.deviceBandwidth(), 500.0 * units::GBPS);
+    }
+}
+
+TEST(SweepSpace, EmptyParameterListIsFatal)
+{
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.l2Bytes.clear();
+    EXPECT_THROW(space.generate(), FatalError);
+    space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.tppTarget = 0.0;
+    EXPECT_THROW(space.generate(), FatalError);
+}
+
+TEST(SweepSpace, ImpossibleCorePointsAreSkipped)
+{
+    SweepSpace space = table3Space(100.0, {600.0 * units::GBPS});
+    space.systolicDims = {32};
+    space.lanesPerCore = {8};
+    // 32x32x8 = 8192 FPUs/core exceeds a 100-TPP budget.
+    EXPECT_TRUE(space.generate().empty());
+}
+
+// ---- evaluation ---------------------------------------------------------------
+
+TEST(DesignEvaluator, FieldsAreConsistent)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    const EvaluatedDesign d = evaluator.evaluate(hw::modeledA100());
+    EXPECT_DOUBLE_EQ(d.tpp, d.config.tpp());
+    EXPECT_GT(d.dieAreaMm2, 0.0);
+    EXPECT_NEAR(d.perfDensity, d.tpp / d.dieAreaMm2, 1e-9);
+    EXPECT_EQ(d.underReticle,
+              d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2);
+    EXPECT_GT(d.dieCostUsd, 0.0);
+    EXPECT_GT(d.goodDieCostUsd, d.dieCostUsd); // yield < 1
+    EXPECT_GT(d.ttftS, 0.0);
+    EXPECT_GT(d.tbtS, 0.0);
+}
+
+TEST(DesignEvaluator, CostProductsAreMsTimesDollars)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    const EvaluatedDesign d = evaluator.evaluate(hw::modeledA100());
+    EXPECT_NEAR(d.ttftCostProduct(),
+                units::toMs(d.ttftS) * d.dieCostUsd, 1e-9);
+    EXPECT_NEAR(d.tbtCostProduct(), units::toMs(d.tbtS) * d.dieCostUsd,
+                1e-9);
+}
+
+TEST(DesignEvaluator, ToSpecMarksDataCenter)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    const EvaluatedDesign d = evaluator.evaluate(hw::modeledA100());
+    const policy::DeviceSpec spec = d.toSpec();
+    EXPECT_EQ(spec.market, policy::MarketSegment::DATA_CENTER);
+    EXPECT_DOUBLE_EQ(spec.tpp, d.tpp);
+    EXPECT_DOUBLE_EQ(spec.memCapacityGB, 80.0);
+    EXPECT_DOUBLE_EQ(spec.deviceBandwidthGBps, 600.0);
+}
+
+TEST(DesignEvaluator, EvaluateAllPreservesOrder)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    std::vector<hw::HardwareConfig> cfgs{hw::modeledA100(),
+                                         hw::modeledA800()};
+    const auto designs = evaluator.evaluateAll(cfgs);
+    ASSERT_EQ(designs.size(), 2u);
+    EXPECT_EQ(designs[0].config.name, "modeled-A100");
+    EXPECT_EQ(designs[1].config.name, "modeled-A800");
+}
+
+TEST(DesignEvaluator, InvalidSystemIsFatal)
+{
+    const core::Workload w = smallWorkload();
+    perf::SystemConfig bad{0};
+    EXPECT_THROW(DesignEvaluator(w.model, w.setting, bad), FatalError);
+}
+
+// ---- filters and selectors -------------------------------------------------------
+
+std::vector<EvaluatedDesign>
+syntheticDesigns()
+{
+    std::vector<EvaluatedDesign> out;
+    for (int i = 0; i < 5; ++i) {
+        EvaluatedDesign d;
+        d.config = hw::modeledA100();
+        d.config.name = "d" + std::to_string(i);
+        d.dieAreaMm2 = 500.0 + 200.0 * i; // 500..1300
+        d.underReticle = d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
+        d.ttftS = 0.300 - 0.010 * i;
+        d.tbtS = 0.0010 + 0.0001 * i;
+        d.tpp = 4000.0;
+        d.perfDensity = d.tpp / d.dieAreaMm2;
+        d.dieCostUsd = 100.0;
+        out.push_back(d);
+    }
+    return out;
+}
+
+TEST(Filters, ReticleKeepsSmallDies)
+{
+    const auto kept = filterReticle(syntheticDesigns());
+    EXPECT_EQ(kept.size(), 2u); // 500 and 700 mm^2
+    for (const auto &d : kept)
+        EXPECT_LE(d.dieAreaMm2, area::RETICLE_LIMIT_MM2);
+}
+
+TEST(Filters, Oct2023UnregulatedFilter)
+{
+    // 4000 TPP needs PD < 1.6 -> area > 2500 mm^2; none qualify.
+    EXPECT_TRUE(
+        filterOct2023Unregulated(syntheticDesigns()).empty());
+
+    auto designs = syntheticDesigns();
+    designs[0].tpp = 1000.0; // under every threshold
+    EXPECT_EQ(filterOct2023Unregulated(designs).size(), 1u);
+}
+
+TEST(Selectors, MinTtftAndMinTbt)
+{
+    const auto designs = syntheticDesigns();
+    EXPECT_EQ(minTtft(designs).config.name, "d4");
+    EXPECT_EQ(minTbt(designs).config.name, "d0");
+    EXPECT_THROW(minTtft({}), FatalError);
+    EXPECT_THROW(minTbt({}), FatalError);
+}
+
+// ---- analysis ----------------------------------------------------------------------
+
+TEST(Analysis, MetricHelpers)
+{
+    EvaluatedDesign d;
+    d.ttftS = 0.25;
+    d.tbtS = 0.0014;
+    EXPECT_DOUBLE_EQ(ttftMs(d), 250.0);
+    EXPECT_DOUBLE_EQ(tbtMs(d), 1.4);
+}
+
+TEST(Analysis, FixedParameterPredicate)
+{
+    EvaluatedDesign d;
+    d.config = hw::modeledA100();
+    EXPECT_TRUE(fixedParameter(policy::ArchParameter::LANES_PER_CORE,
+                               4.0)(d));
+    EXPECT_FALSE(fixedParameter(policy::ArchParameter::LANES_PER_CORE,
+                                2.0)(d));
+    EXPECT_TRUE(fixedParameter(policy::ArchParameter::MEM_BANDWIDTH,
+                               2.0 * units::TBPS)(d));
+}
+
+TEST(Analysis, IndicatorStudyBaselineFirst)
+{
+    const auto designs = syntheticDesigns();
+    const auto dists = indicatorStudy(
+        designs, {{"big-die", [](const EvaluatedDesign &d) {
+                       return d.dieAreaMm2 > 1000.0;
+                   }}});
+    ASSERT_EQ(dists.size(), 2u);
+    EXPECT_EQ(dists[0].label, "TPP Only");
+    EXPECT_EQ(dists[0].designCount, designs.size());
+    EXPECT_EQ(dists[1].label, "big-die");
+    EXPECT_EQ(dists[1].designCount, 2u);
+    EXPECT_GE(dists[1].ttftNarrowing, 1.0);
+}
+
+TEST(Analysis, IndicatorStudyDropsEmptyGroups)
+{
+    const auto dists = indicatorStudy(
+        syntheticDesigns(),
+        {{"nothing", [](const EvaluatedDesign &) { return false; }}});
+    EXPECT_EQ(dists.size(), 1u); // baseline only
+}
+
+TEST(Analysis, IndicatorStudyEmptyBaselineIsFatal)
+{
+    EXPECT_THROW(indicatorStudy({}, {}), FatalError);
+}
+
+TEST(Analysis, ParetoFrontOnSyntheticSet)
+{
+    // In the synthetic set TTFT falls while TBT rises with i, so every
+    // design is Pareto-optimal for (ttft, tbt).
+    const auto designs = syntheticDesigns();
+    const auto front = paretoFront(designs, ttftMs, tbtMs);
+    EXPECT_EQ(front.size(), designs.size());
+}
+
+TEST(Analysis, ParetoFrontRemovesDominatedPoints)
+{
+    auto designs = syntheticDesigns();
+    // Make d1 dominated by d0 on both metrics.
+    designs[1].ttftS = designs[0].ttftS + 0.01;
+    designs[1].tbtS = designs[0].tbtS + 0.01;
+    const auto front = paretoFront(designs, ttftMs, tbtMs);
+    for (const auto &d : front)
+        EXPECT_NE(d.config.name, "d1");
+}
+
+TEST(Analysis, ParetoFrontIsSortedAndUndominated)
+{
+    const auto designs = syntheticDesigns();
+    const auto front = paretoFront(designs, ttftMs, tbtMs);
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_LE(ttftMs(front[i - 1]), ttftMs(front[i]));
+        EXPECT_GT(tbtMs(front[i - 1]), tbtMs(front[i]));
+    }
+}
+
+
+TEST(SweepSpace, ChipletDimensionMultipliesSpace)
+{
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.diesPerPackage = {1, 2, 4};
+    EXPECT_EQ(space.size(), 3u * 512u);
+    const auto cfgs = space.generate();
+    EXPECT_EQ(cfgs.size(), space.size());
+    for (const auto &cfg : cfgs) {
+        // Package TPP stays under the target regardless of die count.
+        EXPECT_LE(cfg.tpp(), 4800.0 * (1.0 + 1e-9)) << cfg.name;
+    }
+}
+
+TEST(SweepSpace, ChipletEntriesMustBePositive)
+{
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.diesPerPackage = {0};
+    EXPECT_THROW(space.generate(), FatalError);
+}
+
+TEST(Workloads, RegistryResolvesNames)
+{
+    EXPECT_EQ(core::workloadByName("gpt3").model.name, "GPT-3 175B");
+    EXPECT_EQ(core::workloadByName("llama").model.name, "Llama 3 8B");
+    EXPECT_EQ(core::workloadByName("llama70b").model.name,
+              "Llama 3 70B");
+    EXPECT_EQ(core::workloadByName("mixtral").model.name,
+              "Mixtral 8x7B");
+    EXPECT_THROW(core::workloadByName("gpt5"), FatalError);
+}
+
+// ---- end-to-end sweep sanity ---------------------------------------------------------
+
+TEST(SweepIntegration, Table3SweepEvaluatesCleanly)
+{
+    const core::SanctionsStudy study;
+    const auto designs = study.runSweep(
+        table3Space(4800.0, {600.0 * units::GBPS}), smallWorkload());
+    EXPECT_EQ(designs.size(), 512u);
+    for (const auto &d : designs) {
+        EXPECT_GT(d.ttftS, 0.0);
+        EXPECT_GT(d.tbtS, 0.0);
+        EXPECT_GT(d.dieAreaMm2, 0.0);
+        // At or under the target; coarse-grained cores (32x32 x 8
+        // lanes is 8192 FPUs/core) can land up to ~8% below it.
+        EXPECT_LE(d.tpp, 4800.0 * (1.0 + 1e-9));
+        EXPECT_GE(d.tpp, 4800.0 * 0.90);
+    }
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace acs

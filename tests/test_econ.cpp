@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for acs_econ: the linear market model and deadweight-loss
+ * computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "econ/market.hh"
+
+namespace acs {
+namespace econ {
+namespace {
+
+LinearMarket
+unitMarket()
+{
+    // P = 10 - Q demand, P = 2 + Q supply -> Q* = 4, P* = 6.
+    LinearMarket m;
+    m.demandIntercept = 10.0;
+    m.demandSlope = 1.0;
+    m.supplyIntercept = 2.0;
+    m.supplySlope = 1.0;
+    return m;
+}
+
+TEST(LinearMarket, EquilibriumKnownValues)
+{
+    const LinearMarket m = unitMarket();
+    EXPECT_DOUBLE_EQ(m.equilibriumQuantity(), 4.0);
+    EXPECT_DOUBLE_EQ(m.equilibriumPrice(), 6.0);
+}
+
+TEST(LinearMarket, ValidationRejectsDegenerateMarkets)
+{
+    LinearMarket m = unitMarket();
+    m.demandSlope = 0.0;
+    EXPECT_THROW(m.validate(), FatalError);
+    m = unitMarket();
+    m.supplySlope = -1.0;
+    EXPECT_THROW(m.validate(), FatalError);
+    m = unitMarket();
+    m.demandIntercept = 1.0; // below supply intercept
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Welfare, NoLossAtEquilibrium)
+{
+    const LinearMarket m = unitMarket();
+    const Welfare w = restrictedWelfare(m, m.equilibriumQuantity());
+    EXPECT_NEAR(w.deadweightLoss, 0.0, 1e-12);
+    // CS = 1/2 b Q^2 = 8; PS = 8.
+    EXPECT_DOUBLE_EQ(w.consumerSurplus, 8.0);
+    EXPECT_DOUBLE_EQ(w.producerSurplus, 8.0);
+    EXPECT_DOUBLE_EQ(w.totalSurplus, 16.0);
+}
+
+TEST(Welfare, CapAboveEquilibriumDoesNotBind)
+{
+    const LinearMarket m = unitMarket();
+    const Welfare w = restrictedWelfare(m, 100.0);
+    EXPECT_DOUBLE_EQ(w.quantity, 4.0);
+    EXPECT_NEAR(w.deadweightLoss, 0.0, 1e-12);
+}
+
+TEST(Welfare, DeadweightLossIsHalfSlopeSumTimesGapSquared)
+{
+    // DWL = 1/2 (b + d) (Q* - q)^2 for a linear market.
+    const LinearMarket m = unitMarket();
+    for (double q : {0.0, 1.0, 2.0, 3.0}) {
+        const Welfare w = restrictedWelfare(m, q);
+        EXPECT_NEAR(w.deadweightLoss, 0.5 * 2.0 * (4.0 - q) * (4.0 - q),
+                    1e-9)
+            << q;
+    }
+}
+
+TEST(Welfare, ScarcityRentAccruesToSellers)
+{
+    // Under a quantity cap, the buyer price rises along the demand
+    // curve and producers capture the wedge.
+    const LinearMarket m = unitMarket();
+    const Welfare w = restrictedWelfare(m, 2.0);
+    EXPECT_DOUBLE_EQ(w.buyerPrice, 8.0);
+    // PS = P q - (c q + d q^2 / 2) = 16 - (4 + 2) = 10 > 8.
+    EXPECT_DOUBLE_EQ(w.producerSurplus, 10.0);
+    EXPECT_DOUBLE_EQ(w.consumerSurplus, 2.0);
+}
+
+TEST(Welfare, NegativeCapIsFatal)
+{
+    EXPECT_THROW(restrictedWelfare(unitMarket(), -1.0), FatalError);
+}
+
+TEST(DeadweightFraction, BoundsAndEndpoints)
+{
+    const LinearMarket m = unitMarket();
+    EXPECT_NEAR(deadweightFraction(m, m.equilibriumQuantity()), 0.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(deadweightFraction(m, 0.0), 1.0);
+    const double half = deadweightFraction(m, 2.0);
+    EXPECT_GT(half, 0.0);
+    EXPECT_LT(half, 1.0);
+}
+
+/** Property: deadweight loss shrinks as the cap loosens. */
+class CapMonotone : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CapMonotone, LossNonIncreasingInCap)
+{
+    const LinearMarket m = unitMarket();
+    const double cap = GetParam();
+    EXPECT_GE(restrictedWelfare(m, cap).deadweightLoss,
+              restrictedWelfare(m, cap + 0.5).deadweightLoss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CapMonotone,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0, 2.5,
+                                           3.0, 3.5));
+
+TEST(MarketFromAnchors, RoundTripsEquilibrium)
+{
+    const LinearMarket m =
+        marketFromAnchors(18000.0, 3e6, -1.5, 1.0);
+    EXPECT_NEAR(m.equilibriumQuantity(), 3e6, 1.0);
+    EXPECT_NEAR(m.equilibriumPrice(), 18000.0, 1e-3);
+}
+
+TEST(MarketFromAnchors, ElasticityControlsSlope)
+{
+    // More elastic demand -> flatter demand curve (smaller slope).
+    const LinearMarket elastic =
+        marketFromAnchors(100.0, 1000.0, -3.0, 1.0);
+    const LinearMarket inelastic =
+        marketFromAnchors(100.0, 1000.0, -0.5, 1.0);
+    EXPECT_LT(elastic.demandSlope, inelastic.demandSlope);
+}
+
+TEST(MarketFromAnchors, InelasticDemandRaisesLossOfSameCut)
+{
+    // Scarce-substitute markets (inelastic demand) lose more welfare
+    // for the same supply restriction.
+    const double cap = 800.0;
+    const LinearMarket elastic =
+        marketFromAnchors(100.0, 1000.0, -3.0, 1.0);
+    const LinearMarket inelastic =
+        marketFromAnchors(100.0, 1000.0, -0.5, 1.0);
+    EXPECT_GT(restrictedWelfare(inelastic, cap).deadweightLoss,
+              restrictedWelfare(elastic, cap).deadweightLoss);
+}
+
+TEST(MarketFromAnchors, Validation)
+{
+    EXPECT_THROW(marketFromAnchors(0.0, 1000.0, -1.0, 1.0), FatalError);
+    EXPECT_THROW(marketFromAnchors(100.0, 0.0, -1.0, 1.0), FatalError);
+    EXPECT_THROW(marketFromAnchors(100.0, 1000.0, 1.0, 1.0),
+                 FatalError);
+    EXPECT_THROW(marketFromAnchors(100.0, 1000.0, -1.0, 0.0),
+                 FatalError);
+}
+
+} // anonymous namespace
+} // namespace econ
+} // namespace acs

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property-based fuzzing across random hardware configurations: every
+ * model in the library must stay total, finite, and internally
+ * consistent anywhere in the valid configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "area/area_model.hh"
+#include "area/cost_model.hh"
+#include "area/power_model.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "model/transformer.hh"
+#include "perf/graphics_model.hh"
+#include "perf/simulator.hh"
+#include "policy/acr_rules.hh"
+#include "policy/historical.hh"
+
+namespace acs {
+namespace {
+
+/** Draw a random valid HardwareConfig. */
+hw::HardwareConfig
+randomConfig(Rng &rng)
+{
+    static const int dims[] = {4, 8, 16, 32};
+    static const int lanes[] = {1, 2, 4, 8};
+
+    hw::HardwareConfig cfg;
+    cfg.name = "fuzz";
+    cfg.systolicDimX = dims[rng.below(4)];
+    cfg.systolicDimY = dims[rng.below(4)];
+    cfg.lanesPerCore = lanes[rng.below(4)];
+    cfg.coreCount = 1 + static_cast<int>(rng.below(256));
+    cfg.vectorWidth = 8 << rng.below(3);
+    cfg.clockHz = rng.uniform(0.8e9, 2.2e9);
+    cfg.opBitwidth = rng.below(2) ? 16 : 8;
+    cfg.l1BytesPerCore = rng.uniform(16.0, 2048.0) * units::KIB;
+    cfg.l2Bytes = rng.uniform(4.0, 128.0) * units::MIB;
+    cfg.memCapacityBytes = rng.uniform(8.0, 256.0) * units::GB;
+    cfg.memBandwidth = rng.uniform(0.2, 6.0) * units::TBPS;
+    cfg.devicePhyCount = static_cast<int>(rng.below(25));
+    cfg.perPhyBandwidth = 50.0 * units::GBPS;
+    cfg.diesPerPackage = 1 + static_cast<int>(rng.below(4));
+    return cfg;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(Fuzz, HardwareInvariantsHold)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 40; ++i) {
+        const hw::HardwareConfig cfg = randomConfig(rng);
+        ASSERT_NO_THROW(cfg.validate());
+        EXPECT_GT(cfg.tpp(), 0.0);
+        EXPECT_GT(cfg.peakTensorTops(), 0.0);
+        EXPECT_GT(cfg.peakVectorFlops(), 0.0);
+        EXPECT_GE(cfg.deviceBandwidth(), 0.0);
+        EXPECT_GT(cfg.l1BytesPerLane(), 0.0);
+    }
+}
+
+TEST_P(Fuzz, AreaAndCostStayFiniteAndConsistent)
+{
+    Rng rng(GetParam() * 31 + 7);
+    const area::AreaModel area_model;
+    const area::CostModel cost_model;
+    for (int i = 0; i < 40; ++i) {
+        const hw::HardwareConfig cfg = randomConfig(rng);
+        const double a = area_model.dieArea(cfg);
+        ASSERT_TRUE(std::isfinite(a));
+        EXPECT_GT(a, 0.0);
+        EXPECT_NEAR(area_model.perfDensity(cfg), cfg.tpp() / a, 1e-9);
+
+        const double per_die = a / cfg.diesPerPackage;
+        if (cost_model.diesPerWafer(per_die) > 0) {
+            const double cost = cost_model.dieCostUsd(
+                per_die, cfg.process);
+            EXPECT_GT(cost, 0.0);
+            EXPECT_GE(cost_model.goodDieCostUsd(per_die, cfg.process),
+                      cost);
+        }
+    }
+}
+
+TEST_P(Fuzz, SimulatorStaysFiniteAndOrdered)
+{
+    Rng rng(GetParam() * 97 + 13);
+    const model::InferenceSetting setting;
+    const auto llama = model::llama3_8b();
+    for (int i = 0; i < 12; ++i) {
+        hw::HardwareConfig cfg = randomConfig(rng);
+        // Interconnect needed when TP > 1.
+        const int tp = cfg.devicePhyCount > 0 && rng.below(2) ? 4 : 1;
+        const perf::InferenceSimulator sim(cfg);
+        const auto r = sim.run(llama, setting,
+                               perf::SystemConfig{tp});
+        ASSERT_TRUE(std::isfinite(r.ttftS));
+        ASSERT_TRUE(std::isfinite(r.tbtS));
+        EXPECT_GT(r.ttftS, 0.0);
+        EXPECT_GT(r.tbtS, 0.0);
+        EXPECT_LT(r.tbtS, r.ttftS); // decode step << full prefill
+        EXPECT_GT(r.throughputTokensPerS(), 0.0);
+        for (const auto &op : r.prefill.ops) {
+            EXPECT_GE(op.latencyS, 0.0) << op.name;
+            EXPECT_LE(op.utilization, 1.0 + 1e-9) << op.name;
+        }
+    }
+}
+
+TEST_P(Fuzz, PolicyClassifiersAreTotal)
+{
+    Rng rng(GetParam() * 193 + 29);
+    const area::AreaModel area_model;
+    for (int i = 0; i < 60; ++i) {
+        const hw::HardwareConfig cfg = randomConfig(rng);
+        policy::DeviceSpec spec;
+        spec.name = cfg.name;
+        spec.tpp = cfg.tpp();
+        spec.deviceBandwidthGBps =
+            units::toGBps(cfg.deviceBandwidth());
+        spec.dieAreaMm2 = area_model.dieArea(cfg);
+        spec.memCapacityGB = cfg.memCapacityBytes / units::GB;
+        spec.memBandwidthGBps = units::toGBps(cfg.memBandwidth);
+        // Both rules must produce a classification without throwing.
+        ASSERT_NO_THROW(policy::Oct2022Rule::classify(spec));
+        ASSERT_NO_THROW(policy::Oct2023Rule::classify(spec));
+        // Rule consistency: an Oct-2023 license by TPP implies the
+        // Oct-2022 TPP threshold is also met.
+        if (spec.tpp >= 4800.0 && spec.deviceBandwidthGBps >= 600.0) {
+            EXPECT_TRUE(policy::isRegulated(
+                policy::Oct2022Rule::classify(spec)));
+        }
+    }
+}
+
+TEST_P(Fuzz, GraphicsAndPowerStayFinite)
+{
+    Rng rng(GetParam() * 389 + 41);
+    const area::PowerModel power_model;
+    const auto workload = model::GraphicsWorkload::aaa1440p();
+    for (int i = 0; i < 30; ++i) {
+        const hw::HardwareConfig cfg = randomConfig(rng);
+        const perf::GraphicsModel gfx(cfg);
+        const auto frame = gfx.frameTime(workload, rng.below(2) == 0);
+        ASSERT_TRUE(std::isfinite(frame.frameS));
+        EXPECT_GT(frame.fps(), 0.0);
+
+        const area::ActivityProfile activity{rng.uniform(),
+                                             rng.uniform(),
+                                             rng.uniform(0.0, 8.0)};
+        const auto p = power_model.power(cfg, activity);
+        ASSERT_TRUE(std::isfinite(p.totalW()));
+        EXPECT_GE(p.totalW(), p.staticW());
+    }
+}
+
+TEST_P(Fuzz, HistoricalMetricsStayFinite)
+{
+    Rng rng(GetParam() * 769 + 53);
+    for (int i = 0; i < 40; ++i) {
+        const hw::HardwareConfig cfg = randomConfig(rng);
+        const policy::MetricHistory h = policy::metricHistory(cfg);
+        ASSERT_TRUE(std::isfinite(h.ctpMtops));
+        ASSERT_TRUE(std::isfinite(h.appWt));
+        EXPECT_GT(h.ctpMtops, 0.0);
+        EXPECT_GT(h.appWt, 0.0);
+        EXPECT_NEAR(h.tpp, cfg.tpp(), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u, 55u, 89u));
+
+} // anonymous namespace
+} // namespace acs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the historical export-control metrics (CTP and APP,
+ * Sec. 6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/presets.hh"
+#include "policy/historical.hh"
+
+namespace acs {
+namespace policy {
+namespace {
+
+// ---- CTP ----------------------------------------------------------------------
+
+TEST(Ctp, SingleResourceFullWordIsUnadjusted)
+{
+    EXPECT_DOUBLE_EQ(
+        compositeTheoreticalPerformance({{1000.0, 64}}), 1000.0);
+}
+
+TEST(Ctp, WordLengthScalesLinearlyAbove32Bits)
+{
+    EXPECT_DOUBLE_EQ(
+        compositeTheoreticalPerformance({{1000.0, 32}}), 500.0);
+    EXPECT_DOUBLE_EQ(
+        compositeTheoreticalPerformance({{1000.0, 128}}), 2000.0);
+}
+
+TEST(Ctp, ShortWordsUseOffsetFormula)
+{
+    // L < 32: factor = 0.3 + L/96.
+    EXPECT_NEAR(compositeTheoreticalPerformance({{1000.0, 16}}),
+                1000.0 * (0.3 + 16.0 / 96.0), 1e-9);
+}
+
+TEST(Ctp, AggregationWeightsSecondaryResources)
+{
+    // R1' + 0.75 R2', strongest first regardless of input order.
+    const double ctp = compositeTheoreticalPerformance(
+        {{500.0, 64}, {1000.0, 64}});
+    EXPECT_DOUBLE_EQ(ctp, 1000.0 + 0.75 * 500.0);
+}
+
+TEST(Ctp, Validation)
+{
+    EXPECT_THROW(compositeTheoreticalPerformance({}), FatalError);
+    EXPECT_THROW(compositeTheoreticalPerformance({{0.0, 64}}),
+                 FatalError);
+    EXPECT_THROW(compositeTheoreticalPerformance({{100.0, 0}}),
+                 FatalError);
+}
+
+// ---- APP ----------------------------------------------------------------------
+
+TEST(App, WeightsVectorAndScalarDifferently)
+{
+    EXPECT_DOUBLE_EQ(adjustedPeakPerformance({{10.0, true}}), 9.0);
+    EXPECT_DOUBLE_EQ(adjustedPeakPerformance({{10.0, false}}), 3.0);
+    EXPECT_DOUBLE_EQ(
+        adjustedPeakPerformance({{10.0, true}, {10.0, false}}), 12.0);
+}
+
+TEST(App, Validation)
+{
+    EXPECT_THROW(adjustedPeakPerformance({}), FatalError);
+    EXPECT_THROW(adjustedPeakPerformance({{-1.0, true}}), FatalError);
+}
+
+// ---- metricHistory ----------------------------------------------------------------
+
+TEST(MetricHistory, A100ValuesAreConsistent)
+{
+    const MetricHistory h = metricHistory(hw::modeledA100());
+    EXPECT_NEAR(h.tpp, 4990.5, 1.0);
+    // CTP dominated by the tensor path: ~312 TOPS at 16 bit ->
+    // 312e6 Mops x 16/64 = 78e6 MTOPS, plus the vector contribution.
+    EXPECT_GT(h.ctpMtops, 7.5e7);
+    EXPECT_LT(h.ctpMtops, 2.5e8);
+    // APP: FP64 at half the modeled FP32 vector rate, 0.9 weight.
+    const double fp64_tflops =
+        hw::modeledA100().peakVectorFlops() / 2.0 / 1e12;
+    EXPECT_NEAR(h.appWt, 0.9 * fp64_tflops, 1e-6);
+}
+
+TEST(MetricHistory, TppIgnoresVectorOnlyUpgrades)
+{
+    // A bigger vector engine moves CTP and APP but not TPP — the
+    // metric drift the paper discusses.
+    hw::HardwareConfig beefy = hw::modeledA100();
+    beefy.vectorWidth *= 4;
+    const MetricHistory base = metricHistory(hw::modeledA100());
+    const MetricHistory up = metricHistory(beefy);
+    EXPECT_DOUBLE_EQ(up.tpp, base.tpp);
+    EXPECT_GT(up.appWt, base.appWt);
+    EXPECT_GT(up.ctpMtops, base.ctpMtops);
+}
+
+TEST(MetricHistory, AppIgnoresTensorUpgrades)
+{
+    hw::HardwareConfig tensor = hw::modeledA100();
+    tensor.systolicDimX = 32;
+    tensor.systolicDimY = 32;
+    const MetricHistory base = metricHistory(hw::modeledA100());
+    const MetricHistory up = metricHistory(tensor);
+    EXPECT_DOUBLE_EQ(up.appWt, base.appWt);
+    EXPECT_GT(up.tpp, base.tpp);
+}
+
+TEST(MetricHistory, ChipletAggregation)
+{
+    hw::HardwareConfig mcm = hw::modeledA100();
+    mcm.diesPerPackage = 2;
+    const MetricHistory one = metricHistory(hw::modeledA100());
+    const MetricHistory two = metricHistory(mcm);
+    EXPECT_NEAR(two.tpp, 2.0 * one.tpp, 1e-6);
+    EXPECT_NEAR(two.appWt, 2.0 * one.appWt, 1e-9);
+}
+
+} // anonymous namespace
+} // namespace policy
+} // namespace acs

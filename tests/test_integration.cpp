@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cross-module integration tests: the README quickstart flow, the
+ * classifyDatabase study, custom catalogues, config-file round trips
+ * through the evaluator, and multi-mode consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/acs.hh"
+
+namespace acs {
+namespace {
+
+TEST(Integration, ReadmeQuickstartFlow)
+{
+    core::SanctionsStudy study;
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.memBandwidth = 3.2 * units::TBPS;
+    cfg.devicePhyCount = 8; // 400 GB/s
+
+    const core::DesignReport r =
+        study.evaluateDesign(cfg, core::gpt3Workload());
+    EXPECT_LT(r.tbtDelta(), -0.15); // unregulated HBM pays off
+    EXPECT_EQ(r.rules.oct2022,
+              policy::Classification::NOT_APPLICABLE);
+    EXPECT_TRUE(policy::isRegulated(r.rules.oct2023DataCenter));
+}
+
+TEST(Integration, ClassifyDatabaseMatchesPaperHeadlines)
+{
+    const auto summary =
+        core::SanctionsStudy::classifyDatabase(devices::Database{});
+    EXPECT_EQ(summary.devices, 65u);
+    EXPECT_EQ(summary.regulatedOct2022, 4u);
+    EXPECT_GT(summary.regulatedOct2023, summary.regulatedOct2022);
+    EXPECT_EQ(summary.marketing.falseDc, 4);
+    EXPECT_EQ(summary.marketing.falseNonDc, 7);
+    EXPECT_EQ(summary.architectural.falseNonDc, 0);
+}
+
+TEST(Integration, CustomCatalogue)
+{
+    devices::DeviceRecord rec;
+    rec.name = "Hypothetical X1";
+    rec.vendor = devices::Vendor::NVIDIA;
+    rec.releaseYear = 2024;
+    rec.releaseMonth = 6;
+    rec.market = policy::MarketSegment::DATA_CENTER;
+    rec.tpp = 3000.0;
+    rec.deviceBandwidthGBps = 450.0;
+    rec.dieAreaMm2 = 700.0;
+    rec.memCapacityGB = 64.0;
+    rec.memBandwidthGBps = 2400.0;
+
+    const devices::Database db({rec});
+    EXPECT_EQ(db.size(), 1u);
+    const auto summary = core::SanctionsStudy::classifyDatabase(db);
+    EXPECT_EQ(summary.devices, 1u);
+    // PD 4.29 at 3000 TPP -> NAC tier.
+    EXPECT_EQ(summary.regulatedOct2023, 1u);
+    EXPECT_EQ(summary.regulatedOct2022, 0u);
+
+    devices::DeviceRecord bad = rec;
+    bad.dieAreaMm2 = 0.0;
+    EXPECT_THROW(devices::Database({bad}), FatalError);
+}
+
+TEST(Integration, ConfigFileRoundTripThroughEvaluator)
+{
+    // Serialize a design, reload it, and verify the evaluator sees
+    // the identical device.
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.name = "file-design";
+    cfg.memBandwidth = 2.8 * units::TBPS;
+    const hw::HardwareConfig reloaded = hw::configFromKeyVal(
+        KeyVal::parse(hw::toKeyVal(cfg).serialize()));
+
+    const core::SanctionsStudy study;
+    const core::Workload w = core::llamaWorkload();
+    const auto a = study.evaluateDesign(cfg, w);
+    const auto b = study.evaluateDesign(reloaded, w);
+    EXPECT_DOUBLE_EQ(a.design.ttftS, b.design.ttftS);
+    EXPECT_DOUBLE_EQ(a.design.tbtS, b.design.tbtS);
+    EXPECT_DOUBLE_EQ(a.design.dieAreaMm2, b.design.dieAreaMm2);
+}
+
+TEST(Integration, AnalyticAndDetailedModesAgreeOnOrderings)
+{
+    // The DSE conclusions must not depend on the GEMM mode: the
+    // relative ordering of a fast and a slow design is preserved.
+    perf::PerfParams detailed;
+    detailed.gemmMode = perf::GemmMode::TILE_SIM;
+    const core::SanctionsStudy analytic;
+    const core::SanctionsStudy sim(detailed);
+    const core::Workload w = core::gpt3Workload();
+
+    hw::HardwareConfig slow = hw::modeledA100();
+    slow.coreCount = 64;
+    const auto a_fast = analytic.evaluateBaseline(w);
+    const auto a_slow = analytic.evaluateDesign(slow, w).design;
+    const auto s_fast = sim.evaluateBaseline(w);
+    const auto s_slow = sim.evaluateDesign(slow, w).design;
+    EXPECT_LT(a_fast.ttftS, a_slow.ttftS);
+    EXPECT_LT(s_fast.ttftS, s_slow.ttftS);
+}
+
+TEST(Integration, EndToEndPolicyStory)
+{
+    // The paper's whole arc in one test: (1) Oct-2022 leaves a
+    // compliant design that beats the A100 on decode; (2) Oct-2023
+    // closes the prefill route; (3) the architecture-first memory
+    // bandwidth ceiling closes the decode route too.
+    const core::SanctionsStudy study;
+    const core::Workload w = core::gpt3Workload();
+    const auto baseline = study.evaluateBaseline(w);
+
+    // (1)
+    const auto oct22 = dse::filterReticle(study.runSweep(
+        dse::table3Space(4800.0, {600.0 * units::GBPS}), w));
+    EXPECT_LT(dse::minTbt(oct22).tbtS, baseline.tbtS * 0.8);
+
+    // (2)
+    const auto oct23 = dse::filterOct2023Unregulated(
+        dse::filterReticle(study.runSweep(
+            dse::table3Space(2400.0, {500.0 * units::GBPS,
+                                      700.0 * units::GBPS,
+                                      900.0 * units::GBPS}),
+            w)));
+    ASSERT_FALSE(oct23.empty());
+    EXPECT_GT(dse::minTtft(oct23).ttftS, baseline.ttftS * 1.5);
+
+    // (3) — the Table 5 space contains 0.8 TB/s designs the combined
+    // policy admits; none of them can beat the A100's decode.
+    const auto policy = policy::ArchPolicy::tppPlusMemoryBandwidth();
+    std::vector<dse::EvaluatedDesign> under_policy;
+    for (const auto &d : dse::filterReticle(
+             study.runSweep(dse::table5Space(), w))) {
+        if (policy.compliant(d.config))
+            under_policy.push_back(d);
+    }
+    ASSERT_FALSE(under_policy.empty());
+    EXPECT_GT(dse::minTbt(under_policy).tbtS, baseline.tbtS);
+}
+
+} // anonymous namespace
+} // namespace acs

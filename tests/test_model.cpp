@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit tests for acs_model: Table 2 presets, parameter counting, and
+ * the prefill/decode operator-graph builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/ops.hh"
+#include "model/transformer.hh"
+
+namespace acs {
+namespace model {
+namespace {
+
+// ---- Table 2 presets -------------------------------------------------------
+
+TEST(Table2, Gpt3Architecture)
+{
+    const TransformerConfig cfg = gpt3_175b();
+    EXPECT_EQ(cfg.numLayers, 96);
+    EXPECT_EQ(cfg.modelDim, 12288);
+    EXPECT_EQ(cfg.ffnDim, 49152);
+    EXPECT_EQ(cfg.numHeads, 96);
+    EXPECT_EQ(cfg.numKvHeads, 96);
+    EXPECT_EQ(cfg.activation, Activation::GELU);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Table2, Llama3Architecture)
+{
+    const TransformerConfig cfg = llama3_8b();
+    EXPECT_EQ(cfg.numLayers, 32);
+    EXPECT_EQ(cfg.modelDim, 4096);
+    EXPECT_EQ(cfg.ffnDim, 14336);
+    EXPECT_EQ(cfg.numHeads, 32);
+    EXPECT_EQ(cfg.numKvHeads, 8);
+    EXPECT_EQ(cfg.activation, Activation::SWIGLU);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Table2, HeadDims)
+{
+    EXPECT_EQ(gpt3_175b().headDim(), 128);
+    EXPECT_EQ(llama3_8b().headDim(), 128);
+    EXPECT_EQ(gpt3_175b().kvDim(), 12288);
+    EXPECT_EQ(llama3_8b().kvDim(), 1024);
+}
+
+TEST(Table2, ParameterCounts)
+{
+    // GPT-3 layer: 4 d^2 + 2 d ffn = 4*12288^2 + 2*12288*49152.
+    EXPECT_EQ(gpt3_175b().paramsPerLayer(),
+              4L * 12288 * 12288 + 2L * 12288 * 49152);
+    // Llama layer: 2 d^2 + 2 d kv + 3 d ffn.
+    EXPECT_EQ(llama3_8b().paramsPerLayer(),
+              2L * 4096 * 4096 + 2L * 4096 * 1024 +
+              3L * 4096 * 14336);
+}
+
+TEST(Table2, TotalParamsNearNominal)
+{
+    // Excluding embeddings: GPT-3 ~174B of its 175B.
+    EXPECT_NEAR(static_cast<double>(gpt3_175b().totalParams()), 174e9,
+                5e9);
+    EXPECT_NEAR(static_cast<double>(llama3_8b().totalParams()), 7e9,
+                1e9);
+}
+
+TEST(TransformerConfig, ValidateRejectsBadDims)
+{
+    TransformerConfig cfg = gpt3_175b();
+    cfg.numHeads = 7; // does not divide modelDim
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = llama3_8b();
+    cfg.numKvHeads = 3; // does not divide numHeads
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = gpt3_175b();
+    cfg.numLayers = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(InferenceSetting, DefaultsMatchPaper)
+{
+    const InferenceSetting s;
+    EXPECT_EQ(s.batch, 32);
+    EXPECT_EQ(s.inputLen, 2048);
+    EXPECT_EQ(s.outputLen, 1024);
+    EXPECT_EQ(s.bytesPerValue, 2);
+    EXPECT_EQ(s.decodeContextLen(), 2048 + 512);
+}
+
+TEST(InferenceSetting, Validation)
+{
+    InferenceSetting s;
+    s.batch = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+    s = InferenceSetting{};
+    s.inputLen = -1;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+TEST(KvCache, FormulaAndSharding)
+{
+    const TransformerConfig cfg = gpt3_175b();
+    const InferenceSetting s;
+    // 2 (K and V) * batch * ctx * kvDim * bytes.
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerLayer(cfg, s, 2048, 1),
+                     2.0 * 32 * 2048 * 12288 * 2);
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerLayer(cfg, s, 2048, 4),
+                     2.0 * 32 * 2048 * 12288 * 2 / 4);
+}
+
+TEST(KvCache, GqaShrinksCache)
+{
+    const InferenceSetting s;
+    const double gqa =
+        kvCacheBytesPerLayer(llama3_8b(), s, 2048, 1);
+    TransformerConfig mha = llama3_8b();
+    mha.numKvHeads = mha.numHeads;
+    EXPECT_DOUBLE_EQ(kvCacheBytesPerLayer(mha, s, 2048, 1) / gqa, 4.0);
+}
+
+TEST(KvCache, Validation)
+{
+    EXPECT_THROW(kvCacheBytesPerLayer(gpt3_175b(), InferenceSetting{},
+                                      0, 1),
+                 FatalError);
+    EXPECT_THROW(kvCacheBytesPerLayer(gpt3_175b(), InferenceSetting{},
+                                      2048, 0),
+                 FatalError);
+}
+
+// ---- graph builders ----------------------------------------------------------
+
+TEST(Graphs, PrefillOpSequenceGelu)
+{
+    const LayerGraph g =
+        buildPrefillGraph(gpt3_175b(), InferenceSetting{}, 4);
+    std::vector<std::string> names;
+    for (const Op &op : g.ops)
+        names.push_back(op.name);
+    const std::vector<std::string> expected = {
+        "pre-norm", "qkv-proj", "attn-score", "softmax", "attn-value",
+        "out-proj", "attn-allreduce", "residual-1", "post-norm",
+        "ffn-up", "gelu", "ffn-down", "ffn-allreduce", "residual-2"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(Graphs, SwigluUsesGateUpFusion)
+{
+    const LayerGraph g =
+        buildPrefillGraph(llama3_8b(), InferenceSetting{}, 1);
+    bool has_gate_up = false, has_swiglu = false, has_gelu = false;
+    for (const Op &op : g.ops) {
+        has_gate_up |= op.name == "ffn-gate-up";
+        has_swiglu |= op.name == "swiglu";
+        has_gelu |= op.name == "gelu";
+    }
+    EXPECT_TRUE(has_gate_up);
+    EXPECT_TRUE(has_swiglu);
+    EXPECT_FALSE(has_gelu);
+}
+
+TEST(Graphs, SingleDeviceHasNoAllreduce)
+{
+    const LayerGraph g =
+        buildPrefillGraph(llama3_8b(), InferenceSetting{}, 1);
+    for (const Op &op : g.ops)
+        EXPECT_NE(op.kind, OpKind::ALLREDUCE) << op.name;
+}
+
+TEST(Graphs, TensorParallelHasTwoAllreduces)
+{
+    const LayerGraph g =
+        buildPrefillGraph(gpt3_175b(), InferenceSetting{}, 4);
+    int allreduces = 0;
+    for (const Op &op : g.ops)
+        allreduces += op.kind == OpKind::ALLREDUCE;
+    EXPECT_EQ(allreduces, 2);
+}
+
+TEST(Graphs, PrefillFlopsMatchAnalyticApproximation)
+{
+    // Dominant term: 2 * tokens * params / tp; attention adds a few %.
+    const InferenceSetting s;
+    const LayerGraph g = buildPrefillGraph(gpt3_175b(), s, 4);
+    const double tokens = 32.0 * 2048.0;
+    const double dense = 2.0 * tokens * gpt3_175b().paramsPerLayer() / 4;
+    EXPECT_GT(g.totalFlops(), dense);
+    EXPECT_LT(g.totalFlops(), dense * 1.15);
+}
+
+TEST(Graphs, WeightBytesAreShardedParams)
+{
+    const InferenceSetting s;
+    for (int tp : {1, 2, 4}) {
+        const LayerGraph g = buildPrefillGraph(gpt3_175b(), s, tp);
+        EXPECT_NEAR(g.totalWeightBytes(),
+                    2.0 * gpt3_175b().paramsPerLayer() / tp,
+                    1e-3 * g.totalWeightBytes())
+            << "tp=" << tp;
+    }
+}
+
+TEST(Graphs, DecodeMatmulsAreSkinny)
+{
+    const LayerGraph g =
+        buildDecodeGraph(gpt3_175b(), InferenceSetting{}, 4);
+    for (const Op &op : g.ops) {
+        if (op.kind != OpKind::MATMUL || !op.mm.weightStationary)
+            continue;
+        EXPECT_EQ(op.mm.m, 32) << op.name; // batch rows only
+    }
+}
+
+TEST(Graphs, DecodeAttentionUsesContextLength)
+{
+    const InferenceSetting s;
+    const LayerGraph g = buildDecodeGraph(gpt3_175b(), s, 4);
+    for (const Op &op : g.ops) {
+        if (op.name == "attn-score") {
+            EXPECT_EQ(op.mm.m, 1);
+            EXPECT_EQ(op.mm.n, s.decodeContextLen());
+            EXPECT_EQ(op.mm.k, 128);
+            EXPECT_EQ(op.mm.batchCount, 32L * 96 / 4);
+        }
+    }
+}
+
+TEST(Graphs, DecodeFlopsFarBelowPrefill)
+{
+    const InferenceSetting s;
+    const double p =
+        buildPrefillGraph(gpt3_175b(), s, 4).totalFlops();
+    const double d = buildDecodeGraph(gpt3_175b(), s, 4).totalFlops();
+    EXPECT_LT(d * 100.0, p);
+}
+
+TEST(Graphs, GqaSharesKvOperands)
+{
+    // Llama's 8 KV heads mean the attention K/V operand bytes are
+    // 1/4 of what full MHA would read.
+    const InferenceSetting s;
+    TransformerConfig mha = llama3_8b();
+    mha.numKvHeads = mha.numHeads;
+    const LayerGraph gqa = buildDecodeGraph(llama3_8b(), s, 1);
+    const LayerGraph full = buildDecodeGraph(mha, s, 1);
+    auto attn_input = [](const LayerGraph &g) {
+        for (const Op &op : g.ops) {
+            if (op.name == "attn-score")
+                return op.inputBytes;
+        }
+        return 0.0;
+    };
+    EXPECT_LT(attn_input(gqa), attn_input(full));
+}
+
+TEST(Graphs, InvalidTensorParallelIsFatal)
+{
+    EXPECT_THROW(buildPrefillGraph(llama3_8b(), InferenceSetting{}, 0),
+                 FatalError);
+    // 16 does not divide Llama's 8 KV heads.
+    EXPECT_THROW(buildPrefillGraph(llama3_8b(), InferenceSetting{}, 16),
+                 FatalError);
+    // 5 does not divide GPT-3's 96 heads.
+    EXPECT_THROW(buildPrefillGraph(gpt3_175b(), InferenceSetting{}, 5),
+                 FatalError);
+}
+
+TEST(Graphs, AllOpsHaveNonNegativeFootprints)
+{
+    for (int tp : {1, 4}) {
+        for (const LayerGraph &g :
+             {buildPrefillGraph(gpt3_175b(), InferenceSetting{}, tp),
+              buildDecodeGraph(gpt3_175b(), InferenceSetting{}, tp)}) {
+            for (const Op &op : g.ops) {
+                EXPECT_GE(op.flops, 0.0) << op.name;
+                EXPECT_GE(op.weightBytes, 0.0) << op.name;
+                EXPECT_GE(op.inputBytes, 0.0) << op.name;
+                EXPECT_GE(op.outputBytes, 0.0) << op.name;
+                EXPECT_GE(op.commBytes, 0.0) << op.name;
+            }
+        }
+    }
+}
+
+TEST(Graphs, ShardingConservesTotalFlops)
+{
+    // Matmul FLOPs per device x tp should equal the tp=1 FLOPs
+    // (allreduce adds no FLOPs in this model).
+    const InferenceSetting s;
+    const double one =
+        buildPrefillGraph(gpt3_175b(), s, 1).totalFlops();
+    for (int tp : {2, 4, 8}) {
+        const LayerGraph g = buildPrefillGraph(gpt3_175b(), s, tp);
+        EXPECT_NEAR(g.totalFlops() * tp, one, 0.02 * one) << tp;
+    }
+}
+
+TEST(Graphs, AllreducePayloadIsActivationSized)
+{
+    const InferenceSetting s;
+    const LayerGraph g = buildPrefillGraph(gpt3_175b(), s, 4);
+    for (const Op &op : g.ops) {
+        if (op.kind == OpKind::ALLREDUCE) {
+            EXPECT_DOUBLE_EQ(op.commBytes,
+                             32.0 * 2048 * 12288 * 2);
+        }
+    }
+}
+
+
+TEST(Table2, Llama70bExtensionPreset)
+{
+    const TransformerConfig cfg = llama3_70b();
+    EXPECT_EQ(cfg.numLayers, 80);
+    EXPECT_EQ(cfg.modelDim, 8192);
+    EXPECT_EQ(cfg.ffnDim, 28672);
+    EXPECT_EQ(cfg.numHeads, 64);
+    EXPECT_EQ(cfg.numKvHeads, 8);
+    EXPECT_EQ(cfg.headDim(), 128);
+    EXPECT_NO_THROW(cfg.validate());
+    // ~70B parameters (excluding embeddings).
+    EXPECT_NEAR(static_cast<double>(cfg.totalParams()), 68e9, 3e9);
+}
+
+TEST(Graphs, Llama70bGraphsBuildAtTp4)
+{
+    const InferenceSetting s;
+    const LayerGraph prefill = buildPrefillGraph(llama3_70b(), s, 4);
+    const LayerGraph decode = buildDecodeGraph(llama3_70b(), s, 4);
+    EXPECT_GT(prefill.totalFlops(), decode.totalFlops());
+    EXPECT_NEAR(prefill.totalWeightBytes(),
+                2.0 * llama3_70b().paramsPerLayer() / 4.0,
+                1e-3 * prefill.totalWeightBytes());
+}
+
+TEST(OpKind, Names)
+{
+    EXPECT_EQ(toString(OpKind::MATMUL), "matmul");
+    EXPECT_EQ(toString(OpKind::VECTOR), "vector");
+    EXPECT_EQ(toString(OpKind::ALLREDUCE), "allreduce");
+    EXPECT_EQ(toString(Activation::GELU), "GELU");
+    EXPECT_EQ(toString(Activation::SWIGLU), "SwiGLU");
+}
+
+/** Property sweep: graphs stay well-formed across TP degrees. */
+class GraphTpSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GraphTpSweep, DecodeGraphWellFormed)
+{
+    const int tp = GetParam();
+    const LayerGraph g =
+        buildDecodeGraph(gpt3_175b(), InferenceSetting{}, tp);
+    EXPECT_GT(g.totalFlops(), 0.0);
+    EXPECT_GT(g.totalWeightBytes(), 0.0);
+    int allreduces = 0;
+    for (const Op &op : g.ops)
+        allreduces += op.kind == OpKind::ALLREDUCE;
+    EXPECT_EQ(allreduces, tp > 1 ? 2 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, GraphTpSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+} // anonymous namespace
+} // namespace model
+} // namespace acs

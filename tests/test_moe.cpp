@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the mixture-of-experts extension: parameter counting,
+ * graph construction, and the bandwidth-boundedness property that
+ * motivates the ext_moe bench.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hw/presets.hh"
+#include "model/ops.hh"
+#include "model/transformer.hh"
+#include "perf/simulator.hh"
+
+namespace acs {
+namespace model {
+namespace {
+
+TEST(Moe, MixtralPreset)
+{
+    const TransformerConfig cfg = mixtral_8x7b();
+    EXPECT_TRUE(cfg.isMoe());
+    EXPECT_EQ(cfg.numExperts, 8);
+    EXPECT_EQ(cfg.expertsPerToken, 2);
+    EXPECT_EQ(cfg.modelDim, 4096);
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_FALSE(llama3_8b().isMoe());
+}
+
+TEST(Moe, ParameterCountScalesWithExperts)
+{
+    // Mixtral-8x7B: attention as Llama 8B, FFN x8 + router.
+    const long dense_ffn = 3L * 4096 * 14336;
+    const long expected =
+        llama3_8b().paramsPerLayer() - dense_ffn + 8 * dense_ffn +
+        4096L * 8;
+    EXPECT_EQ(mixtral_8x7b().paramsPerLayer(), expected);
+    // Nominal total ~46-47B (the "8x7B" branding double counts).
+    EXPECT_NEAR(static_cast<double>(mixtral_8x7b().totalParams()),
+                46e9, 3e9);
+}
+
+TEST(Moe, ValidationOfRoutingFanOut)
+{
+    TransformerConfig cfg = mixtral_8x7b();
+    cfg.expertsPerToken = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.expertsPerToken = 9; // > numExperts
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = mixtral_8x7b();
+    cfg.numExperts = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Moe, GraphHasRouterAndExpertOps)
+{
+    const LayerGraph g =
+        buildPrefillGraph(mixtral_8x7b(), InferenceSetting{}, 4);
+    bool router = false, topk = false, up = false, down = false,
+         combine = false, dense_ffn = false;
+    for (const Op &op : g.ops) {
+        router |= op.name == "moe-router";
+        topk |= op.name == "moe-topk";
+        up |= op.name == "moe-expert-gate-up";
+        down |= op.name == "moe-expert-down";
+        combine |= op.name == "moe-combine";
+        dense_ffn |= op.name == "ffn-gate-up" || op.name == "ffn-down";
+    }
+    EXPECT_TRUE(router);
+    EXPECT_TRUE(topk);
+    EXPECT_TRUE(up);
+    EXPECT_TRUE(down);
+    EXPECT_TRUE(combine);
+    EXPECT_FALSE(dense_ffn);
+}
+
+TEST(Moe, ExpertFlopsScaleWithTopK)
+{
+    // Top-2 routing does ~2x the dense-FFN FLOPs per token.
+    const InferenceSetting s;
+    const double moe =
+        buildPrefillGraph(mixtral_8x7b(), s, 1).totalFlops();
+    const double dense =
+        buildPrefillGraph(llama3_8b(), s, 1).totalFlops();
+    EXPECT_GT(moe, dense * 1.5);
+    EXPECT_LT(moe, dense * 2.5);
+}
+
+TEST(Moe, DecodeTouchesAllExpertWeights)
+{
+    // 32 decode tokens x top-2 = 64 routed slots > 8 experts: every
+    // expert's weights stream for only a handful of tokens each.
+    const InferenceSetting s;
+    const LayerGraph g = buildDecodeGraph(mixtral_8x7b(), s, 1);
+    double expert_weights = 0.0;
+    for (const Op &op : g.ops) {
+        if (op.name.rfind("moe-expert", 0) == 0)
+            expert_weights += op.weightBytes;
+    }
+    // All 8 experts' SwiGLU weights: 8 * 3 * d * ffn * 2 bytes.
+    EXPECT_DOUBLE_EQ(expert_weights, 8.0 * 3 * 4096 * 14336 * 2);
+}
+
+TEST(Moe, DecodeIsMoreBandwidthBoundThanDense)
+{
+    // Per active-parameter FLOP, MoE decode moves far more weight
+    // bytes: its TBT degrades more than dense when memory bandwidth
+    // is capped — the ext_moe bench's headline.
+    const InferenceSetting s;
+    const perf::SystemConfig sys{4};
+    hw::HardwareConfig fast = hw::modeledA100();
+    hw::HardwareConfig slow = hw::modeledA100();
+    slow.memBandwidth = 0.8 * units::TBPS;
+
+    auto tbt = [&](const TransformerConfig &m,
+                   const hw::HardwareConfig &c) {
+        return perf::InferenceSimulator(c).run(m, s, sys).tbtS;
+    };
+    const double moe_ratio =
+        tbt(mixtral_8x7b(), slow) / tbt(mixtral_8x7b(), fast);
+    const double dense_ratio =
+        tbt(llama3_8b(), slow) / tbt(llama3_8b(), fast);
+    EXPECT_GT(moe_ratio, dense_ratio);
+}
+
+TEST(Moe, PrefillAmortizesExpertWeights)
+{
+    // With 65536 prefill tokens the expert weights amortize and MoE
+    // prefill stays compute-bound like dense prefill.
+    const InferenceSetting s;
+    const perf::InferenceSimulator sim(hw::modeledA100());
+    const auto g = buildPrefillGraph(mixtral_8x7b(), s, 4);
+    const auto r = sim.simulateLayer(g, 4);
+    for (std::size_t i = 0; i < g.ops.size(); ++i) {
+        if (g.ops[i].name == "moe-expert-gate-up") {
+            EXPECT_EQ(r.ops[i].bound, perf::Bound::COMPUTE)
+                << "prefill expert GEMM should be compute bound";
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace acs

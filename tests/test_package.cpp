@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the multi-chip-module packaging cost model
+ * (Sec. 2.3) and the derived throughput metrics (Sec. 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "area/package_model.hh"
+#include "common/logging.hh"
+#include "hw/presets.hh"
+#include "model/transformer.hh"
+#include "perf/simulator.hh"
+
+namespace acs {
+namespace {
+
+using area::PackageCost;
+using area::PackageCostModel;
+using area::PackageParams;
+
+// ---- packaging cost ---------------------------------------------------------
+
+TEST(PackageModel, SingleDieCostBreakdown)
+{
+    const PackageCostModel model;
+    const PackageCost c =
+        model.packagedDeviceCost(1, 500.0, hw::ProcessNode::N7);
+    EXPECT_GT(c.siliconUsd, 0.0);
+    EXPECT_GT(c.substrateUsd, 0.0);
+    EXPECT_GT(c.assemblyUsd, 0.0);
+    EXPECT_NEAR(c.assemblyYield, 0.99, 1e-12);
+    EXPECT_NEAR(c.totalUsd,
+                (c.siliconUsd + c.substrateUsd + c.assemblyUsd) /
+                    c.assemblyYield,
+                1e-9);
+}
+
+TEST(PackageModel, SiliconUsesKnownGoodDieCost)
+{
+    const PackageCostModel model;
+    const PackageCost c =
+        model.packagedDeviceCost(4, 200.0, hw::ProcessNode::N7);
+    EXPECT_NEAR(c.siliconUsd,
+                4.0 * model.dieCostModel().goodDieCostUsd(
+                          200.0, hw::ProcessNode::N7),
+                1e-9);
+}
+
+TEST(PackageModel, ChipletsImproveSiliconYieldEconomics)
+{
+    // Same total silicon as a reticle-size monolith, split four ways:
+    // the silicon component must be cheaper (better yield).
+    const PackageCostModel model;
+    const double total = 840.0;
+    const PackageCost mono =
+        model.packagedDeviceCost(1, total, hw::ProcessNode::N7);
+    const PackageCost quad =
+        model.packagedDeviceCost(4, total / 4.0, hw::ProcessNode::N7);
+    EXPECT_LT(quad.siliconUsd, mono.siliconUsd);
+}
+
+TEST(PackageModel, AssemblyYieldCompounds)
+{
+    const PackageCostModel model;
+    const PackageCost c8 =
+        model.packagedDeviceCost(8, 100.0, hw::ProcessNode::N7);
+    EXPECT_NEAR(c8.assemblyYield, std::pow(0.99, 8), 1e-12);
+}
+
+TEST(PackageModel, Validation)
+{
+    const PackageCostModel model;
+    EXPECT_THROW(
+        model.packagedDeviceCost(0, 100.0, hw::ProcessNode::N7),
+        FatalError);
+    EXPECT_THROW(
+        model.packagedDeviceCost(1, 0.0, hw::ProcessNode::N7),
+        FatalError);
+
+    PackageParams bad;
+    bad.assemblyYieldPerDie = 0.0;
+    EXPECT_THROW(PackageCostModel(area::CostModel{}, bad), FatalError);
+    bad = PackageParams{};
+    bad.substrateAreaFactor = 0.5;
+    EXPECT_THROW(PackageCostModel(area::CostModel{}, bad), FatalError);
+}
+
+TEST(PackageModel, BestChipletCountSkipsOverReticleSplits)
+{
+    const PackageCostModel model;
+    // 3000 mm^2 cannot be one or two dies (> 860 mm^2 each).
+    const int best =
+        model.bestChipletCount(3000.0, hw::ProcessNode::N7, 1, 16);
+    EXPECT_GE(best, 4);
+    EXPECT_THROW(
+        model.bestChipletCount(30000.0, hw::ProcessNode::N7, 1, 4),
+        FatalError);
+    EXPECT_THROW(
+        model.bestChipletCount(0.0, hw::ProcessNode::N7),
+        FatalError);
+    EXPECT_THROW(
+        model.bestChipletCount(3000.0, hw::ProcessNode::N7, 4, 2),
+        FatalError);
+}
+
+TEST(PackageModel, BestChipletCountBalancesYieldVsAssembly)
+{
+    // The optimum is interior: neither the minimum feasible split nor
+    // the maximum allowed (assembly costs eventually dominate).
+    const PackageCostModel model;
+    const int best =
+        model.bestChipletCount(3000.0, hw::ProcessNode::N7, 4, 64);
+    EXPECT_GE(best, 4);
+    EXPECT_LT(best, 64);
+}
+
+/** Property: packaged cost is monotone in die count at fixed total. */
+class SplitMonotone : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SplitMonotone, CostIsFiniteAndPositive)
+{
+    const PackageCostModel model;
+    const int dies = GetParam();
+    const PackageCost c = model.packagedDeviceCost(
+        dies, 3000.0 / dies, hw::ProcessNode::N7);
+    EXPECT_GT(c.totalUsd, 0.0);
+    EXPECT_LT(c.totalUsd, 1e6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SplitMonotone,
+                         ::testing::Values(4, 5, 6, 8, 10, 12, 16));
+
+// ---- derived throughput metrics (Sec. 3.1) ----------------------------------------
+
+TEST(ThroughputMetrics, DerivedFromTtftAndTbt)
+{
+    const perf::InferenceSimulator sim(hw::modeledA100());
+    const model::InferenceSetting setting;
+    const auto r =
+        sim.run(model::llama3_8b(), setting, perf::SystemConfig{4});
+    EXPECT_EQ(r.numLayers, 32);
+    EXPECT_EQ(r.batch, 32);
+    EXPECT_EQ(r.outputLen, 1024);
+    EXPECT_NEAR(r.endToEndLatencyS(),
+                r.ttftFullModelS + 1024.0 * r.tbtFullModelS, 1e-9);
+    EXPECT_NEAR(r.decodeThroughputTokensPerS(),
+                32.0 / r.tbtFullModelS, 1e-6);
+    EXPECT_NEAR(r.throughputTokensPerS(),
+                32.0 * 1024.0 / r.endToEndLatencyS(), 1e-6);
+}
+
+TEST(ThroughputMetrics, ThroughputBelowDecodeThroughput)
+{
+    // Prefill time makes end-to-end throughput strictly lower than
+    // steady-state decode throughput.
+    const perf::InferenceSimulator sim(hw::modeledA100());
+    const auto r = sim.run(model::gpt3_175b(),
+                           model::InferenceSetting{},
+                           perf::SystemConfig{4});
+    EXPECT_LT(r.throughputTokensPerS(),
+              r.decodeThroughputTokensPerS());
+}
+
+} // anonymous namespace
+} // namespace acs

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Unit tests for acs_perf: the GEMM/vector/collective latency models
+ * and the per-layer inference simulator, including the calibration
+ * ranges that anchor the paper's baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hw/presets.hh"
+#include "perf/simulator.hh"
+
+namespace acs {
+namespace perf {
+namespace {
+
+model::Op
+weightGemm(long m, long n, long k)
+{
+    model::Op op;
+    op.name = "gemm";
+    op.kind = model::OpKind::MATMUL;
+    op.mm = {m, n, k, 1, true};
+    op.flops = 2.0 * m * n * k;
+    op.weightBytes = 2.0 * k * n;
+    op.inputBytes = 2.0 * m * k;
+    op.outputBytes = 2.0 * m * n;
+    return op;
+}
+
+model::Op
+vectorOp(double elements)
+{
+    model::Op op;
+    op.name = "vec";
+    op.kind = model::OpKind::VECTOR;
+    op.flops = 5.0 * elements;
+    op.inputBytes = 2.0 * elements;
+    op.outputBytes = 2.0 * elements;
+    return op;
+}
+
+model::Op
+allreduceOp(double bytes)
+{
+    model::Op op;
+    op.name = "ar";
+    op.kind = model::OpKind::ALLREDUCE;
+    op.commBytes = bytes;
+    return op;
+}
+
+// ---- MatmulModel -----------------------------------------------------------
+
+TEST(MatmulModel, RejectsWrongKind)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    EXPECT_THROW(m.time(vectorOp(100.0)), FatalError);
+}
+
+TEST(MatmulModel, RejectsDegenerateDims)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    model::Op op = weightGemm(0, 10, 10);
+    EXPECT_THROW(m.time(op), FatalError);
+}
+
+TEST(MatmulModel, UtilizationIsAFraction)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    for (long mm : {1L, 32L, 2048L, 65536L}) {
+        const MatmulTiming t = m.time(weightGemm(mm, 12288, 12288));
+        EXPECT_GT(t.utilization, 0.0);
+        EXPECT_LE(t.utilization, 1.0);
+    }
+}
+
+TEST(MatmulModel, LargePrefillGemmIsComputeBoundAtHighUtil)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    const MatmulTiming t = m.time(weightGemm(65536, 12288, 12288));
+    EXPECT_EQ(t.bound, Bound::COMPUTE);
+    EXPECT_GT(t.utilization, 0.85); // "near peak FLOPs during prefill"
+}
+
+TEST(MatmulModel, SkinnyDecodeGemmIsHbmBound)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    const MatmulTiming t = m.time(weightGemm(32, 12288, 12288));
+    EXPECT_EQ(t.bound, Bound::HBM);
+}
+
+TEST(MatmulModel, TileNeverExceedsProblem)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    const MatmulTiming t = m.time(weightGemm(8, 40, 512));
+    EXPECT_LE(t.tileM, 8);
+    EXPECT_LE(t.tileN, 40);
+}
+
+TEST(MatmulModel, MoreCoresReduceComputeTime)
+{
+    hw::HardwareConfig small = hw::modeledA100();
+    small.coreCount = 54;
+    const MatmulModel m_small(small, PerfParams{});
+    const MatmulModel m_big(hw::modeledA100(), PerfParams{});
+    const auto op = weightGemm(65536, 12288, 12288);
+    EXPECT_GT(m_small.time(op).computeS, m_big.time(op).computeS);
+}
+
+TEST(MatmulModel, HigherMemBandwidthReducesHbmTime)
+{
+    hw::HardwareConfig fast = hw::modeledA100();
+    fast.memBandwidth = 3.2 * units::TBPS;
+    const MatmulModel m_slow(hw::modeledA100(), PerfParams{});
+    const MatmulModel m_fast(fast, PerfParams{});
+    const auto op = weightGemm(32, 12288, 12288);
+    EXPECT_GT(m_slow.time(op).hbmS, m_fast.time(op).hbmS);
+}
+
+TEST(MatmulModel, SmallL1InflatesGlobalBufferTraffic)
+{
+    hw::HardwareConfig tiny = hw::modeledA100();
+    tiny.l1BytesPerCore = 32.0 * units::KIB;
+    tiny.lanesPerCore = 8;
+    tiny.coreCount = hw::coresForTpp(4800.0, 16, 16, 8, tiny.clockHz);
+    const MatmulModel m_tiny(tiny, PerfParams{});
+    const MatmulModel m_a100(hw::modeledA100(), PerfParams{});
+    const auto op = weightGemm(65536, 12288, 12288);
+    EXPECT_GT(m_tiny.time(op).globalBufS, m_a100.time(op).globalBufS);
+}
+
+TEST(MatmulModel, L2BlockingModelsCapacityLimitedRestreaming)
+{
+    // The no-blocking ablation is an idealization (every operand
+    // streams exactly once); the capacity-aware model must charge at
+    // least that much, and a bigger global buffer must reduce the
+    // re-streaming.
+    PerfParams params;
+    const auto op = weightGemm(65536, 12288, 12288);
+
+    PerfParams ideal = params;
+    ideal.modelL2Blocking = false;
+    const double ideal_traffic =
+        MatmulModel(hw::modeledA100(), ideal).time(op).hbmTrafficBytes;
+    const double real_traffic =
+        MatmulModel(hw::modeledA100(), params).time(op).hbmTrafficBytes;
+    EXPECT_GE(real_traffic, ideal_traffic);
+
+    hw::HardwareConfig big_l2 = hw::modeledA100();
+    big_l2.l2Bytes = 80.0 * units::MIB;
+    EXPECT_LT(MatmulModel(big_l2, params).time(op).hbmTrafficBytes,
+              real_traffic);
+}
+
+TEST(MatmulModel, TotalIsBindingResourcePlusOverhead)
+{
+    const PerfParams params;
+    const MatmulModel m(hw::modeledA100(), params);
+    const MatmulTiming t = m.time(weightGemm(4096, 4096, 4096));
+    const double expected =
+        std::max({t.computeS, t.hbmS, t.globalBufS}) +
+        params.kernelOverheadS;
+    EXPECT_DOUBLE_EQ(t.totalS, expected);
+}
+
+TEST(MatmulModel, GlobalBufferBandwidthScalesWithTpp)
+{
+    // Equal-TPP designs have equal global-buffer bandwidth by
+    // construction (bandwidth is sized to the compute).
+    const PerfParams params;
+    hw::HardwareConfig a = hw::modeledA100();
+    hw::HardwareConfig b = hw::modeledA100();
+    b.lanesPerCore = 1;
+    b.coreCount = a.coreCount * 4;
+    EXPECT_NEAR(MatmulModel(a, params).globalBufferBandwidth(),
+                MatmulModel(b, params).globalBufferBandwidth(), 1.0);
+}
+
+TEST(Bound, Names)
+{
+    EXPECT_EQ(toString(Bound::COMPUTE), "compute");
+    EXPECT_EQ(toString(Bound::HBM), "hbm");
+    EXPECT_EQ(toString(Bound::GLOBAL_BUFFER), "global-buffer");
+    EXPECT_EQ(toString(Bound::INTERCONNECT), "interconnect");
+}
+
+// ---- VectorModel -----------------------------------------------------------
+
+TEST(VectorModel, RejectsWrongKind)
+{
+    const VectorModel v(hw::modeledA100(), PerfParams{});
+    EXPECT_THROW(v.time(weightGemm(8, 8, 8)), FatalError);
+}
+
+TEST(VectorModel, SmallTensorServedByGlobalBuffer)
+{
+    const VectorModel v(hw::modeledA100(), PerfParams{});
+    const VectorTiming t = v.time(vectorOp(32.0 * 12288));
+    EXPECT_TRUE(t.servedByGlobalBuffer);
+}
+
+TEST(VectorModel, HugeTensorStreamsFromHbm)
+{
+    const VectorModel v(hw::modeledA100(), PerfParams{});
+    const VectorTiming t = v.time(vectorOp(65536.0 * 12288));
+    EXPECT_FALSE(t.servedByGlobalBuffer);
+    EXPECT_EQ(t.bound, Bound::HBM);
+}
+
+TEST(VectorModel, MemoryTimeUsesWorkingSetOverBandwidth)
+{
+    const PerfParams params;
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    const VectorModel v(cfg, params);
+    const double elements = 65536.0 * 12288;
+    const VectorTiming t = v.time(vectorOp(elements));
+    EXPECT_NEAR(t.memoryS,
+                4.0 * elements /
+                    (cfg.memBandwidth * params.memEfficiency),
+                1e-9);
+}
+
+// ---- CommModel -------------------------------------------------------------
+
+TEST(CommModel, SingleDeviceIsFree)
+{
+    const CommModel c(hw::modeledA100(), PerfParams{});
+    EXPECT_DOUBLE_EQ(c.time(allreduceOp(1e9), 1).totalS, 0.0);
+}
+
+TEST(CommModel, RingVolumeFormula)
+{
+    const PerfParams params;
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    const CommModel c(cfg, params);
+    const double payload = 1e9;
+    const CommTiming t = c.time(allreduceOp(payload), 4);
+    const double link = cfg.deviceBandwidth() / 2.0 *
+                        params.interconnectEfficiency;
+    EXPECT_NEAR(t.wireS, 2.0 * 0.75 * payload / link, 1e-12);
+    EXPECT_NEAR(t.latencyS, 6.0 * params.allreduceStepLatencyS, 1e-15);
+}
+
+TEST(CommModel, NoInterconnectWithTpIsFatal)
+{
+    hw::HardwareConfig cfg = hw::modeledA100();
+    cfg.devicePhyCount = 0;
+    const CommModel c(cfg, PerfParams{});
+    EXPECT_THROW(c.time(allreduceOp(1e6), 4), FatalError);
+    EXPECT_NO_THROW(c.time(allreduceOp(1e6), 1));
+}
+
+TEST(CommModel, MoreBandwidthIsFaster)
+{
+    hw::HardwareConfig fast = hw::modeledA100();
+    fast.devicePhyCount = 20; // 1 TB/s
+    const CommModel slow(hw::modeledA100(), PerfParams{});
+    const CommModel quick(fast, PerfParams{});
+    EXPECT_GT(slow.time(allreduceOp(1e9), 4).totalS,
+              quick.time(allreduceOp(1e9), 4).totalS);
+}
+
+TEST(CommModel, RejectsWrongKind)
+{
+    const CommModel c(hw::modeledA100(), PerfParams{});
+    EXPECT_THROW(c.time(vectorOp(10.0), 4), FatalError);
+}
+
+// ---- InferenceSimulator ------------------------------------------------------
+
+class SimulatorFixture : public ::testing::Test
+{
+  protected:
+    InferenceSimulator sim_{hw::modeledA100()};
+    model::InferenceSetting setting_;
+};
+
+TEST_F(SimulatorFixture, LayerLatencyIsSumOfOps)
+{
+    const auto graph =
+        model::buildDecodeGraph(model::gpt3_175b(), setting_, 4);
+    const LayerResult r = sim_.simulateLayer(graph, 4);
+    double sum = 0.0;
+    for (const OpTiming &op : r.ops)
+        sum += op.latencyS;
+    EXPECT_NEAR(r.latencyS, sum, 1e-12);
+    EXPECT_EQ(r.ops.size(), graph.ops.size());
+}
+
+TEST_F(SimulatorFixture, Gpt3BaselineCalibration)
+{
+    // Paper baselines (modeled A100, one layer): TTFT ~275 ms,
+    // TBT ~1.43 ms. Our analytical substitute must stay in range.
+    SystemConfig sys{4};
+    const InferenceResult r =
+        sim_.run(model::gpt3_175b(), setting_, sys);
+    EXPECT_GT(units::toMs(r.ttftS), 200.0);
+    EXPECT_LT(units::toMs(r.ttftS), 330.0);
+    EXPECT_GT(units::toMs(r.tbtS), 1.1);
+    EXPECT_LT(units::toMs(r.tbtS), 1.7);
+}
+
+TEST_F(SimulatorFixture, LlamaBaselineCalibration)
+{
+    // Paper: Llama 3 TTFT ~46 ms, TBT ~0.56 ms per layer.
+    SystemConfig sys{4};
+    const InferenceResult r =
+        sim_.run(model::llama3_8b(), setting_, sys);
+    EXPECT_GT(units::toMs(r.ttftS), 30.0);
+    EXPECT_LT(units::toMs(r.ttftS), 65.0);
+    EXPECT_GT(units::toMs(r.tbtS), 0.30);
+    EXPECT_LT(units::toMs(r.tbtS), 0.60);
+}
+
+TEST_F(SimulatorFixture, FullModelScalesByLayerCount)
+{
+    SystemConfig sys{4};
+    const InferenceResult r =
+        sim_.run(model::gpt3_175b(), setting_, sys);
+    EXPECT_DOUBLE_EQ(r.ttftFullModelS, r.ttftS * 96);
+    EXPECT_DOUBLE_EQ(r.tbtFullModelS, r.tbtS * 96);
+}
+
+TEST_F(SimulatorFixture, DecodeIsFasterThanPrefillPerLayer)
+{
+    SystemConfig sys{4};
+    const InferenceResult r =
+        sim_.run(model::gpt3_175b(), setting_, sys);
+    EXPECT_LT(r.tbtS, r.ttftS / 10.0);
+}
+
+TEST_F(SimulatorFixture, Gpt3DoesNotFitOneDevice)
+{
+    const InferenceResult one =
+        sim_.run(model::gpt3_175b(), setting_, SystemConfig{1});
+    EXPECT_FALSE(one.fitsMemory);
+    EXPECT_NEAR(one.weightBytesPerDevice, 348e9, 5e9);
+}
+
+TEST_F(SimulatorFixture, LlamaFitsOneDevice)
+{
+    const InferenceResult one =
+        sim_.run(model::llama3_8b(), setting_, SystemConfig{1});
+    EXPECT_TRUE(one.fitsMemory);
+}
+
+TEST_F(SimulatorFixture, PrefillMfuIsHighDecodeMfuIsLow)
+{
+    // Sec. 3.1: near-peak FLOPs in prefill, low utilization in decode.
+    SystemConfig sys{4};
+    const InferenceResult r =
+        sim_.run(model::gpt3_175b(), setting_, sys);
+    const double peak =
+        sim_.device().peakTensorTops() * 1e12;
+    EXPECT_GT(r.prefill.mfu(peak), 0.5);
+    EXPECT_LT(r.decode.mfu(peak), 0.1);
+}
+
+TEST_F(SimulatorFixture, InvalidSystemIsFatal)
+{
+    EXPECT_THROW(sim_.run(model::gpt3_175b(), setting_,
+                          SystemConfig{0}),
+                 FatalError);
+}
+
+/**
+ * Property: decode latency is non-increasing in memory bandwidth
+ * (the paper's core decode claim).
+ */
+class MemBwMonotone : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(MemBwMonotone, TbtNonIncreasingInMemBandwidth)
+{
+    const double bw = GetParam();
+    hw::HardwareConfig slow = hw::modeledA100();
+    slow.memBandwidth = bw;
+    hw::HardwareConfig fast = slow;
+    fast.memBandwidth = bw * 1.25;
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const double tbt_slow =
+        InferenceSimulator(slow).run(model::gpt3_175b(), setting, sys)
+            .tbtS;
+    const double tbt_fast =
+        InferenceSimulator(fast).run(model::gpt3_175b(), setting, sys)
+            .tbtS;
+    EXPECT_LE(tbt_fast, tbt_slow * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, MemBwMonotone,
+                         ::testing::Values(0.8e12, 1.2e12, 1.6e12,
+                                           2.0e12, 2.4e12, 2.8e12));
+
+/** Property: prefill latency is non-increasing in core count (TPP). */
+class TppMonotone : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TppMonotone, TtftNonIncreasingInCores)
+{
+    hw::HardwareConfig few = hw::modeledA100();
+    few.coreCount = GetParam();
+    hw::HardwareConfig many = few;
+    many.coreCount = GetParam() + 24;
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const double t_few =
+        InferenceSimulator(few).run(model::gpt3_175b(), setting, sys)
+            .ttftS;
+    const double t_many =
+        InferenceSimulator(many).run(model::gpt3_175b(), setting, sys)
+            .ttftS;
+    EXPECT_LE(t_many, t_few * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, TppMonotone,
+                         ::testing::Values(54, 72, 86, 103, 108, 128));
+
+TEST(PerfParams, AblationSwitchesChangeResults)
+{
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const double base =
+        InferenceSimulator(hw::modeledA100())
+            .run(model::gpt3_175b(), setting, sys).ttftS;
+
+    PerfParams no_fill;
+    no_fill.modelPipelineFill = false;
+    const double without =
+        InferenceSimulator(hw::modeledA100(), no_fill)
+            .run(model::gpt3_175b(), setting, sys).ttftS;
+    EXPECT_LT(without, base); // removing a loss term speeds things up
+}
+
+TEST(PerfParams, KernelOverheadDominatesTinyOps)
+{
+    PerfParams params;
+    params.kernelOverheadS = 1e-3;
+    const InferenceSimulator sim(hw::modeledA100(), params);
+    const auto graph = model::buildDecodeGraph(model::gpt3_175b(),
+                                               model::InferenceSetting{},
+                                               4);
+    const LayerResult r = sim.simulateLayer(graph, 4);
+    // 12 matmul/vector kernels x 1 ms dominate everything else
+    // (collectives pay hop latency instead of launch overhead).
+    EXPECT_GT(r.latencyS, 12e-3);
+}
+
+
+TEST(PerfParams, TileSimModeStaysCloseToAnalytic)
+{
+    PerfParams detailed;
+    detailed.gemmMode = GemmMode::TILE_SIM;
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const auto analytic =
+        InferenceSimulator(hw::modeledA100())
+            .run(model::gpt3_175b(), setting, sys);
+    const auto simulated =
+        InferenceSimulator(hw::modeledA100(), detailed)
+            .run(model::gpt3_175b(), setting, sys);
+    EXPECT_NEAR(simulated.ttftS, analytic.ttftS, 0.15 * analytic.ttftS);
+    EXPECT_NEAR(simulated.tbtS, analytic.tbtS, 0.25 * analytic.tbtS);
+}
+
+TEST(PerfParams, MultiPassVectorSlowsUnfusedKernels)
+{
+    PerfParams multipass;
+    multipass.modelMultiPassVector = true;
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const auto fused = InferenceSimulator(hw::modeledA100())
+                           .run(model::gpt3_175b(), setting, sys);
+    const auto unfused =
+        InferenceSimulator(hw::modeledA100(), multipass)
+            .run(model::gpt3_175b(), setting, sys);
+    // Prefill softmax makes three passes over a multi-GB tensor.
+    EXPECT_GT(unfused.ttftS, fused.ttftS);
+}
+
+TEST(LayerResult, MfuValidation)
+{
+    LayerResult r;
+    r.flops = 100.0;
+    r.latencyS = 1.0;
+    EXPECT_DOUBLE_EQ(r.mfu(1000.0), 0.1);
+    EXPECT_THROW(r.mfu(0.0), PanicError);
+}
+
+} // anonymous namespace
+} // namespace perf
+} // namespace acs

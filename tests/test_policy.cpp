@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit tests for acs_policy: the Oct-2022/Oct-2023 ACR classifiers
+ * (Table 1), the Dec-2024 HBM rule, marketing-consistency analysis,
+ * and the architecture-first policy framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hw/presets.hh"
+#include "policy/acr_rules.hh"
+#include "policy/arch_policy.hh"
+#include "policy/marketing.hh"
+
+namespace acs {
+namespace policy {
+namespace {
+
+DeviceSpec
+spec(double tpp, double dev_bw, double area,
+     MarketSegment market = MarketSegment::DATA_CENTER)
+{
+    DeviceSpec s;
+    s.name = "test-device";
+    s.tpp = tpp;
+    s.deviceBandwidthGBps = dev_bw;
+    s.dieAreaMm2 = area;
+    s.market = market;
+    s.memCapacityGB = 16.0;
+    s.memBandwidthGBps = 500.0;
+    return s;
+}
+
+// ---- DeviceSpec ------------------------------------------------------------
+
+TEST(DeviceSpec, PerfDensity)
+{
+    EXPECT_DOUBLE_EQ(spec(4800.0, 600.0, 800.0).perfDensity(), 6.0);
+}
+
+TEST(DeviceSpec, PlanarProcessHasNoPerfDensity)
+{
+    DeviceSpec s = spec(4800.0, 600.0, 800.0);
+    s.nonPlanarTransistor = false;
+    EXPECT_DOUBLE_EQ(s.perfDensity(), 0.0);
+}
+
+TEST(DeviceSpec, ZeroAreaHasNoPerfDensity)
+{
+    EXPECT_DOUBLE_EQ(spec(4800.0, 600.0, 0.0).perfDensity(), 0.0);
+}
+
+TEST(MarketSegment, NonDataCenterPredicates)
+{
+    EXPECT_FALSE(isNonDataCenter(MarketSegment::DATA_CENTER));
+    EXPECT_TRUE(isNonDataCenter(MarketSegment::CONSUMER));
+    EXPECT_TRUE(isNonDataCenter(MarketSegment::WORKSTATION));
+}
+
+TEST(Names, EnumsRoundTrip)
+{
+    EXPECT_EQ(toString(MarketSegment::DATA_CENTER), "data-center");
+    EXPECT_EQ(toString(Classification::NAC_ELIGIBLE), "nac-eligible");
+    EXPECT_EQ(toString(MarketingConsistency::FALSE_DC), "false-dc");
+}
+
+// ---- Oct 2022 (Table 1a) -----------------------------------------------------
+
+TEST(Oct2022, RequiresBothThresholds)
+{
+    using R = Oct2022Rule;
+    EXPECT_EQ(R::classify(spec(4800.0, 600.0, 800.0)),
+              Classification::LICENSE_REQUIRED);
+    EXPECT_EQ(R::classify(spec(4799.0, 900.0, 800.0)),
+              Classification::NOT_APPLICABLE);
+    EXPECT_EQ(R::classify(spec(16000.0, 599.0, 800.0)),
+              Classification::NOT_APPLICABLE);
+    EXPECT_EQ(R::classify(spec(1000.0, 100.0, 800.0)),
+              Classification::NOT_APPLICABLE);
+}
+
+TEST(Oct2022, BoundariesAreInclusive)
+{
+    // "over 4800" in prose, but the A100 (4992, 600) is regulated and
+    // the A800 (4992, 400) escapes — thresholds bind with >=.
+    EXPECT_TRUE(isRegulated(
+        Oct2022Rule::classify(spec(4800.0, 600.0, 800.0))));
+    EXPECT_FALSE(isRegulated(
+        Oct2022Rule::classify(spec(4800.0, 599.99, 800.0))));
+}
+
+TEST(Oct2022, IgnoresMarketSegment)
+{
+    EXPECT_EQ(Oct2022Rule::classify(
+                  spec(5000.0, 700.0, 800.0, MarketSegment::CONSUMER)),
+              Classification::LICENSE_REQUIRED);
+}
+
+// ---- Oct 2023 (Table 1b) -----------------------------------------------------
+
+TEST(Oct2023, DataCenterLicenseByTppAlone)
+{
+    EXPECT_EQ(Oct2023Rule::classify(spec(4800.0, 0.0, 1e6)),
+              Classification::LICENSE_REQUIRED);
+}
+
+TEST(Oct2023, DataCenterLicenseByDensity)
+{
+    // TPP >= 1600 and PD >= 5.92.
+    EXPECT_EQ(Oct2023Rule::classify(spec(1600.0, 0.0, 270.0)),
+              Classification::LICENSE_REQUIRED);
+    EXPECT_EQ(Oct2023Rule::classify(spec(1599.0, 0.0, 100.0)),
+              Classification::NOT_APPLICABLE);
+}
+
+TEST(Oct2023, DataCenterNacTierOne)
+{
+    // 2400 <= TPP < 4800 and 1.6 <= PD < 5.92.
+    EXPECT_EQ(Oct2023Rule::classify(spec(2400.0, 0.0, 1000.0)),
+              Classification::NAC_ELIGIBLE); // PD 2.4
+    EXPECT_EQ(Oct2023Rule::classify(spec(2400.0, 0.0, 1501.0)),
+              Classification::NOT_APPLICABLE); // PD < 1.6
+}
+
+TEST(Oct2023, DataCenterNacTierTwo)
+{
+    // TPP >= 1600 and 3.2 <= PD < 5.92.
+    EXPECT_EQ(Oct2023Rule::classify(spec(1600.0, 0.0, 500.0)),
+              Classification::NAC_ELIGIBLE); // PD 3.2
+    EXPECT_EQ(Oct2023Rule::classify(spec(1600.0, 0.0, 501.0)),
+              Classification::NOT_APPLICABLE); // PD just under 3.2
+}
+
+TEST(Oct2023, NonDataCenterOnlyTppMatters)
+{
+    EXPECT_EQ(Oct2023Rule::classify(
+                  spec(4800.0, 0.0, 100.0, MarketSegment::CONSUMER)),
+              Classification::NAC_ELIGIBLE);
+    EXPECT_EQ(Oct2023Rule::classify(
+                  spec(4799.0, 0.0, 100.0, MarketSegment::CONSUMER)),
+              Classification::NOT_APPLICABLE);
+    EXPECT_EQ(Oct2023Rule::classify(
+                  spec(4800.0, 0.0, 100.0, MarketSegment::WORKSTATION)),
+              Classification::NAC_ELIGIBLE);
+}
+
+TEST(Oct2023, ClassifyAsOverridesMarketing)
+{
+    const DeviceSpec consumer =
+        spec(2898.0, 64.0, 608.5, MarketSegment::CONSUMER);
+    EXPECT_EQ(Oct2023Rule::classify(consumer),
+              Classification::NOT_APPLICABLE);
+    EXPECT_EQ(Oct2023Rule::classifyAs(consumer,
+                                      MarketSegment::DATA_CENTER),
+              Classification::NAC_ELIGIBLE);
+}
+
+TEST(Oct2023, PlanarDeviceEscapesDensityTiers)
+{
+    DeviceSpec s = spec(2400.0, 0.0, 400.0);
+    s.nonPlanarTransistor = false; // PD = 0
+    EXPECT_EQ(Oct2023Rule::classify(s),
+              Classification::NOT_APPLICABLE);
+}
+
+// Paper worked examples (Sec. 2.5).
+TEST(Oct2023, MinDieAreaWorkedExamples)
+{
+    EXPECT_NEAR(Oct2023Rule::minUnregulatedDieArea(2399.0), 749.7, 0.1);
+    EXPECT_NEAR(Oct2023Rule::minUnregulatedDieArea(4799.0), 2999.4,
+                0.1);
+    EXPECT_NEAR(Oct2023Rule::minNacDieArea(1600.0), 270.3, 0.1);
+    EXPECT_DOUBLE_EQ(Oct2023Rule::minUnregulatedDieArea(1599.0), 0.0);
+    EXPECT_DOUBLE_EQ(Oct2023Rule::minNacDieArea(1599.0), 0.0);
+}
+
+TEST(Oct2023, MinDieAreaFatalAtLicenseTpp)
+{
+    EXPECT_THROW(Oct2023Rule::minUnregulatedDieArea(4800.0),
+                 FatalError);
+    EXPECT_THROW(Oct2023Rule::minNacDieArea(5000.0), FatalError);
+    EXPECT_THROW(Oct2023Rule::minUnregulatedDieArea(-1.0), FatalError);
+}
+
+/**
+ * Property: an area strictly above the floor deregulates the device,
+ * and an area 10% below it does not.
+ */
+class DieAreaFloor : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DieAreaFloor, FloorSeparatesRegulatedFromUnregulated)
+{
+    const double tpp = GetParam();
+    const double floor = Oct2023Rule::minUnregulatedDieArea(tpp);
+    ASSERT_GT(floor, 0.0);
+    EXPECT_EQ(Oct2023Rule::classify(spec(tpp, 0.0, floor * 1.001)),
+              Classification::NOT_APPLICABLE);
+    EXPECT_TRUE(isRegulated(
+        Oct2023Rule::classify(spec(tpp, 0.0, floor * 0.9))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tpps, DieAreaFloor,
+                         ::testing::Values(1600.0, 1900.0, 2200.0,
+                                           2399.0, 2400.0, 3000.0,
+                                           4000.0, 4799.0));
+
+// ---- Dec 2024 HBM rule --------------------------------------------------------
+
+TEST(HbmRule, DensityTiers)
+{
+    HbmPackageSpec pkg{"hbm", 200.0, 110.0}; // 1.82 GB/s/mm^2
+    EXPECT_EQ(Dec2024HbmRule::classify(pkg),
+              Classification::NOT_APPLICABLE);
+    pkg.bandwidthGBps = 275.0; // 2.5
+    EXPECT_EQ(Dec2024HbmRule::classify(pkg),
+              Classification::NAC_ELIGIBLE);
+    pkg.bandwidthGBps = 400.0; // 3.64
+    EXPECT_EQ(Dec2024HbmRule::classify(pkg),
+              Classification::LICENSE_REQUIRED);
+}
+
+TEST(HbmRule, BoundaryAtControlDensityIsUnregulated)
+{
+    // "greater than 2 GB/s/mm^2" — exactly 2.0 is not covered.
+    const HbmPackageSpec pkg{"hbm", 220.0, 110.0};
+    EXPECT_EQ(Dec2024HbmRule::classify(pkg),
+              Classification::NOT_APPLICABLE);
+}
+
+TEST(HbmRule, ZeroAreaIsFatal)
+{
+    const HbmPackageSpec pkg{"hbm", 200.0, 0.0};
+    EXPECT_THROW(pkg.bandwidthDensity(), FatalError);
+}
+
+// ---- marketing analysis ---------------------------------------------------------
+
+TEST(Marketing, FalseDataCenterDetected)
+{
+    // NAC-regulated as DC, unregulated as consumer (e.g. L40-class).
+    const auto c = analyzeMarketing(spec(2898.0, 64.0, 608.5));
+    EXPECT_EQ(c, MarketingConsistency::FALSE_DC);
+}
+
+TEST(Marketing, ConsistentDataCenterFlagship)
+{
+    // Licensed as DC, NAC as consumer -> regulated both ways.
+    const auto c = analyzeMarketing(spec(15824.0, 900.0, 814.0));
+    EXPECT_EQ(c, MarketingConsistency::CONSISTENT_DC);
+}
+
+TEST(Marketing, FalseNonDataCenterDetected)
+{
+    // RTX 4080-class: unregulated consumer, licensed if DC-marketed.
+    const auto c = analyzeMarketing(
+        spec(3118.0, 63.0, 378.6, MarketSegment::CONSUMER));
+    EXPECT_EQ(c, MarketingConsistency::FALSE_NON_DC);
+}
+
+TEST(Marketing, ConsistentConsumer)
+{
+    const auto c = analyzeMarketing(
+        spec(800.0, 0.0, 400.0, MarketSegment::CONSUMER));
+    EXPECT_EQ(c, MarketingConsistency::CONSISTENT_NON_DC);
+}
+
+TEST(Marketing, SummaryCounts)
+{
+    const std::vector<DeviceSpec> specs = {
+        spec(2898.0, 64.0, 608.5),                              // F-DC
+        spec(15824.0, 900.0, 814.0),                            // C-DC
+        spec(3118.0, 63.0, 378.6, MarketSegment::CONSUMER),     // F-NDC
+        spec(800.0, 0.0, 400.0, MarketSegment::CONSUMER),       // C-NDC
+    };
+    const MarketingSummary s = summarizeMarketing(specs);
+    EXPECT_EQ(s.falseDc, 1);
+    EXPECT_EQ(s.consistentDc, 1);
+    EXPECT_EQ(s.falseNonDc, 1);
+    EXPECT_EQ(s.consistentNonDc, 1);
+}
+
+// ---- architectural data-center classifier ------------------------------------------
+
+TEST(ArchClassifier, ThresholdsAreStrict)
+{
+    DeviceSpec s = spec(1000.0, 0.0, 500.0);
+    s.memCapacityGB = 32.0;
+    s.memBandwidthGBps = 1600.0;
+    EXPECT_FALSE(ArchDataCenterClassifier::isDataCenter(s));
+    s.memCapacityGB = 32.01;
+    EXPECT_TRUE(ArchDataCenterClassifier::isDataCenter(s));
+    s.memCapacityGB = 16.0;
+    s.memBandwidthGBps = 1601.0;
+    EXPECT_TRUE(ArchDataCenterClassifier::isDataCenter(s));
+}
+
+TEST(ArchClassifier, AnalyzesAgainstMarketing)
+{
+    DeviceSpec gaming = spec(5285.0, 63.0, 608.5,
+                             MarketSegment::CONSUMER);
+    gaming.memCapacityGB = 24.0;
+    gaming.memBandwidthGBps = 1008.0;
+    EXPECT_EQ(ArchDataCenterClassifier::analyze(gaming),
+              MarketingConsistency::CONSISTENT_NON_DC);
+
+    DeviceSpec l4 = spec(968.0, 64.0, 294.5);
+    l4.memCapacityGB = 24.0;
+    l4.memBandwidthGBps = 300.0;
+    EXPECT_EQ(ArchDataCenterClassifier::analyze(l4),
+              MarketingConsistency::FALSE_DC);
+}
+
+// ---- architecture-first policy framework --------------------------------------------
+
+TEST(ArchPolicy, EmptyPolicyIsVacuouslyCompliant)
+{
+    const ArchPolicy p("empty");
+    EXPECT_TRUE(p.compliant(hw::modeledA100()));
+    EXPECT_TRUE(p.violations(hw::modeledA100()).empty());
+}
+
+TEST(ArchPolicy, ParameterValueReadsEveryField)
+{
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    EXPECT_NEAR(parameterValue(cfg, ArchParameter::TPP), 4990.5, 1.0);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::MEM_BANDWIDTH),
+                     2.0 * units::TBPS);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::MEM_CAPACITY),
+                     80.0 * units::GB);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::L1_PER_CORE),
+                     192.0 * units::KIB);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::L2_SIZE),
+                     40.0 * units::MIB);
+    EXPECT_DOUBLE_EQ(
+        parameterValue(cfg, ArchParameter::DEVICE_BANDWIDTH),
+        600.0 * units::GBPS);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::SYSTOLIC_DIM),
+                     16.0);
+    EXPECT_DOUBLE_EQ(parameterValue(cfg, ArchParameter::LANES_PER_CORE),
+                     4.0);
+}
+
+TEST(ArchPolicy, ViolationsAreReported)
+{
+    ArchPolicy p("strict");
+    p.addLimit(ArchParameter::MEM_BANDWIDTH, 1.0 * units::TBPS);
+    p.addLimit(ArchParameter::TPP, 10000.0);
+    const auto violations = p.violations(hw::modeledA100());
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("mem-bandwidth"), std::string::npos);
+    EXPECT_FALSE(p.compliant(hw::modeledA100()));
+}
+
+TEST(ArchPolicy, NegativeCeilingIsFatal)
+{
+    ArchPolicy p("bad");
+    EXPECT_THROW(p.addLimit(ArchParameter::TPP, -1.0), FatalError);
+}
+
+TEST(ArchPolicy, GamingFocusedBlocksA100ClassDesigns)
+{
+    // Sec. 5.4: the gaming policy caps systolic dims and memory
+    // bandwidth — an A100 (16x16 arrays, 2 TB/s HBM) violates both.
+    const ArchPolicy p = ArchPolicy::gamingFocused();
+    EXPECT_FALSE(p.compliant(hw::modeledA100()));
+    EXPECT_EQ(p.violations(hw::modeledA100()).size(), 2u);
+}
+
+TEST(ArchPolicy, GamingFocusedAllowsGamingClassDesigns)
+{
+    hw::HardwareConfig gaming = hw::modeledA100();
+    gaming.systolicDimX = 8;
+    gaming.systolicDimY = 8;
+    gaming.memBandwidth = 1.0 * units::TBPS;
+    EXPECT_TRUE(ArchPolicy::gamingFocused().compliant(gaming));
+}
+
+TEST(ArchPolicy, CombinedPoliciesMatchSec53)
+{
+    const ArchPolicy bw = ArchPolicy::tppPlusMemoryBandwidth();
+    EXPECT_EQ(bw.limits().size(), 2u);
+    EXPECT_FALSE(bw.compliant(hw::modeledA100())); // A100 exceeds both
+    hw::HardwareConfig limited = hw::modeledA100();
+    limited.coreCount = 99;
+    limited.memBandwidth = 0.8 * units::TBPS;
+    EXPECT_TRUE(bw.compliant(limited));
+
+    const ArchPolicy l1 = ArchPolicy::tppPlusL1Cache();
+    hw::HardwareConfig small_l1 = limited;
+    small_l1.l1BytesPerCore = 32.0 * units::KIB;
+    EXPECT_TRUE(l1.compliant(small_l1));
+}
+
+} // anonymous namespace
+} // namespace policy
+} // namespace acs

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the power / operating-cost model (Sec. 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/power_model.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hw/presets.hh"
+
+namespace acs {
+namespace area {
+namespace {
+
+const ActivityProfile IDLE{0.0, 0.0, 0.0};
+const ActivityProfile SERVING{0.5, 0.5, 4.0};
+
+TEST(PowerModel, BreakdownSumsCorrectly)
+{
+    const PowerModel model;
+    const PowerBreakdown p = model.power(hw::modeledA100(), SERVING);
+    EXPECT_DOUBLE_EQ(p.staticW(), p.sramLeakageW + p.logicLeakageW);
+    EXPECT_DOUBLE_EQ(p.dynamicW(),
+                     p.computeW + p.hbmW + p.sramDynamicW);
+    EXPECT_DOUBLE_EQ(p.totalW(), p.staticW() + p.dynamicW());
+}
+
+TEST(PowerModel, A100ClassPowerIsPlausible)
+{
+    // The A100 is a 400 W part; a serving-level activity profile
+    // should land within the same order of magnitude.
+    const PowerModel model;
+    const double w = model.power(hw::modeledA100(), SERVING).totalW();
+    EXPECT_GT(w, 80.0);
+    EXPECT_LT(w, 600.0);
+}
+
+TEST(PowerModel, IdleDeviceBurnsOnlyLeakage)
+{
+    const PowerModel model;
+    const PowerBreakdown p = model.power(hw::modeledA100(), IDLE);
+    EXPECT_DOUBLE_EQ(p.dynamicW(), 0.0);
+    EXPECT_GT(p.staticW(), 0.0);
+}
+
+TEST(PowerModel, SramLeakageScalesWithCapacity)
+{
+    const PowerModel model;
+    hw::HardwareConfig big = hw::modeledA100();
+    big.l1BytesPerCore = 1024.0 * units::KIB;
+    big.l2Bytes = 80.0 * units::MIB;
+    const double small_leak =
+        model.power(hw::modeledA100(), IDLE).sramLeakageW;
+    const double big_leak = model.power(big, IDLE).sramLeakageW;
+    const double small_mib =
+        (108.0 * 192.0 * units::KIB + 40.0 * units::MIB) / units::MIB;
+    const double big_mib =
+        (108.0 * 1024.0 * units::KIB + 80.0 * units::MIB) / units::MIB;
+    EXPECT_NEAR(big_leak / small_leak, big_mib / small_mib, 1e-9);
+}
+
+TEST(PowerModel, ComputePowerScalesWithUtilization)
+{
+    const PowerModel model;
+    const ActivityProfile half{0.5, 0.0, 0.0};
+    const ActivityProfile full{1.0, 0.0, 0.0};
+    const double p_half =
+        model.power(hw::modeledA100(), half).computeW;
+    const double p_full =
+        model.power(hw::modeledA100(), full).computeW;
+    EXPECT_NEAR(p_full, 2.0 * p_half, 1e-9);
+}
+
+TEST(PowerModel, HbmPowerScalesWithBandwidthAndUtilization)
+{
+    const PowerModel model;
+    hw::HardwareConfig fast = hw::modeledA100();
+    fast.memBandwidth = 3.2 * units::TBPS;
+    const ActivityProfile mem_only{0.0, 1.0, 0.0};
+    EXPECT_GT(model.power(fast, mem_only).hbmW,
+              model.power(hw::modeledA100(), mem_only).hbmW);
+}
+
+TEST(PowerModel, ValidatesActivity)
+{
+    const PowerModel model;
+    EXPECT_THROW(model.power(hw::modeledA100(),
+                             ActivityProfile{1.5, 0.0, 0.0}),
+                 FatalError);
+    EXPECT_THROW(model.power(hw::modeledA100(),
+                             ActivityProfile{0.0, -0.1, 0.0}),
+                 FatalError);
+    EXPECT_THROW(model.power(hw::modeledA100(),
+                             ActivityProfile{0.0, 0.0, -1.0}),
+                 FatalError);
+}
+
+TEST(PowerModel, ValidatesParams)
+{
+    PowerParams bad;
+    bad.energyPerFlopJ = -1.0;
+    EXPECT_THROW(PowerModel(AreaModel{}, bad), FatalError);
+}
+
+TEST(OperatingCost, FormulaAndValidation)
+{
+    // 1 kW at $0.10/kWh and PUE 1.0: 8760 kWh -> $876/yr.
+    EXPECT_NEAR(PowerModel::operatingCostUsdPerYear(1000.0, 0.10, 1.0),
+                876.0, 1e-9);
+    // PUE multiplies linearly.
+    EXPECT_NEAR(PowerModel::operatingCostUsdPerYear(1000.0, 0.10, 1.3),
+                876.0 * 1.3, 1e-9);
+    EXPECT_THROW(PowerModel::operatingCostUsdPerYear(-1.0), FatalError);
+    EXPECT_THROW(PowerModel::operatingCostUsdPerYear(100.0, -0.1),
+                 FatalError);
+    EXPECT_THROW(PowerModel::operatingCostUsdPerYear(100.0, 0.1, 0.9),
+                 FatalError);
+}
+
+/** Property: total power is monotone in each activity axis. */
+class ActivityMonotone : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ActivityMonotone, PowerNonDecreasingInUtilization)
+{
+    const PowerModel model;
+    const double u = GetParam();
+    const double lo =
+        model.power(hw::modeledA100(), ActivityProfile{u, u, 2.0})
+            .totalW();
+    const double hi =
+        model.power(hw::modeledA100(),
+                    ActivityProfile{std::min(1.0, u + 0.2),
+                                    std::min(1.0, u + 0.2), 2.0})
+            .totalW();
+    EXPECT_GE(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, ActivityMonotone,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+TEST(PowerModel, ChipletPackageScalesLeakage)
+{
+    const PowerModel model;
+    hw::HardwareConfig mcm = hw::modeledA100();
+    mcm.diesPerPackage = 2;
+    EXPECT_NEAR(model.power(mcm, IDLE).staticW(),
+                2.0 * model.power(hw::modeledA100(), IDLE).staticW(),
+                1e-9);
+}
+
+} // anonymous namespace
+} // namespace area
+} // namespace acs

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the roofline analysis and the parallel sweep
+ * evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/study.hh"
+#include "dse/evaluate.hh"
+#include "dse/sweep.hh"
+#include "hw/presets.hh"
+#include "perf/roofline.hh"
+
+namespace acs {
+namespace {
+
+// ---- roofline -------------------------------------------------------------
+
+class RooflineFixture : public ::testing::Test
+{
+  protected:
+    hw::HardwareConfig cfg_ = hw::modeledA100();
+    model::InferenceSetting setting_;
+};
+
+TEST_F(RooflineFixture, RidgeIsPeakOverBandwidth)
+{
+    const auto graph =
+        model::buildPrefillGraph(model::gpt3_175b(), setting_, 4);
+    const auto a = perf::analyzeRoofline(cfg_, graph, 4);
+    EXPECT_DOUBLE_EQ(a.ridgeIntensity, a.peakFlops / a.memBandwidth);
+    EXPECT_GT(a.ridgeIntensity, 50.0);  // A100-class: ~180 FLOPs/B
+    EXPECT_LT(a.ridgeIntensity, 500.0);
+}
+
+TEST_F(RooflineFixture, PrefillGemmsAreComputeBound)
+{
+    const auto graph =
+        model::buildPrefillGraph(model::gpt3_175b(), setting_, 4);
+    const auto a = perf::analyzeRoofline(cfg_, graph, 4);
+    for (const auto &p : a.points) {
+        if (p.name == "qkv-proj" || p.name == "ffn-up" ||
+            p.name == "ffn-down") {
+            EXPECT_TRUE(p.computeBound) << p.name;
+        }
+        if (p.name == "softmax" || p.name == "pre-norm") {
+            EXPECT_FALSE(p.computeBound) << p.name;
+        }
+    }
+}
+
+TEST_F(RooflineFixture, DecodeGemmsAreBandwidthBound)
+{
+    const auto graph =
+        model::buildDecodeGraph(model::gpt3_175b(), setting_, 4);
+    const auto a = perf::analyzeRoofline(cfg_, graph, 4);
+    for (const auto &p : a.points) {
+        if (p.name == "qkv-proj" || p.name == "ffn-up" ||
+            p.name == "ffn-down") {
+            EXPECT_FALSE(p.computeBound) << p.name;
+        }
+    }
+}
+
+TEST_F(RooflineFixture, AchievedNeverExceedsCeilingMuch)
+{
+    // The model must respect the roofline up to its efficiency and
+    // overhead constants (allow modest slack).
+    for (const auto &graph :
+         {model::buildPrefillGraph(model::gpt3_175b(), setting_, 4),
+          model::buildDecodeGraph(model::gpt3_175b(), setting_, 4)}) {
+        const auto a = perf::analyzeRoofline(cfg_, graph, 4);
+        for (const auto &p : a.points) {
+            EXPECT_LE(p.achievedFlops, a.peakFlops * 1.01) << p.name;
+            EXPECT_LE(p.achievedFlops, p.rooflineFlops * 1.3)
+                << p.name;
+        }
+    }
+}
+
+TEST_F(RooflineFixture, CollectivesAreSkipped)
+{
+    const auto graph =
+        model::buildPrefillGraph(model::gpt3_175b(), setting_, 4);
+    const auto a = perf::analyzeRoofline(cfg_, graph, 4);
+    for (const auto &p : a.points)
+        EXPECT_EQ(p.name.find("allreduce"), std::string::npos);
+    // Two allreduces skipped from the 14-op graph.
+    EXPECT_EQ(a.points.size(), graph.ops.size() - 2);
+}
+
+// ---- parallel evaluation ------------------------------------------------------
+
+TEST(ParallelEvaluate, MatchesSerialResults)
+{
+    const core::Workload w = core::llamaWorkload();
+    const dse::DesignEvaluator evaluator(w.model, w.setting, w.system);
+    const auto cfgs =
+        dse::table3Space(2400.0, {600.0 * 1e9}).generate();
+    ASSERT_GE(cfgs.size(), 100u);
+
+    const auto serial = evaluator.evaluateAll(cfgs);
+    const auto parallel = evaluator.evaluateAllParallel(cfgs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].config.name, parallel[i].config.name);
+        EXPECT_DOUBLE_EQ(serial[i].ttftS, parallel[i].ttftS);
+        EXPECT_DOUBLE_EQ(serial[i].tbtS, parallel[i].tbtS);
+        EXPECT_DOUBLE_EQ(serial[i].dieAreaMm2, parallel[i].dieAreaMm2);
+    }
+}
+
+TEST(ParallelEvaluate, HandlesDegenerateInputs)
+{
+    const core::Workload w = core::llamaWorkload();
+    const dse::DesignEvaluator evaluator(w.model, w.setting, w.system);
+    EXPECT_TRUE(evaluator.evaluateAllParallel({}, 8).empty());
+    const auto one =
+        evaluator.evaluateAllParallel({hw::modeledA100()}, 8);
+    EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(ParallelEvaluate, DefaultThreadCountWorks)
+{
+    const core::Workload w = core::llamaWorkload();
+    const dse::DesignEvaluator evaluator(w.model, w.setting, w.system);
+    std::vector<hw::HardwareConfig> cfgs(8, hw::modeledA100());
+    const auto out = evaluator.evaluateAllParallel(cfgs);
+    EXPECT_EQ(out.size(), 8u);
+    for (const auto &d : out)
+        EXPECT_DOUBLE_EQ(d.ttftS, out[0].ttftS);
+}
+
+} // anonymous namespace
+} // namespace acs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the serving-capacity module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/presets.hh"
+#include "model/transformer.hh"
+#include "serve/capacity.hh"
+
+namespace acs {
+namespace serve {
+namespace {
+
+perf::InferenceResult
+a100Result()
+{
+    const perf::InferenceSimulator sim(hw::modeledA100());
+    return sim.run(model::gpt3_175b(), model::InferenceSetting{},
+                   perf::SystemConfig{4});
+}
+
+TEST(Slo, Validation)
+{
+    Slo slo;
+    slo.ttftMaxS = 0.0;
+    EXPECT_THROW(slo.validate(), FatalError);
+    slo = Slo{};
+    slo.tbtMaxS = -1.0;
+    EXPECT_THROW(slo.validate(), FatalError);
+    EXPECT_NO_THROW(Slo{}.validate());
+}
+
+TEST(Serving, EstimateReflectsFullModelLatencies)
+{
+    const auto result = a100Result();
+    const auto e = estimateServing(result, 4, Slo{60.0, 0.300});
+    EXPECT_DOUBLE_EQ(e.ttftS, result.ttftFullModelS);
+    EXPECT_DOUBLE_EQ(e.tbtS, result.tbtFullModelS);
+    EXPECT_NEAR(e.tokensPerSecondPerDevice,
+                result.throughputTokensPerS() / 4.0, 1e-9);
+}
+
+TEST(Serving, SloBoundsAreChecked)
+{
+    const auto result = a100Result();
+    // GPT-3 full-model TBT ~135 ms: a 300 ms SLO passes, 50 ms fails.
+    EXPECT_TRUE(estimateServing(result, 4, Slo{60.0, 0.300}).meetsSlo());
+    const auto strict = estimateServing(result, 4, Slo{60.0, 0.050});
+    EXPECT_TRUE(strict.meetsTtftSlo);
+    EXPECT_FALSE(strict.meetsTbtSlo);
+    EXPECT_FALSE(strict.meetsSlo());
+}
+
+TEST(Serving, FleetGrowsInTpUnits)
+{
+    const auto result = a100Result();
+    const auto e = estimateServing(result, 4, Slo{60.0, 0.300});
+    const FleetPlan plan = planFleet(e, 4, 1e6);
+    EXPECT_GT(plan.devices, 0);
+    EXPECT_EQ(plan.devices % 4, 0);
+    EXPECT_GT(plan.utilization, 0.0);
+    EXPECT_LE(plan.utilization, 1.0);
+    EXPECT_TRUE(plan.feasible);
+}
+
+TEST(Serving, HigherDemandNeedsMoreDevices)
+{
+    const auto result = a100Result();
+    const auto e = estimateServing(result, 4, Slo{60.0, 0.300});
+    EXPECT_LE(planFleet(e, 4, 1e5).devices,
+              planFleet(e, 4, 1e6).devices);
+}
+
+TEST(Serving, SlowerHardwareNeedsMoreDevices)
+{
+    hw::HardwareConfig slow = hw::modeledA100();
+    slow.memBandwidth = 0.8e12;
+    const perf::InferenceSimulator sim(slow);
+    const auto slow_result =
+        sim.run(model::gpt3_175b(), model::InferenceSetting{},
+                perf::SystemConfig{4});
+    const Slo slo{60.0, 0.500};
+    const auto fast_e = estimateServing(a100Result(), 4, slo);
+    const auto slow_e = estimateServing(slow_result, 4, slo);
+    EXPECT_GT(planFleet(slow_e, 4, 1e6).devices,
+              planFleet(fast_e, 4, 1e6).devices);
+}
+
+TEST(Serving, Validation)
+{
+    const auto e = estimateServing(a100Result(), 4, Slo{});
+    EXPECT_THROW(planFleet(e, 0, 1e6), FatalError);
+    EXPECT_THROW(planFleet(e, 4, 0.0), FatalError);
+    EXPECT_THROW(estimateServing(a100Result(), 0, Slo{}), FatalError);
+    perf::InferenceResult empty;
+    EXPECT_THROW(estimateServing(empty, 4, Slo{}), FatalError);
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace acs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cross-validation of the wave-level GEMM simulator against the
+ * closed-form MatmulModel: the two implement the same tiling policy
+ * and physics, so their latencies must agree within a tolerance on
+ * both prefill- and decode-shaped GEMMs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hw/presets.hh"
+#include "perf/matmul_model.hh"
+#include "perf/tile_sim.hh"
+
+namespace acs {
+namespace perf {
+namespace {
+
+model::Op
+weightGemm(long m, long n, long k, long batch = 1)
+{
+    model::Op op;
+    op.name = "gemm";
+    op.kind = model::OpKind::MATMUL;
+    op.mm = {m, n, k, batch, true};
+    op.flops = 2.0 * static_cast<double>(batch) * m * n * k;
+    op.weightBytes = 2.0 * static_cast<double>(batch) * k * n;
+    op.inputBytes = 2.0 * static_cast<double>(batch) * m * k;
+    op.outputBytes = 2.0 * static_cast<double>(batch) * m * n;
+    return op;
+}
+
+TEST(TileSim, RejectsNonMatmul)
+{
+    model::Op op;
+    op.kind = model::OpKind::VECTOR;
+    EXPECT_THROW(simulateGemm(hw::modeledA100(), op), FatalError);
+}
+
+TEST(TileSim, WaveAccountingIsExact)
+{
+    const auto op = weightGemm(2048, 4096, 4096);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    const long m_tiles = (2048 + trace.tileM - 1) / trace.tileM;
+    const long n_tiles = (4096 + trace.tileN - 1) / trace.tileN;
+    EXPECT_EQ(trace.totalTiles(), m_tiles * n_tiles);
+    // Every wave except possibly the last is full.
+    const long arrays = hw::modeledA100().totalSystolicArrays();
+    for (std::size_t i = 0; i + 1 < trace.waves.size(); ++i)
+        EXPECT_EQ(trace.waves[i].tilesInWave, arrays);
+}
+
+TEST(TileSim, ScheduleIsCausal)
+{
+    const auto op = weightGemm(8192, 8192, 4096);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    double prev_end = 0.0;
+    for (const WaveRecord &w : trace.waves) {
+        EXPECT_GE(w.startS, 0.0);
+        EXPECT_GE(w.endS, w.startS);
+        EXPECT_GE(w.endS, prev_end); // compute is serialized
+        prev_end = w.endS;
+    }
+    EXPECT_GE(trace.totalS, prev_end);
+}
+
+TEST(TileSim, SharesTilingPolicyWithClosedForm)
+{
+    const auto op = weightGemm(32, 12288, 12288);
+    const MatmulModel model(hw::modeledA100(), PerfParams{});
+    const MatmulTiming analytic = model.time(op);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    EXPECT_EQ(trace.tileM, analytic.tileM);
+    EXPECT_EQ(trace.tileN, analytic.tileN);
+}
+
+/**
+ * The cross-validation property: simulated and closed-form latency
+ * agree within 35% across GEMM shapes (the simulator sees remainder
+ * tiles and schedule skew the closed form averages away).
+ */
+struct GemmShape
+{
+    const char *label;
+    long m, n, k, batch;
+};
+
+class CrossValidate : public ::testing::TestWithParam<GemmShape>
+{};
+
+TEST_P(CrossValidate, SimAgreesWithClosedForm)
+{
+    const auto [label, m, n, k, batch] = GetParam();
+    const auto op = weightGemm(m, n, k, batch);
+    const MatmulModel model(hw::modeledA100(), PerfParams{});
+    const double analytic = model.time(op).totalS;
+    const double simulated =
+        simulateGemm(hw::modeledA100(), op).totalS;
+    EXPECT_GT(simulated, 0.35 * analytic) << label;
+    EXPECT_LT(simulated, 1.65 * analytic) << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossValidate,
+    ::testing::Values(
+        GemmShape{"prefill_qkv", 65536, 9216, 12288, 1},
+        GemmShape{"prefill_ffn", 65536, 12288, 12288, 1},
+        GemmShape{"decode_qkv", 32, 9216, 12288, 1},
+        GemmShape{"decode_ffn", 32, 12288, 12288, 1},
+        GemmShape{"square", 4096, 4096, 4096, 1},
+        GemmShape{"tall", 65536, 512, 2048, 1},
+        GemmShape{"wide", 512, 65536, 2048, 1}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+TEST(TileSim, MoreMemoryBandwidthNeverHurts)
+{
+    hw::HardwareConfig slow = hw::modeledA100();
+    slow.memBandwidth = 0.8e12;
+    const auto op = weightGemm(32, 12288, 12288);
+    const double t_slow = simulateGemm(slow, op).totalS;
+    const double t_fast =
+        simulateGemm(hw::modeledA100(), op).totalS;
+    EXPECT_LE(t_fast, t_slow * (1.0 + 1e-9));
+}
+
+TEST(TileSim, RemainderTilesAppearOnEdges)
+{
+    // 100 x 100 with 64-ish tiles leaves remainders on both axes.
+    const auto op = weightGemm(100, 100, 512);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    EXPECT_GT(trace.totalTiles(), 0);
+    EXPECT_LE(trace.tileM, 100);
+    EXPECT_LE(trace.tileN, 100);
+}
+
+TEST(TileSim, SingleTileProblem)
+{
+    const auto op = weightGemm(8, 16, 64);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    EXPECT_EQ(trace.totalTiles(), 1);
+    EXPECT_EQ(trace.waves.size(), 1u);
+    EXPECT_GT(trace.totalS, 0.0);
+}
+
+} // anonymous namespace
+} // namespace perf
+} // namespace acs

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * acs — the unified command-line front end.
+ *
+ * Subcommands:
+ *   classify <tpp> <devbw_gbps> <area_mm2> [dc|consumer]
+ *       Rule outcomes for a spec given on the command line.
+ *   db [segment]
+ *       Print the device catalogue (optionally one market segment).
+ *   evaluate <config.kv> <workload>
+ *       Evaluate a design file on a workload vs the A100 baseline.
+ *   sweep <workload> <tpp>
+ *       Run the Table-3 sweep and print compliant optima.
+ *   metrics <config.kv>
+ *       CTP / APP / TPP for a design file.
+ *   help
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/acs.hh"
+
+using namespace acs;
+
+namespace {
+
+int
+usage()
+{
+    std::cout <<
+        "usage: acs <command> [args]\n"
+        "  classify <tpp> <devbw_gbps> <area_mm2> [dc|consumer]\n"
+        "  db [data-center|consumer|workstation]\n"
+        "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
+        "  sweep <gpt3|llama|llama70b|mixtral> <tpp>\n"
+        "  metrics <config.kv>\n";
+    return 2;
+}
+
+hw::HardwareConfig
+loadConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open " + path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return hw::configFromKeyVal(KeyVal::parse(buf.str()));
+}
+
+int
+cmdClassify(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    policy::DeviceSpec spec;
+    spec.name = "cli-device";
+    spec.tpp = std::stod(args[0]);
+    spec.deviceBandwidthGBps = std::stod(args[1]);
+    spec.dieAreaMm2 = std::stod(args[2]);
+    spec.market = args.size() > 3 && args[3] == "consumer"
+                      ? policy::MarketSegment::CONSUMER
+                      : policy::MarketSegment::DATA_CENTER;
+
+    Table t({"rule", "classification"});
+    t.addRow({"Oct 2022", toString(policy::Oct2022Rule::classify(spec))});
+    t.addRow({"Oct 2023 (as marketed)",
+              toString(policy::Oct2023Rule::classify(spec))});
+    t.addRow({"Oct 2023 (if DC)",
+              toString(policy::Oct2023Rule::classifyAs(
+                  spec, policy::MarketSegment::DATA_CENTER))});
+    t.print(std::cout);
+    if (spec.tpp < policy::Oct2023Rule::TPP_LICENSE) {
+        const double floor =
+            policy::Oct2023Rule::minUnregulatedDieArea(spec.tpp);
+        if (floor > 0.0) {
+            std::cout << "unregulated above " << fmt(floor, 1)
+                      << " mm^2 of applicable die area\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdDb(const std::vector<std::string> &args)
+{
+    const devices::Database db;
+    Table t({"device", "released", "market", "TPP", "PD",
+             "mem", "Oct 2023"});
+    for (const auto &rec : db.all()) {
+        if (!args.empty() && toString(rec.market) != args[0])
+            continue;
+        t.addRow({rec.name,
+                  std::to_string(rec.releaseYear) + "-" +
+                      (rec.releaseMonth < 10 ? "0" : "") +
+                      std::to_string(rec.releaseMonth),
+                  toString(rec.market), fmt(rec.tpp, 0),
+                  fmt(rec.toSpec().perfDensity()),
+                  fmt(rec.memCapacityGB, 0) + "GB@" +
+                      fmt(rec.memBandwidthGBps, 0),
+                  toString(policy::Oct2023Rule::classify(
+                      rec.toSpec()))});
+    }
+    t.print(std::cout);
+    std::cout << t.rowCount() << " devices\n";
+    return 0;
+}
+
+int
+cmdEvaluate(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const hw::HardwareConfig cfg = loadConfig(args[0]);
+    const core::Workload workload = core::workloadByName(args[1]);
+    const core::SanctionsStudy study;
+    const core::DesignReport report =
+        study.evaluateDesign(cfg, workload);
+
+    Table t({"metric", cfg.name, "modeled A100", "delta"});
+    t.addRow({"TTFT/layer (ms)",
+              fmt(units::toMs(report.design.ttftS), 2),
+              fmt(units::toMs(report.baseline.ttftS), 2),
+              fmtPercent(report.ttftDelta())});
+    t.addRow({"TBT/layer (ms)",
+              fmt(units::toMs(report.design.tbtS), 4),
+              fmt(units::toMs(report.baseline.tbtS), 4),
+              fmtPercent(report.tbtDelta())});
+    t.addRow({"TPP", fmt(report.design.tpp, 0),
+              fmt(report.baseline.tpp, 0), ""});
+    t.addRow({"die area (mm^2)", fmt(report.design.dieAreaMm2, 1),
+              fmt(report.baseline.dieAreaMm2, 1), ""});
+    t.addRow({"die cost ($)", fmt(report.design.dieCostUsd, 0),
+              fmt(report.baseline.dieCostUsd, 0), ""});
+    t.print(std::cout);
+    std::cout << "Oct 2022: " << toString(report.rules.oct2022)
+              << "; Oct 2023 DC: "
+              << toString(report.rules.oct2023DataCenter) << "\n";
+    return 0;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const core::Workload workload = core::workloadByName(args[0]);
+    const double tpp = std::stod(args[1]);
+    const core::SanctionsStudy study;
+    const auto baseline = study.evaluateBaseline(workload);
+    const auto designs = study.runSweep(
+        dse::table3Space(tpp, {500.0 * units::GBPS,
+                               700.0 * units::GBPS,
+                               900.0 * units::GBPS}),
+        workload);
+    const auto compliant =
+        dse::filterOct2023Unregulated(dse::filterReticle(designs));
+    std::cout << designs.size() << " designs, " << compliant.size()
+              << " compliant+manufacturable\n";
+    if (compliant.empty())
+        return 0;
+    const auto &fast = dse::minTtft(compliant);
+    const auto &decode = dse::minTbt(compliant);
+    std::cout << "best TTFT: " << fmt(units::toMs(fast.ttftS), 1)
+              << " ms ("
+              << fmtPercent(fast.ttftS / baseline.ttftS - 1.0)
+              << " vs A100) [" << fast.config.name << "]\n";
+    std::cout << "best TBT:  " << fmt(units::toMs(decode.tbtS), 4)
+              << " ms ("
+              << fmtPercent(decode.tbtS / baseline.tbtS - 1.0)
+              << " vs A100) [" << decode.config.name << "]\n";
+    return 0;
+}
+
+int
+cmdMetrics(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const hw::HardwareConfig cfg = loadConfig(args[0]);
+    const policy::MetricHistory h = policy::metricHistory(cfg);
+    Table t({"metric", "value"});
+    t.addRow({"CTP (MTOPS, 1991)", fmt(h.ctpMtops, 0)});
+    t.addRow({"APP (WT, 2006)", fmt(h.appWt, 2)});
+    t.addRow({"TPP (2022)", fmt(h.tpp, 0)});
+    t.print(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "classify")
+            return cmdClassify(args);
+        if (cmd == "db")
+            return cmdDb(args);
+        if (cmd == "evaluate")
+            return cmdEvaluate(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "metrics")
+            return cmdMetrics(args);
+        return usage();
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    } catch (const std::invalid_argument &) {
+        std::cerr << "error: numeric argument expected\n";
+        return 2;
+    }
+}
