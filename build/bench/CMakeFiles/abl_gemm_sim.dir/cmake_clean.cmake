@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gemm_sim.dir/abl_gemm_sim.cpp.o"
+  "CMakeFiles/abl_gemm_sim.dir/abl_gemm_sim.cpp.o.d"
+  "abl_gemm_sim"
+  "abl_gemm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gemm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

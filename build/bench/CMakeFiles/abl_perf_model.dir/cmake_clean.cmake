@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_perf_model.dir/abl_perf_model.cpp.o"
+  "CMakeFiles/abl_perf_model.dir/abl_perf_model.cpp.o.d"
+  "abl_perf_model"
+  "abl_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

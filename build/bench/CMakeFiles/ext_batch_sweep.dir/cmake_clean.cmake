@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batch_sweep.dir/ext_batch_sweep.cpp.o"
+  "CMakeFiles/ext_batch_sweep.dir/ext_batch_sweep.cpp.o.d"
+  "ext_batch_sweep"
+  "ext_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bitwidth.dir/ext_bitwidth.cpp.o"
+  "CMakeFiles/ext_bitwidth.dir/ext_bitwidth.cpp.o.d"
+  "ext_bitwidth"
+  "ext_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deadweight_loss.dir/ext_deadweight_loss.cpp.o"
+  "CMakeFiles/ext_deadweight_loss.dir/ext_deadweight_loss.cpp.o.d"
+  "ext_deadweight_loss"
+  "ext_deadweight_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deadweight_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gaming_policy.dir/ext_gaming_policy.cpp.o"
+  "CMakeFiles/ext_gaming_policy.dir/ext_gaming_policy.cpp.o.d"
+  "ext_gaming_policy"
+  "ext_gaming_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gaming_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

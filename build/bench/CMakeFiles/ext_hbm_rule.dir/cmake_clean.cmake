@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hbm_rule.dir/ext_hbm_rule.cpp.o"
+  "CMakeFiles/ext_hbm_rule.dir/ext_hbm_rule.cpp.o.d"
+  "ext_hbm_rule"
+  "ext_hbm_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hbm_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

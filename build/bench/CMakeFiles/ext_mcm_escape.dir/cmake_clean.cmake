@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mcm_escape.dir/ext_mcm_escape.cpp.o"
+  "CMakeFiles/ext_mcm_escape.dir/ext_mcm_escape.cpp.o.d"
+  "ext_mcm_escape"
+  "ext_mcm_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mcm_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_metric_history.dir/ext_metric_history.cpp.o"
+  "CMakeFiles/ext_metric_history.dir/ext_metric_history.cpp.o.d"
+  "ext_metric_history"
+  "ext_metric_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_metric_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_moe.dir/ext_moe.cpp.o"
+  "CMakeFiles/ext_moe.dir/ext_moe.cpp.o.d"
+  "ext_moe"
+  "ext_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_power_cost.dir/ext_power_cost.cpp.o"
+  "CMakeFiles/ext_power_cost.dir/ext_power_cost.cpp.o.d"
+  "ext_power_cost"
+  "ext_power_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rule_evolution.dir/ext_rule_evolution.cpp.o"
+  "CMakeFiles/ext_rule_evolution.dir/ext_rule_evolution.cpp.o.d"
+  "ext_rule_evolution"
+  "ext_rule_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rule_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_serving_tax.dir/ext_serving_tax.cpp.o"
+  "CMakeFiles/ext_serving_tax.dir/ext_serving_tax.cpp.o.d"
+  "ext_serving_tax"
+  "ext_serving_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_serving_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

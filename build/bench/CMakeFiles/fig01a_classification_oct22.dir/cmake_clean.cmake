@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_classification_oct22.dir/fig01a_classification_oct22.cpp.o"
+  "CMakeFiles/fig01a_classification_oct22.dir/fig01a_classification_oct22.cpp.o.d"
+  "fig01a_classification_oct22"
+  "fig01a_classification_oct22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_classification_oct22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

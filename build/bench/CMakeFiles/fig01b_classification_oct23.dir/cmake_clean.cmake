@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_classification_oct23.dir/fig01b_classification_oct23.cpp.o"
+  "CMakeFiles/fig01b_classification_oct23.dir/fig01b_classification_oct23.cpp.o.d"
+  "fig01b_classification_oct23"
+  "fig01b_classification_oct23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_classification_oct23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

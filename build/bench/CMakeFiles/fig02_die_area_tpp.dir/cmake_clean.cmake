@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_die_area_tpp.dir/fig02_die_area_tpp.cpp.o"
+  "CMakeFiles/fig02_die_area_tpp.dir/fig02_die_area_tpp.cpp.o.d"
+  "fig02_die_area_tpp"
+  "fig02_die_area_tpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_die_area_tpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

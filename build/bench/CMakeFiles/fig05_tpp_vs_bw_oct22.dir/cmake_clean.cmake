@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tpp_vs_bw_oct22.dir/fig05_tpp_vs_bw_oct22.cpp.o"
+  "CMakeFiles/fig05_tpp_vs_bw_oct22.dir/fig05_tpp_vs_bw_oct22.cpp.o.d"
+  "fig05_tpp_vs_bw_oct22"
+  "fig05_tpp_vs_bw_oct22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tpp_vs_bw_oct22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

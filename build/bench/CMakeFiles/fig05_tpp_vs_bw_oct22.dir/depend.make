@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_tpp_vs_bw_oct22.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dse_oct22.dir/fig06_dse_oct22.cpp.o"
+  "CMakeFiles/fig06_dse_oct22.dir/fig06_dse_oct22.cpp.o.d"
+  "fig06_dse_oct22"
+  "fig06_dse_oct22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dse_oct22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dse_oct23.dir/fig07_dse_oct23.cpp.o"
+  "CMakeFiles/fig07_dse_oct23.dir/fig07_dse_oct23.cpp.o.d"
+  "fig07_dse_oct23"
+  "fig07_dse_oct23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dse_oct23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_marketing_class.dir/fig09_marketing_class.cpp.o"
+  "CMakeFiles/fig09_marketing_class.dir/fig09_marketing_class.cpp.o.d"
+  "fig09_marketing_class"
+  "fig09_marketing_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_marketing_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

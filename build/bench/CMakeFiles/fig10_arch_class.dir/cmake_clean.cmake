@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_arch_class.dir/fig10_arch_class.cpp.o"
+  "CMakeFiles/fig10_arch_class.dir/fig10_arch_class.cpp.o.d"
+  "fig10_arch_class"
+  "fig10_arch_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_arch_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_restricted_dist.dir/fig12_restricted_dist.cpp.o"
+  "CMakeFiles/fig12_restricted_dist.dir/fig12_restricted_dist.cpp.o.d"
+  "fig12_restricted_dist"
+  "fig12_restricted_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_restricted_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_rule_definitions.dir/tab01_rule_definitions.cpp.o"
+  "CMakeFiles/tab01_rule_definitions.dir/tab01_rule_definitions.cpp.o.d"
+  "tab01_rule_definitions"
+  "tab01_rule_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_rule_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

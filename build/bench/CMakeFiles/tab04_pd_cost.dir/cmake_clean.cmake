@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_pd_cost.dir/tab04_pd_cost.cpp.o"
+  "CMakeFiles/tab04_pd_cost.dir/tab04_pd_cost.cpp.o.d"
+  "tab04_pd_cost"
+  "tab04_pd_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_pd_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_checker.dir/compliance_checker.cpp.o"
+  "CMakeFiles/compliance_checker.dir/compliance_checker.cpp.o.d"
+  "compliance_checker"
+  "compliance_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_optimizer.dir/design_optimizer.cpp.o"
+  "CMakeFiles/design_optimizer.dir/design_optimizer.cpp.o.d"
+  "design_optimizer"
+  "design_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

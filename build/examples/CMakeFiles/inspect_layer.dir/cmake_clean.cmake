@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_layer.dir/inspect_layer.cpp.o"
+  "CMakeFiles/inspect_layer.dir/inspect_layer.cpp.o.d"
+  "inspect_layer"
+  "inspect_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

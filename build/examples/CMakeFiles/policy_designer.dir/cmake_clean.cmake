@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_designer.dir/policy_designer.cpp.o"
+  "CMakeFiles/policy_designer.dir/policy_designer.cpp.o.d"
+  "policy_designer"
+  "policy_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/area_model.cc" "src/area/CMakeFiles/acs_area.dir/area_model.cc.o" "gcc" "src/area/CMakeFiles/acs_area.dir/area_model.cc.o.d"
+  "/root/repo/src/area/cost_model.cc" "src/area/CMakeFiles/acs_area.dir/cost_model.cc.o" "gcc" "src/area/CMakeFiles/acs_area.dir/cost_model.cc.o.d"
+  "/root/repo/src/area/package_model.cc" "src/area/CMakeFiles/acs_area.dir/package_model.cc.o" "gcc" "src/area/CMakeFiles/acs_area.dir/package_model.cc.o.d"
+  "/root/repo/src/area/power_model.cc" "src/area/CMakeFiles/acs_area.dir/power_model.cc.o" "gcc" "src/area/CMakeFiles/acs_area.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/acs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

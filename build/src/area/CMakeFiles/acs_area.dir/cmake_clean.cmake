@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_area.dir/area_model.cc.o"
+  "CMakeFiles/acs_area.dir/area_model.cc.o.d"
+  "CMakeFiles/acs_area.dir/cost_model.cc.o"
+  "CMakeFiles/acs_area.dir/cost_model.cc.o.d"
+  "CMakeFiles/acs_area.dir/package_model.cc.o"
+  "CMakeFiles/acs_area.dir/package_model.cc.o.d"
+  "CMakeFiles/acs_area.dir/power_model.cc.o"
+  "CMakeFiles/acs_area.dir/power_model.cc.o.d"
+  "libacs_area.a"
+  "libacs_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_core.dir/study.cc.o"
+  "CMakeFiles/acs_core.dir/study.cc.o.d"
+  "libacs_core.a"
+  "libacs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

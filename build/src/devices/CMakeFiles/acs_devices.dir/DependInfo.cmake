@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/database.cc" "src/devices/CMakeFiles/acs_devices.dir/database.cc.o" "gcc" "src/devices/CMakeFiles/acs_devices.dir/database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/acs_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/acs_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

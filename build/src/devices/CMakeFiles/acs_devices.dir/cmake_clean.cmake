@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_devices.dir/database.cc.o"
+  "CMakeFiles/acs_devices.dir/database.cc.o.d"
+  "libacs_devices.a"
+  "libacs_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

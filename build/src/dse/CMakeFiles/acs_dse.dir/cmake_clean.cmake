@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_dse.dir/analysis.cc.o"
+  "CMakeFiles/acs_dse.dir/analysis.cc.o.d"
+  "CMakeFiles/acs_dse.dir/evaluate.cc.o"
+  "CMakeFiles/acs_dse.dir/evaluate.cc.o.d"
+  "CMakeFiles/acs_dse.dir/sweep.cc.o"
+  "CMakeFiles/acs_dse.dir/sweep.cc.o.d"
+  "libacs_dse.a"
+  "libacs_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_econ.dir/market.cc.o"
+  "CMakeFiles/acs_econ.dir/market.cc.o.d"
+  "libacs_econ.a"
+  "libacs_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

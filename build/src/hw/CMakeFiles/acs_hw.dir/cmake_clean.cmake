@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_hw.dir/config.cc.o"
+  "CMakeFiles/acs_hw.dir/config.cc.o.d"
+  "CMakeFiles/acs_hw.dir/presets.cc.o"
+  "CMakeFiles/acs_hw.dir/presets.cc.o.d"
+  "CMakeFiles/acs_hw.dir/serialize.cc.o"
+  "CMakeFiles/acs_hw.dir/serialize.cc.o.d"
+  "libacs_hw.a"
+  "libacs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

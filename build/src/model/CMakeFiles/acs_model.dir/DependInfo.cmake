@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/graphics.cc" "src/model/CMakeFiles/acs_model.dir/graphics.cc.o" "gcc" "src/model/CMakeFiles/acs_model.dir/graphics.cc.o.d"
+  "/root/repo/src/model/ops.cc" "src/model/CMakeFiles/acs_model.dir/ops.cc.o" "gcc" "src/model/CMakeFiles/acs_model.dir/ops.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/acs_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/acs_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

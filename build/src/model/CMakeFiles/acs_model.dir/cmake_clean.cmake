@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_model.dir/graphics.cc.o"
+  "CMakeFiles/acs_model.dir/graphics.cc.o.d"
+  "CMakeFiles/acs_model.dir/ops.cc.o"
+  "CMakeFiles/acs_model.dir/ops.cc.o.d"
+  "CMakeFiles/acs_model.dir/transformer.cc.o"
+  "CMakeFiles/acs_model.dir/transformer.cc.o.d"
+  "libacs_model.a"
+  "libacs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

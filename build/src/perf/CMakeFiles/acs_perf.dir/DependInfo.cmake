@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/comm_model.cc" "src/perf/CMakeFiles/acs_perf.dir/comm_model.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/comm_model.cc.o.d"
+  "/root/repo/src/perf/graphics_model.cc" "src/perf/CMakeFiles/acs_perf.dir/graphics_model.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/graphics_model.cc.o.d"
+  "/root/repo/src/perf/matmul_model.cc" "src/perf/CMakeFiles/acs_perf.dir/matmul_model.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/matmul_model.cc.o.d"
+  "/root/repo/src/perf/roofline.cc" "src/perf/CMakeFiles/acs_perf.dir/roofline.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/roofline.cc.o.d"
+  "/root/repo/src/perf/simulator.cc" "src/perf/CMakeFiles/acs_perf.dir/simulator.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/simulator.cc.o.d"
+  "/root/repo/src/perf/tile_sim.cc" "src/perf/CMakeFiles/acs_perf.dir/tile_sim.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/tile_sim.cc.o.d"
+  "/root/repo/src/perf/vector_model.cc" "src/perf/CMakeFiles/acs_perf.dir/vector_model.cc.o" "gcc" "src/perf/CMakeFiles/acs_perf.dir/vector_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/acs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/acs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_perf.dir/comm_model.cc.o"
+  "CMakeFiles/acs_perf.dir/comm_model.cc.o.d"
+  "CMakeFiles/acs_perf.dir/graphics_model.cc.o"
+  "CMakeFiles/acs_perf.dir/graphics_model.cc.o.d"
+  "CMakeFiles/acs_perf.dir/matmul_model.cc.o"
+  "CMakeFiles/acs_perf.dir/matmul_model.cc.o.d"
+  "CMakeFiles/acs_perf.dir/roofline.cc.o"
+  "CMakeFiles/acs_perf.dir/roofline.cc.o.d"
+  "CMakeFiles/acs_perf.dir/simulator.cc.o"
+  "CMakeFiles/acs_perf.dir/simulator.cc.o.d"
+  "CMakeFiles/acs_perf.dir/tile_sim.cc.o"
+  "CMakeFiles/acs_perf.dir/tile_sim.cc.o.d"
+  "CMakeFiles/acs_perf.dir/vector_model.cc.o"
+  "CMakeFiles/acs_perf.dir/vector_model.cc.o.d"
+  "libacs_perf.a"
+  "libacs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/acr_rules.cc" "src/policy/CMakeFiles/acs_policy.dir/acr_rules.cc.o" "gcc" "src/policy/CMakeFiles/acs_policy.dir/acr_rules.cc.o.d"
+  "/root/repo/src/policy/arch_policy.cc" "src/policy/CMakeFiles/acs_policy.dir/arch_policy.cc.o" "gcc" "src/policy/CMakeFiles/acs_policy.dir/arch_policy.cc.o.d"
+  "/root/repo/src/policy/historical.cc" "src/policy/CMakeFiles/acs_policy.dir/historical.cc.o" "gcc" "src/policy/CMakeFiles/acs_policy.dir/historical.cc.o.d"
+  "/root/repo/src/policy/marketing.cc" "src/policy/CMakeFiles/acs_policy.dir/marketing.cc.o" "gcc" "src/policy/CMakeFiles/acs_policy.dir/marketing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/acs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

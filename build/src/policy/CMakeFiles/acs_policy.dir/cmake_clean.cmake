@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_policy.dir/acr_rules.cc.o"
+  "CMakeFiles/acs_policy.dir/acr_rules.cc.o.d"
+  "CMakeFiles/acs_policy.dir/arch_policy.cc.o"
+  "CMakeFiles/acs_policy.dir/arch_policy.cc.o.d"
+  "CMakeFiles/acs_policy.dir/historical.cc.o"
+  "CMakeFiles/acs_policy.dir/historical.cc.o.d"
+  "CMakeFiles/acs_policy.dir/marketing.cc.o"
+  "CMakeFiles/acs_policy.dir/marketing.cc.o.d"
+  "libacs_policy.a"
+  "libacs_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

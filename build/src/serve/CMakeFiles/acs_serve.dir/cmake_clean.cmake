@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_serve.dir/capacity.cc.o"
+  "CMakeFiles/acs_serve.dir/capacity.cc.o.d"
+  "libacs_serve.a"
+  "libacs_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphics.dir/test_graphics.cpp.o"
+  "CMakeFiles/test_graphics.dir/test_graphics.cpp.o.d"
+  "test_graphics"
+  "test_graphics.pdb"
+  "test_graphics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

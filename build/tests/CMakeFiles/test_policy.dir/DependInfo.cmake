@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/test_policy.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/test_policy.dir/test_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/acs_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/acs_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/acs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/acs_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/acs_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/acs_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/acs_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/acs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/acs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acs_cli.dir/acs_cli.cpp.o"
+  "CMakeFiles/acs_cli.dir/acs_cli.cpp.o.d"
+  "acs"
+  "acs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
