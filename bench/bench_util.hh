@@ -7,6 +7,8 @@
 #define ACS_BENCH_BENCH_UTIL_HH
 
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -17,6 +19,65 @@
 
 namespace acs {
 namespace bench {
+
+namespace obs_detail {
+
+/** Trace-file destination chosen by initObs ("" = tracing off). */
+inline std::string &
+tracePath()
+{
+    static std::string path;
+    return path;
+}
+
+/** atexit hook: print the per-stage summary and write the trace. */
+inline void
+reportObs()
+{
+    if (!obs::enabled())
+        return;
+    std::cout << "\n--- observability summary ---\n";
+    obs::summaryTable().print(std::cout);
+    const std::string &path = tracePath();
+    if (!path.empty() && obs::writeChromeTraceFile(path)) {
+        std::cout << "[trace] " << path << " ("
+                  << obs::traceEventCount()
+                  << " spans; load in chrome://tracing or Perfetto)\n";
+    }
+}
+
+} // namespace obs_detail
+
+/**
+ * Observability entry point for the bench harness.
+ *
+ * Enables recording when either the ACS_TRACE environment variable
+ * names a trace file or a `--trace=<file>` argument is present (the
+ * flag wins when both are set), and registers an atexit hook that
+ * prints the per-stage summary table and writes the Chrome-trace
+ * JSON after the bench finishes. Idempotent; called automatically by
+ * header(), so every fig/ext bench honours ACS_TRACE without
+ * per-bench wiring. Benches that accept argv pass it here to also
+ * honour the flag.
+ */
+inline void
+initObs(int argc = 0, char **argv = nullptr)
+{
+    static bool registered = false;
+    std::string path = obs::enableFromEnv();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            path = argv[i] + 8;
+            obs::setEnabled(true);
+        }
+    }
+    if (!path.empty())
+        obs_detail::tracePath() = path;
+    if (obs::enabled() && !registered) {
+        registered = true;
+        std::atexit(obs_detail::reportObs);
+    }
+}
 
 /**
  * Write a table as results/<name>.csv so the figures can be re-plotted
@@ -94,10 +155,11 @@ glyph(policy::Classification c)
     return '?';
 }
 
-/** Print a standard bench header. */
+/** Print a standard bench header (and arm ACS_TRACE observability). */
 inline void
 header(const std::string &id, const std::string &caption)
 {
+    initObs();
     std::cout << "\n" << std::string(72, '=') << "\n"
               << id << ": " << caption << "\n"
               << std::string(72, '=') << "\n";

@@ -124,8 +124,9 @@ runWorkload(const core::SanctionsStudy &study,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::header("Figure 6 / Table 3",
                   "Oct 2022 DSE at TPP ~4800, 600 GB/s device BW");
 

@@ -110,8 +110,9 @@ runWorkload(const core::SanctionsStudy &study,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::header("Figure 7",
                   "Oct 2023 DSE at TPP in {1600, 2400, 4800}");
     const core::SanctionsStudy study;

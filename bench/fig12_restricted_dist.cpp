@@ -67,8 +67,9 @@ runWorkload(const core::SanctionsStudy &study,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::header("Figure 12 / Table 5",
                   "Restricted-parameter DSE distributions (parameters "
                   "at or below the modeled A100)");

@@ -28,6 +28,7 @@
 #include "model/graphics.hh"
 #include "model/ops.hh"
 #include "model/transformer.hh"
+#include "obs/obs.hh"
 #include "perf/graphics_model.hh"
 #include "perf/roofline.hh"
 #include "perf/simulator.hh"

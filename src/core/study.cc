@@ -1,6 +1,7 @@
 #include "study.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "policy/device_spec.hh"
 #include "policy/marketing.hh"
 
@@ -92,14 +93,19 @@ std::vector<dse::EvaluatedDesign>
 SanctionsStudy::runSweep(const dse::SweepSpace &space,
                          const Workload &workload) const
 {
+    const obs::TraceSpan span("core.runSweep");
     const dse::DesignEvaluator evaluator(workload.model, workload.setting,
                                          workload.system, params_);
-    return evaluator.evaluateAll(space.generate());
+    // Parallel evaluation is deterministic and identical to the
+    // serial path (evaluators are const); on one hardware thread it
+    // degrades to evaluateAll.
+    return evaluator.evaluateAllParallel(space.generate());
 }
 
 RuleOutcomes
 SanctionsStudy::classify(const dse::EvaluatedDesign &design) const
 {
+    obs::counterAdd("policy.classified.designs");
     RuleOutcomes outcomes;
     policy::DeviceSpec spec = design.toSpec();
     outcomes.oct2022 = policy::Oct2022Rule::classify(spec);
@@ -113,9 +119,11 @@ SanctionsStudy::classify(const dse::EvaluatedDesign &design) const
 SanctionsStudy::DatabaseSummary
 SanctionsStudy::classifyDatabase(const devices::Database &db)
 {
+    const obs::TraceSpan span("core.classifyDatabase");
     DatabaseSummary summary;
     const auto specs = db.allSpecs();
     summary.devices = specs.size();
+    obs::counterAdd("policy.classified.devices", specs.size());
     for (const auto &spec : specs) {
         summary.regulatedOct2022 +=
             policy::isRegulated(policy::Oct2022Rule::classify(spec));

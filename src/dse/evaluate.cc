@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "obs/obs.hh"
 
 namespace acs {
 namespace dse {
@@ -52,6 +54,7 @@ DesignEvaluator::DesignEvaluator(const model::TransformerConfig &model_cfg,
 EvaluatedDesign
 DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
 {
+    const obs::ScopedTimer timer("dse.evaluate");
     EvaluatedDesign d;
     d.config = cfg;
     d.tpp = cfg.tpp();
@@ -76,6 +79,8 @@ std::vector<EvaluatedDesign>
 DesignEvaluator::evaluateAll(const std::vector<hw::HardwareConfig> &cfgs)
     const
 {
+    const obs::TraceSpan span("dse.evaluateAll");
+    obs::counterAdd("dse.designs.evaluated", cfgs.size());
     std::vector<EvaluatedDesign> out;
     out.reserve(cfgs.size());
     for (const hw::HardwareConfig &cfg : cfgs)
@@ -94,12 +99,20 @@ DesignEvaluator::evaluateAllParallel(
     if (threads <= 1 || cfgs.size() < 2)
         return evaluateAll(cfgs);
 
+    const obs::TraceSpan span("dse.evaluateAllParallel");
+    obs::counterAdd("dse.designs.evaluated", cfgs.size());
+    obs::counterAdd("dse.parallel.threads", threads);
+    const auto wall_start = std::chrono::steady_clock::now();
+
     std::vector<EvaluatedDesign> out(cfgs.size());
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
+        // Per-worker tallies land in obs's per-thread buffers, so the
+        // summary exposes work-stealing balance across the pool.
         for (std::size_t i = next.fetch_add(1); i < cfgs.size();
              i = next.fetch_add(1)) {
             out[i] = evaluate(cfgs[i]);
+            obs::counterAdd("dse.worker.designs");
         }
     };
     std::vector<std::thread> pool;
@@ -108,6 +121,17 @@ DesignEvaluator::evaluateAllParallel(
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+
+    if (obs::enabled()) {
+        // Batch wall time; designs/sec = dse.designs.evaluated over
+        // this series' total (kept as a histogram so repeated sweeps
+        // stay distinguishable).
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        obs::recordDuration("dse.parallel.batch_wall", wall_s);
+    }
     return out;
 }
 
@@ -125,6 +149,8 @@ filterReticle(const std::vector<EvaluatedDesign> &designs)
 std::vector<EvaluatedDesign>
 filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs)
 {
+    const obs::TraceSpan span("dse.filterOct2023");
+    obs::counterAdd("policy.classified.oct2023", designs.size());
     std::vector<EvaluatedDesign> out;
     for (const EvaluatedDesign &d : designs) {
         if (policy::Oct2023Rule::classify(d.toSpec()) ==
@@ -132,6 +158,7 @@ filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs)
             out.push_back(d);
         }
     }
+    obs::counterAdd("policy.unregulated.oct2023", out.size());
     return out;
 }
 

@@ -2,9 +2,12 @@
 
 #include <sstream>
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "hw/presets.hh"
+#include "obs/obs.hh"
 
 namespace acs {
 namespace dse {
@@ -29,6 +32,7 @@ SweepSpace::generate() const
 
     constexpr double PHY_BW = 50.0 * units::GBPS;
 
+    const obs::TraceSpan span("dse.sweep.generate");
     std::vector<hw::HardwareConfig> out;
     out.reserve(size());
     for (int dies : diesPerPackage) {
@@ -60,8 +64,13 @@ SweepSpace::generate() const
                             cfg.l1BytesPerCore = l1;
                             cfg.l2Bytes = l2;
                             cfg.memBandwidth = mem_bw;
-                            cfg.devicePhyCount = static_cast<int>(
-                                dev_bw / PHY_BW + 0.5);
+                            // Round to the nearest whole PHY but
+                            // never below one: bandwidths under half
+                            // a PHY (25 GB/s) would otherwise round
+                            // to an interconnect-less design.
+                            cfg.devicePhyCount = std::max(
+                                1, static_cast<int>(dev_bw / PHY_BW +
+                                                    0.5));
                             cfg.perPhyBandwidth = PHY_BW;
                             cfg.diesPerPackage = dies;
                             std::ostringstream name;
@@ -83,6 +92,7 @@ SweepSpace::generate() const
         }
       }
     }
+    obs::counterAdd("dse.sweep.points", out.size());
     return out;
 }
 

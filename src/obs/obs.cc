@@ -1,0 +1,428 @@
+#include "obs.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> enabledFlag{false};
+
+} // namespace detail
+
+namespace {
+
+/** Per-thread trace-event cap (complete spans are ~100 B each). */
+constexpr std::size_t MAX_EVENTS_PER_THREAD = 1 << 20;
+
+/** One buffered Chrome-trace complete event. */
+struct TraceEvent
+{
+    std::string name;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+};
+
+/** Accumulator behind one named duration series on one thread. */
+struct TimerAccum
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t minNs = 0;
+    std::uint64_t maxNs = 0;
+    std::uint64_t buckets[HISTOGRAM_BUCKETS] = {};
+
+    void add(std::uint64_t ns)
+    {
+        if (count == 0 || ns < minNs)
+            minNs = ns;
+        if (ns > maxNs)
+            maxNs = ns;
+        ++count;
+        totalNs += ns;
+        int b = 0;
+        while (b + 1 < HISTOGRAM_BUCKETS &&
+               ns >= (std::uint64_t{1} << (b + 1)))
+            ++b;
+        ++buckets[b];
+    }
+};
+
+/**
+ * One recording thread's private buffer. Owned by the registry (so
+ * data outlives the thread); the mutex is only contended at report
+ * time.
+ */
+struct ThreadBuf
+{
+    std::mutex mu;
+    int tid = 0;
+    std::unordered_map<std::string, std::uint64_t> counters;
+    std::unordered_map<std::string, TimerAccum> timers;
+    std::vector<TraceEvent> events;
+    std::uint64_t droppedEvents = 0;
+
+    void clear()
+    {
+        counters.clear();
+        timers.clear();
+        events.clear();
+        events.shrink_to_fit();
+        droppedEvents = 0;
+    }
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadBuf>> bufs;
+};
+
+Registry &
+registry()
+{
+    // Intentionally leaked: recording may race static destruction
+    // (atexit report hooks, detached threads), so the registry must
+    // never be torn down.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+ThreadBuf &
+threadBuf()
+{
+    thread_local ThreadBuf *buf = [] {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.bufs.push_back(std::make_unique<ThreadBuf>());
+        r.bufs.back()->tid = static_cast<int>(r.bufs.size()) - 1;
+        return r.bufs.back().get();
+    }();
+    return *buf;
+}
+
+std::uint64_t
+nowNs()
+{
+    // Anchored to first use so Chrome-trace timestamps start near 0.
+    static const std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Run @p fn over every thread buffer, each under its own lock. */
+template <typename Fn>
+void
+forEachBuf(Fn fn)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &buf : r.bufs) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        fn(*buf);
+    }
+}
+
+} // anonymous namespace
+
+void
+setEnabled(bool on)
+{
+    detail::enabledFlag.store(on, std::memory_order_relaxed);
+    if (on)
+        nowNs(); // anchor the clock before the first span
+}
+
+std::string
+enableFromEnv()
+{
+    const char *path = std::getenv("ACS_TRACE");
+    if (!path || !*path)
+        return "";
+    setEnabled(true);
+    return path;
+}
+
+void
+detail::counterAddImpl(const std::string &name, std::uint64_t delta)
+{
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.counters[name] += delta;
+}
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    std::uint64_t total = 0;
+    forEachBuf([&](ThreadBuf &buf) {
+        auto it = buf.counters.find(name);
+        if (it != buf.counters.end())
+            total += it->second;
+    });
+    return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+counterValues()
+{
+    std::map<std::string, std::uint64_t> merged;
+    forEachBuf([&](ThreadBuf &buf) {
+        for (const auto &[name, value] : buf.counters)
+            merged[name] += value;
+    });
+    return {merged.begin(), merged.end()};
+}
+
+std::vector<std::pair<int, std::uint64_t>>
+counterValuesPerThread(const std::string &name)
+{
+    std::vector<std::pair<int, std::uint64_t>> out;
+    forEachBuf([&](ThreadBuf &buf) {
+        auto it = buf.counters.find(name);
+        if (it != buf.counters.end())
+            out.emplace_back(buf.tid, it->second);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+recordDuration(const std::string &name, double seconds)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t ns = seconds <= 0.0
+                                 ? 0
+                                 : static_cast<std::uint64_t>(
+                                       seconds * 1e9 + 0.5);
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.timers[name].add(ns);
+}
+
+namespace {
+
+std::map<std::string, TimerAccum>
+mergedTimers()
+{
+    std::map<std::string, TimerAccum> merged;
+    forEachBuf([&](ThreadBuf &buf) {
+        for (const auto &[name, acc] : buf.timers) {
+            TimerAccum &m = merged[name];
+            if (m.count == 0) {
+                m = acc;
+                continue;
+            }
+            m.minNs = std::min(m.minNs, acc.minNs);
+            m.maxNs = std::max(m.maxNs, acc.maxNs);
+            m.count += acc.count;
+            m.totalNs += acc.totalNs;
+            for (int b = 0; b < HISTOGRAM_BUCKETS; ++b)
+                m.buckets[b] += acc.buckets[b];
+        }
+    });
+    return merged;
+}
+
+TimerStat
+toStat(const std::string &name, const TimerAccum &acc)
+{
+    TimerStat s;
+    s.name = name;
+    s.count = acc.count;
+    s.totalS = static_cast<double>(acc.totalNs) * 1e-9;
+    s.minS = static_cast<double>(acc.minNs) * 1e-9;
+    s.maxS = static_cast<double>(acc.maxNs) * 1e-9;
+    std::copy(std::begin(acc.buckets), std::end(acc.buckets),
+              std::begin(s.buckets));
+    return s;
+}
+
+} // anonymous namespace
+
+std::vector<TimerStat>
+timerStats()
+{
+    std::vector<TimerStat> out;
+    for (const auto &[name, acc] : mergedTimers())
+        out.push_back(toStat(name, acc));
+    return out;
+}
+
+TimerStat
+timerStat(const std::string &name)
+{
+    const auto merged = mergedTimers();
+    auto it = merged.find(name);
+    if (it == merged.end())
+        return TimerStat{};
+    return toStat(name, it->second);
+}
+
+void
+ScopedTimer::start(const char *name)
+{
+    name_ = name;
+    startNs_ = nowNs() + 1; // +1 so 0 keeps meaning "disabled"
+}
+
+void
+ScopedTimer::finish()
+{
+    const std::uint64_t end = nowNs();
+    const std::uint64_t start = startNs_ - 1;
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.timers[name_].add(end > start ? end - start : 0);
+}
+
+void
+TraceSpan::start(const char *name)
+{
+    name_ = name;
+    startNs_ = nowNs() + 1;
+}
+
+void
+TraceSpan::finish()
+{
+    const std::uint64_t end = nowNs();
+    const std::uint64_t start = startNs_ - 1;
+    const std::uint64_t dur = end > start ? end - start : 0;
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.timers[name_].add(dur);
+    if (buf.events.size() >= MAX_EVENTS_PER_THREAD) {
+        ++buf.droppedEvents;
+        return;
+    }
+    buf.events.push_back(TraceEvent{std::move(name_), start, dur});
+}
+
+std::size_t
+traceEventCount()
+{
+    std::size_t total = 0;
+    forEachBuf([&](ThreadBuf &buf) { total += buf.events.size(); });
+    return total;
+}
+
+std::uint64_t
+droppedEventCount()
+{
+    std::uint64_t total = 0;
+    forEachBuf([&](ThreadBuf &buf) { total += buf.droppedEvents; });
+    return total;
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped = 0;
+    forEachBuf([&](ThreadBuf &buf) {
+        dropped += buf.droppedEvents;
+        for (const TraceEvent &e : buf.events) {
+            if (!first)
+                os << ",";
+            first = false;
+            // Timestamps are microseconds in the Trace Event Format.
+            os << "\n{\"name\":\"" << jsonEscape(e.name)
+               << "\",\"cat\":\"acs\",\"ph\":\"X\",\"ts\":"
+               << static_cast<double>(e.startNs) / 1e3
+               << ",\"dur\":" << static_cast<double>(e.durNs) / 1e3
+               << ",\"pid\":1,\"tid\":" << buf.tid << "}";
+        }
+    });
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    if (dropped > 0)
+        warn("chrome trace truncated: " + std::to_string(dropped) +
+             " spans dropped (per-thread buffer cap)");
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace file " + path);
+        return false;
+    }
+    writeChromeTrace(out);
+    return out.good();
+}
+
+Table
+summaryTable()
+{
+    Table t({"stage", "count", "total (ms)", "mean (us)", "min (us)",
+             "max (us)"});
+    for (const TimerStat &s : timerStats()) {
+        t.addRow({s.name, std::to_string(s.count),
+                  fmt(s.totalS * 1e3, 3), fmt(s.meanS() * 1e6, 2),
+                  fmt(s.minS * 1e6, 2), fmt(s.maxS * 1e6, 2)});
+    }
+    for (const auto &[name, value] : counterValues())
+        t.addRow({name, std::to_string(value), "", "", "", ""});
+    return t;
+}
+
+void
+reset()
+{
+    // Buffers are cleared, never destroyed: other threads hold
+    // pointers to theirs.
+    forEachBuf([](ThreadBuf &buf) { buf.clear(); });
+}
+
+} // namespace obs
+} // namespace acs

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Observability layer: process-wide named counters, latency
+ * histograms, RAII scoped timers, and Chrome-trace spans.
+ *
+ * Everything funnels through per-thread buffers so the instrumented
+ * hot paths (the inference simulator, the DSE evaluator, the policy
+ * classifiers) never contend on a shared lock while recording; the
+ * buffers are aggregated only at report time. When observability is
+ * disabled (the default) every entry point reduces to one relaxed
+ * atomic load and a branch, so instrumentation can stay compiled into
+ * release binaries.
+ *
+ * Typical use:
+ * @code
+ *   obs::setEnabled(true);
+ *   {
+ *       obs::TraceSpan span("dse.evaluateAll");
+ *       obs::counterAdd("dse.designs.evaluated", cfgs.size());
+ *       ...
+ *   }
+ *   obs::summaryTable().print(std::cout);
+ *   obs::writeChromeTraceFile("results/run.trace.json");
+ * @endcode
+ *
+ * The trace file loads directly in chrome://tracing or Perfetto
+ * (https://ui.perfetto.dev): events use the Trace Event Format's
+ * complete ("ph":"X") form with microsecond timestamps.
+ */
+
+#ifndef ACS_OBS_OBS_HH
+#define ACS_OBS_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hh"
+
+namespace acs {
+namespace obs {
+
+namespace detail {
+/** Backing flag for enabled(); use setEnabled() to change it. */
+extern std::atomic<bool> enabledFlag;
+/** Out-of-line counter record (call only when enabled). */
+void counterAddImpl(const std::string &name, std::uint64_t delta);
+} // namespace detail
+
+/** Whether recording is active (relaxed load; safe on hot paths). */
+inline bool
+enabled()
+{
+    return detail::enabledFlag.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on or off process-wide. */
+void setEnabled(bool on);
+
+/**
+ * Enable recording if the ACS_TRACE environment variable is set.
+ *
+ * @return The value of ACS_TRACE (the requested trace-file path), or
+ *         an empty string when the variable is unset.
+ */
+std::string enableFromEnv();
+
+// ---- counters --------------------------------------------------------------
+
+/** Add @p delta to the named process-wide counter (no-op if disabled). */
+inline void
+counterAdd(const std::string &name, std::uint64_t delta = 1)
+{
+    if (enabled())
+        detail::counterAddImpl(name, delta);
+}
+
+/**
+ * Literal-name overload: when disabled, no std::string is ever
+ * constructed, keeping instrumented hot loops at one load + branch.
+ */
+inline void
+counterAdd(const char *name, std::uint64_t delta = 1)
+{
+    if (enabled())
+        detail::counterAddImpl(name, delta);
+}
+
+/** Aggregated value of one counter across all threads (0 if unknown). */
+std::uint64_t counterValue(const std::string &name);
+
+/** All counters, aggregated across threads, sorted by name. */
+std::vector<std::pair<std::string, std::uint64_t>> counterValues();
+
+/**
+ * Per-thread breakdown of one counter: (thread id, value) pairs for
+ * every recording thread that touched it, sorted by thread id. Thread
+ * ids are small integers assigned in first-use order (0 is the first
+ * recording thread, usually main).
+ */
+std::vector<std::pair<int, std::uint64_t>>
+counterValuesPerThread(const std::string &name);
+
+// ---- timers and histograms -------------------------------------------------
+
+/** Number of power-of-two nanosecond buckets kept per histogram. */
+constexpr int HISTOGRAM_BUCKETS = 40;
+
+/** Aggregated statistics of one named duration series. */
+struct TimerStat
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double totalS = 0.0;
+    double minS = 0.0;
+    double maxS = 0.0;
+
+    /**
+     * Log2 latency histogram: bucket i counts samples with duration
+     * in [2^i, 2^(i+1)) nanoseconds (the last bucket absorbs the
+     * tail).
+     */
+    std::uint64_t buckets[HISTOGRAM_BUCKETS] = {};
+
+    /** Mean duration in seconds (0 when empty). */
+    double meanS() const { return count ? totalS / count : 0.0; }
+};
+
+/** Record one duration sample into the named histogram. */
+void recordDuration(const std::string &name, double seconds);
+
+/** All duration series, aggregated across threads, sorted by name. */
+std::vector<TimerStat> timerStats();
+
+/** Stats of one series (count == 0 when the name is unknown). */
+TimerStat timerStat(const std::string &name);
+
+/**
+ * Times a scope into the named histogram.
+ *
+ * Cheap when disabled: the constructor is one atomic load and the
+ * destructor one branch. Does not emit a trace event; use TraceSpan
+ * when the interval should also appear on the timeline.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &name)
+    {
+        if (enabled())
+            start(name.c_str());
+    }
+
+    /** Literal-name overload (no string built on the disabled path). */
+    explicit ScopedTimer(const char *name)
+    {
+        if (enabled())
+            start(name);
+    }
+
+    ~ScopedTimer()
+    {
+        if (startNs_ != 0)
+            finish();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    void start(const char *name);
+    void finish();
+
+    std::string name_;
+    std::uint64_t startNs_ = 0;
+};
+
+// ---- trace spans -----------------------------------------------------------
+
+/**
+ * Times a scope AND emits a Chrome-trace complete event for it, so
+ * the interval shows up both in summaryTable() and on the Perfetto
+ * timeline (one track per recording thread).
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const std::string &name)
+    {
+        if (enabled())
+            start(name.c_str());
+    }
+
+    /** Literal-name overload (no string built on the disabled path). */
+    explicit TraceSpan(const char *name)
+    {
+        if (enabled())
+            start(name);
+    }
+
+    ~TraceSpan()
+    {
+        if (startNs_ != 0)
+            finish();
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    void start(const char *name);
+    void finish();
+
+    std::string name_;
+    std::uint64_t startNs_ = 0;
+};
+
+/** Total trace events currently buffered across all threads. */
+std::size_t traceEventCount();
+
+/**
+ * Events dropped because a thread hit its buffer cap (reported so a
+ * truncated trace is never mistaken for a complete one).
+ */
+std::uint64_t droppedEventCount();
+
+// ---- reporting -------------------------------------------------------------
+
+/**
+ * Write every buffered span as Chrome-trace JSON (Trace Event
+ * Format, "traceEvents" array of "ph":"X" records). The output loads
+ * in chrome://tracing and Perfetto.
+ *
+ * Call after worker threads have been joined; recording threads may
+ * otherwise contribute partially.
+ */
+void writeChromeTrace(std::ostream &os);
+
+/**
+ * writeChromeTrace to @p path, creating parent directories.
+ *
+ * @return true on success (warns and returns false on I/O failure).
+ */
+bool writeChromeTraceFile(const std::string &path);
+
+/**
+ * Per-stage summary: one row per duration series (count, total ms,
+ * mean/min/max us) followed by one row per counter.
+ */
+Table summaryTable();
+
+/** Drop all recorded data (counters, histograms, spans) everywhere. */
+void reset();
+
+} // namespace obs
+} // namespace acs
+
+#endif // ACS_OBS_OBS_HH

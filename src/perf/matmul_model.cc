@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "perf/tile_sim.hh"
 
 namespace acs {
@@ -195,6 +196,8 @@ MatmulModel::time(const model::Op &op) const
         t.bound = Bound::HBM;
     else
         t.bound = Bound::GLOBAL_BUFFER;
+
+    obs::counterAdd("perf.matmul.timed");
 
     // Detailed mode: take the latency from the explicit wave
     // schedule; the analytic decomposition above still labels the

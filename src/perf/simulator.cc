@@ -1,9 +1,34 @@
 #include "simulator.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace acs {
 namespace perf {
+
+namespace {
+
+/** Tally which resource bound an op's modeled latency (obs only). */
+void
+tallyBound(Bound bound)
+{
+    switch (bound) {
+      case Bound::COMPUTE:
+        obs::counterAdd("perf.bound.compute");
+        break;
+      case Bound::HBM:
+        obs::counterAdd("perf.bound.hbm");
+        break;
+      case Bound::GLOBAL_BUFFER:
+        obs::counterAdd("perf.bound.l2");
+        break;
+      case Bound::INTERCONNECT:
+        obs::counterAdd("perf.bound.interconnect");
+        break;
+    }
+}
+
+} // anonymous namespace
 
 double
 LayerResult::mfu(double peak_flops) const
@@ -52,6 +77,7 @@ InferenceSimulator::simulateLayer(const model::LayerGraph &graph,
 
     LayerResult result;
     for (const model::Op &op : graph.ops) {
+        const obs::TraceSpan op_span(op.name);
         OpTiming timing;
         timing.name = op.name;
         timing.kind = op.kind;
@@ -76,6 +102,10 @@ InferenceSimulator::simulateLayer(const model::LayerGraph &graph,
             break;
           }
         }
+        if (obs::enabled()) {
+            obs::counterAdd("perf.ops.timed");
+            tallyBound(timing.bound);
+        }
         result.latencyS += timing.latencyS;
         result.flops += op.flops;
         result.ops.push_back(std::move(timing));
@@ -99,8 +129,14 @@ InferenceSimulator::run(const model::TransformerConfig &model_cfg,
         model::buildDecodeGraph(model_cfg, setting, sys.tensorParallel);
 
     InferenceResult r;
-    r.prefill = simulateLayer(prefill, sys.tensorParallel);
-    r.decode = simulateLayer(decode, sys.tensorParallel);
+    {
+        const obs::TraceSpan span("perf.prefill");
+        r.prefill = simulateLayer(prefill, sys.tensorParallel);
+    }
+    {
+        const obs::TraceSpan span("perf.decode");
+        r.decode = simulateLayer(decode, sys.tensorParallel);
+    }
     r.ttftS = r.prefill.latencyS;
     r.tbtS = r.decode.latencyS;
     r.ttftFullModelS = r.ttftS * model_cfg.numLayers;

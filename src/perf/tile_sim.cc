@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "perf/matmul_model.hh"
 
 namespace acs {
@@ -41,6 +42,7 @@ simulateGemm(const hw::HardwareConfig &cfg, const model::Op &op,
     fatalIf(mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1,
             "simulateGemm: degenerate GEMM dims in " + op.name);
 
+    const obs::TraceSpan span("perf.tile_sim");
     GemmTrace trace;
     const TileChoice tiles = chooseTiles(cfg, mm, params);
     trace.tileM = tiles.tileM;
@@ -129,6 +131,11 @@ simulateGemm(const hw::HardwareConfig &cfg, const model::Op &op,
     }
     trace.totalS = (trace.waves.empty() ? 0.0 : trace.waves.back().endS) +
                    params.kernelOverheadS;
+    if (obs::enabled()) {
+        obs::counterAdd("perf.tile_sim.gemms");
+        obs::counterAdd("perf.tile_sim.waves",
+                        static_cast<std::uint64_t>(waves));
+    }
     return trace;
 }
 

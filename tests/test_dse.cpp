@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -99,6 +100,19 @@ TEST(SweepSpace, DeviceBandwidthRealizedAs50GbpsPhys)
     }
 }
 
+TEST(SweepSpace, TinyDeviceBandwidthClampsToOnePhy)
+{
+    // Below 25 GB/s the nearest-PHY rounding used to yield zero PHYs
+    // (an interconnect-less design); it must clamp to one.
+    SweepSpace space = table3Space(4800.0, {10.0 * units::GBPS});
+    const auto cfgs = space.generate();
+    ASSERT_EQ(cfgs.size(), space.size());
+    for (const auto &cfg : cfgs) {
+        EXPECT_EQ(cfg.devicePhyCount, 1) << cfg.name;
+        EXPECT_DOUBLE_EQ(cfg.deviceBandwidth(), 50.0 * units::GBPS);
+    }
+}
+
 TEST(SweepSpace, EmptyParameterListIsFatal)
 {
     SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
@@ -165,6 +179,44 @@ TEST(DesignEvaluator, EvaluateAllPreservesOrder)
     ASSERT_EQ(designs.size(), 2u);
     EXPECT_EQ(designs[0].config.name, "modeled-A100");
     EXPECT_EQ(designs[1].config.name, "modeled-A800");
+}
+
+TEST(DesignEvaluator, ParallelMatchesSerialExactly)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    // A small but non-trivial slice of the Table-3 space.
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.l1BytesPerCore = {192.0 * units::KIB, 512.0 * units::KIB};
+    space.l2Bytes = {32.0 * units::MIB};
+    space.memBandwidths = {2.0 * units::TBPS, 3.2 * units::TBPS};
+    const auto cfgs = space.generate();
+    ASSERT_GE(cfgs.size(), 8u);
+
+    const auto serial = evaluator.evaluateAll(cfgs);
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    for (unsigned threads : {1u, 2u, hw_threads}) {
+        const auto parallel =
+            evaluator.evaluateAllParallel(cfgs, threads);
+        ASSERT_EQ(parallel.size(), serial.size())
+            << threads << " threads";
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].config.name, serial[i].config.name);
+            // Bit-exact: the evaluators are const and every model is
+            // deterministic, so threading must not change a single
+            // result.
+            EXPECT_EQ(parallel[i].ttftS, serial[i].ttftS)
+                << serial[i].config.name << " @" << threads;
+            EXPECT_EQ(parallel[i].tbtS, serial[i].tbtS)
+                << serial[i].config.name << " @" << threads;
+            EXPECT_EQ(parallel[i].tpp, serial[i].tpp);
+            EXPECT_EQ(parallel[i].dieAreaMm2, serial[i].dieAreaMm2);
+            EXPECT_EQ(parallel[i].dieCostUsd, serial[i].dieCostUsd);
+            EXPECT_EQ(parallel[i].goodDieCostUsd,
+                      serial[i].goodDieCostUsd);
+            EXPECT_EQ(parallel[i].underReticle,
+                      serial[i].underReticle);
+        }
+    }
 }
 
 TEST(DesignEvaluator, InvalidSystemIsFatal)

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for acs_obs: counters, scoped timers, trace spans,
+ * Chrome-trace export, thread aggregation, and the instrumentation
+ * wired through the DSE pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/study.hh"
+#include "dse/evaluate.hh"
+#include "dse/sweep.hh"
+#include "hw/presets.hh"
+#include "obs/obs.hh"
+
+namespace acs {
+namespace obs {
+namespace {
+
+/** Every test runs with a clean, enabled recorder and disables after. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setEnabled(true);
+        reset();
+    }
+
+    void TearDown() override
+    {
+        setEnabled(false);
+        reset();
+    }
+};
+
+TEST_F(ObsTest, DisabledRecordsNothing)
+{
+    setEnabled(false);
+    counterAdd("c");
+    recordDuration("t", 0.5);
+    { TraceSpan span("s"); }
+    { ScopedTimer timer("st"); }
+    EXPECT_EQ(counterValue("c"), 0u);
+    EXPECT_EQ(timerStat("t").count, 0u);
+    EXPECT_EQ(timerStat("st").count, 0u);
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, CountersAccumulate)
+{
+    counterAdd("bugs");
+    counterAdd("bugs", 41);
+    EXPECT_EQ(counterValue("bugs"), 42u);
+    EXPECT_EQ(counterValue("unknown"), 0u);
+
+    const auto all = counterValues();
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].first, "bugs");
+    EXPECT_EQ(all[0].second, 42u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsDurations)
+{
+    for (int i = 0; i < 3; ++i) {
+        ScopedTimer timer("stage");
+    }
+    const TimerStat s = timerStat("stage");
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_GE(s.maxS, s.minS);
+    EXPECT_GE(s.totalS, s.maxS);
+    EXPECT_GE(s.meanS(), s.minS);
+}
+
+TEST_F(ObsTest, RecordDurationFillsHistogramBuckets)
+{
+    recordDuration("h", 1e-6);  // 1000 ns -> bucket 9
+    recordDuration("h", 1e-3);  // 1e6 ns -> bucket 19
+    const TimerStat s = timerStat("h");
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.buckets[9], 1u);
+    EXPECT_EQ(s.buckets[19], 1u);
+    std::uint64_t total = 0;
+    for (int b = 0; b < HISTOGRAM_BUCKETS; ++b)
+        total += s.buckets[b];
+    EXPECT_EQ(total, 2u);
+    EXPECT_NEAR(s.minS, 1e-6, 1e-12);
+    EXPECT_NEAR(s.maxS, 1e-3, 1e-9);
+}
+
+TEST_F(ObsTest, TraceSpansBecomeEvents)
+{
+    {
+        TraceSpan outer("outer");
+        TraceSpan inner("inner");
+    }
+    EXPECT_EQ(traceEventCount(), 2u);
+    // Spans double as timers.
+    EXPECT_EQ(timerStat("outer").count, 1u);
+    EXPECT_EQ(timerStat("inner").count, 1u);
+}
+
+TEST_F(ObsTest, ChromeTraceIsWellFormedJson)
+{
+    {
+        TraceSpan span("a \"quoted\"\nname");
+    }
+    { TraceSpan span("plain"); }
+    std::ostringstream os;
+    writeChromeTrace(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"plain\""), std::string::npos);
+    // Escaped, not raw.
+    EXPECT_NE(json.find("a \\\"quoted\\\"\\nname"), std::string::npos);
+    EXPECT_EQ(json.find("\"quoted\"\n"), std::string::npos);
+    // Balanced braces/brackets (structural sanity in lieu of a JSON
+    // parser).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_EQ(droppedEventCount(), 0u);
+}
+
+TEST_F(ObsTest, ThreadsAggregateAndKeepPerThreadCounts)
+{
+    constexpr int THREADS = 4;
+    constexpr int PER_THREAD = 1000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < THREADS; ++t) {
+        pool.emplace_back([] {
+            for (int i = 0; i < PER_THREAD; ++i)
+                counterAdd("mt");
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(counterValue("mt"),
+              static_cast<std::uint64_t>(THREADS) * PER_THREAD);
+
+    const auto per_thread = counterValuesPerThread("mt");
+    EXPECT_EQ(per_thread.size(), static_cast<std::size_t>(THREADS));
+    std::uint64_t sum = 0;
+    for (const auto &[tid, value] : per_thread) {
+        EXPECT_EQ(value, static_cast<std::uint64_t>(PER_THREAD));
+        sum += value;
+    }
+    EXPECT_EQ(sum, counterValue("mt"));
+}
+
+TEST_F(ObsTest, ResetClearsEverything)
+{
+    counterAdd("c");
+    recordDuration("t", 1.0);
+    { TraceSpan span("s"); }
+    reset();
+    EXPECT_EQ(counterValue("c"), 0u);
+    EXPECT_EQ(timerStat("t").count, 0u);
+    EXPECT_EQ(traceEventCount(), 0u);
+    EXPECT_TRUE(counterValues().empty());
+    EXPECT_TRUE(timerStats().empty());
+}
+
+TEST_F(ObsTest, SummaryTableHasTimerAndCounterRows)
+{
+    counterAdd("counter.a", 7);
+    recordDuration("timer.b", 0.001);
+    const Table t = summaryTable();
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("counter.a"), std::string::npos);
+    EXPECT_NE(os.str().find("timer.b"), std::string::npos);
+}
+
+TEST_F(ObsTest, EnableFromEnvHonoursAcsTrace)
+{
+    setEnabled(false);
+    unsetenv("ACS_TRACE");
+    EXPECT_EQ(enableFromEnv(), "");
+    EXPECT_FALSE(enabled());
+
+    setenv("ACS_TRACE", "/tmp/acs_obs_test.json", 1);
+    EXPECT_EQ(enableFromEnv(), "/tmp/acs_obs_test.json");
+    EXPECT_TRUE(enabled());
+    unsetenv("ACS_TRACE");
+}
+
+// ---- pipeline instrumentation ----------------------------------------------
+
+core::Workload
+smallWorkload()
+{
+    core::Workload w;
+    w.model = model::llama3_8b();
+    w.setting = model::InferenceSetting{};
+    w.system.tensorParallel = 1;
+    return w;
+}
+
+TEST_F(ObsTest, EvaluatorPipelineEmitsCountersAndSpans)
+{
+    const core::Workload w = smallWorkload();
+    const dse::DesignEvaluator evaluator(w.model, w.setting, w.system);
+    const std::vector<hw::HardwareConfig> cfgs{hw::modeledA100(),
+                                               hw::modeledA800()};
+    const auto designs = evaluator.evaluateAllParallel(cfgs, 2);
+    ASSERT_EQ(designs.size(), 2u);
+
+    EXPECT_EQ(counterValue("dse.designs.evaluated"), 2u);
+    EXPECT_EQ(timerStat("dse.evaluate").count, 2u);
+    // Prefill + decode spans per design.
+    EXPECT_EQ(timerStat("perf.prefill").count, 2u);
+    EXPECT_EQ(timerStat("perf.decode").count, 2u);
+    // Every op was timed and tallied against a bound.
+    const std::uint64_t ops = counterValue("perf.ops.timed");
+    EXPECT_GT(ops, 0u);
+    EXPECT_EQ(counterValue("perf.bound.compute") +
+                  counterValue("perf.bound.hbm") +
+                  counterValue("perf.bound.l2") +
+                  counterValue("perf.bound.interconnect"),
+              ops);
+    // Worker tallies cover all designs.
+    std::uint64_t worker_total = 0;
+    for (const auto &[tid, n] : counterValuesPerThread(
+             "dse.worker.designs"))
+        worker_total += n;
+    EXPECT_EQ(worker_total, 2u);
+}
+
+TEST_F(ObsTest, SweepGenerationIsCounted)
+{
+    const auto cfgs =
+        dse::table3Space(4800.0, {600.0 * units::GBPS}).generate();
+    EXPECT_EQ(counterValue("dse.sweep.points"), cfgs.size());
+    EXPECT_EQ(timerStat("dse.sweep.generate").count, 1u);
+}
+
+} // anonymous namespace
+} // namespace obs
+} // namespace acs

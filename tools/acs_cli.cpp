@@ -14,6 +14,10 @@
  *   metrics <config.kv>
  *       CTP / APP / TPP for a design file.
  *   help
+ *
+ * The global option --trace=<file> (or the ACS_TRACE environment
+ * variable) records counters and spans during the command, prints a
+ * per-stage summary, and writes a Chrome-trace JSON to <file>.
  */
 
 #include <fstream>
@@ -32,12 +36,14 @@ int
 usage()
 {
     std::cout <<
-        "usage: acs <command> [args]\n"
+        "usage: acs [--trace=<file>] <command> [args]\n"
         "  classify <tpp> <devbw_gbps> <area_mm2> [dc|consumer]\n"
         "  db [data-center|consumer|workstation]\n"
         "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
         "  sweep <gpt3|llama|llama70b|mixtral> <tpp>\n"
-        "  metrics <config.kv>\n";
+        "  metrics <config.kv>\n"
+        "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
+        "counters/spans and writes Chrome-trace JSON to <file>.\n";
     return 2;
 }
 
@@ -191,27 +197,59 @@ cmdMetrics(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+runCommand(const std::string &cmd, const std::vector<std::string> &args)
+{
+    const obs::TraceSpan span("cli." + cmd);
+    if (cmd == "classify")
+        return cmdClassify(args);
+    if (cmd == "db")
+        return cmdDb(args);
+    if (cmd == "evaluate")
+        return cmdEvaluate(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "metrics")
+        return cmdMetrics(args);
+    return usage();
+}
+
+/** Print the observability summary and write the trace file, if on. */
+void
+reportObs(const std::string &trace_path)
+{
+    if (!obs::enabled())
+        return;
+    std::cout << "\n--- observability summary ---\n";
+    obs::summaryTable().print(std::cout);
+    if (!trace_path.empty() &&
+        obs::writeChromeTraceFile(trace_path)) {
+        std::cout << "[trace] " << trace_path << " ("
+                  << obs::traceEventCount() << " spans)\n";
+    }
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::string trace_path = obs::enableFromEnv();
+    int argi = 1;
+    while (argi < argc &&
+           std::string(argv[argi]).rfind("--trace=", 0) == 0) {
+        trace_path = std::string(argv[argi]).substr(8);
+        obs::setEnabled(true);
+        ++argi;
+    }
+    if (argi >= argc)
         return usage();
-    const std::string cmd = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+    const std::string cmd = argv[argi];
+    std::vector<std::string> args(argv + argi + 1, argv + argc);
     try {
-        if (cmd == "classify")
-            return cmdClassify(args);
-        if (cmd == "db")
-            return cmdDb(args);
-        if (cmd == "evaluate")
-            return cmdEvaluate(args);
-        if (cmd == "sweep")
-            return cmdSweep(args);
-        if (cmd == "metrics")
-            return cmdMetrics(args);
-        return usage();
+        const int rc = runCommand(cmd, args);
+        reportObs(trace_path);
+        return rc;
     } catch (const FatalError &err) {
         std::cerr << err.what() << "\n";
         return 1;
