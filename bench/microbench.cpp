@@ -1,11 +1,27 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the library's hot paths: one
- * design evaluation, a full Table-3 sweep, and rule classification.
+ * design evaluation, a full Table-3 sweep, and rule classification —
+ * plus a sweep-throughput section (--dse / --dse-only) comparing the
+ * legacy per-batch-thread pipeline against the shared-pool and
+ * streaming paths, emitting results/BENCH_dse.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
 #include "core/acs.hh"
 
 using namespace acs;
@@ -72,6 +88,204 @@ BM_PrefillGraphBuild(benchmark::State &state)
 }
 BENCHMARK(BM_PrefillGraphBuild);
 
+// ---- DSE sweep throughput (designs/second) ---------------------------------
+
+/**
+ * The seed implementation formatted every validation message eagerly
+ * (fourteen string concatenations per validate() call, several calls
+ * per design); reproduce that cost so the legacy baseline reflects
+ * what the pre-optimization pipeline actually spent.
+ */
+void
+legacyEagerValidate(const hw::HardwareConfig &cfg)
+{
+    volatile std::size_t sink = 0;
+    for (const char *suffix :
+         {": coreCount must be >= 1", ": lanesPerCore must be >= 1",
+          ": systolic array dims must be >= 1",
+          ": vectorWidth must be >= 1", ": clockHz must be > 0",
+          ": opBitwidth must be >= 1", ": L1 size must be > 0",
+          ": L2 size must be > 0", ": HBM capacity must be > 0",
+          ": HBM bandwidth must be > 0", ": PHY count must be >= 0",
+          ": PHY bandwidth must be >= 0",
+          ": diesPerPackage must be >= 1"}) {
+        sink += (cfg.name + suffix).size();
+    }
+}
+
+/**
+ * Faithful reconstruction of the pre-optimization evaluate(): layer
+ * graphs rebuilt for every design, op-shape memoization off, the
+ * performance density recomputed from a second full area breakdown,
+ * eager validation-message formatting at every model construction,
+ * and VectorModel's former throwaway inner MatmulModel (it built one
+ * just to read the global-buffer bandwidth).
+ */
+dse::EvaluatedDesign
+legacyEvaluate(const hw::HardwareConfig &cfg, const core::Workload &w,
+               const area::AreaModel &area_model,
+               const area::CostModel &cost_model,
+               const perf::PerfParams &params)
+{
+    // Simulator ctor + 3 model ctors + inner MatmulModel + area
+    // breakdown each validated eagerly in the seed.
+    for (int i = 0; i < 6; ++i)
+        legacyEagerValidate(cfg);
+    const perf::MatmulModel throwaway(cfg, params);
+    benchmark::DoNotOptimize(throwaway.globalBufferBandwidth());
+
+    dse::EvaluatedDesign d;
+    d.config = cfg;
+    d.tpp = cfg.tpp();
+    d.dieAreaMm2 = area_model.dieArea(cfg);
+    d.perfDensity = area_model.perfDensity(cfg);
+    d.underReticle = d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
+    if (cost_model.diesPerWafer(d.dieAreaMm2) > 0) {
+        d.dieCostUsd = cost_model.dieCostUsd(d.dieAreaMm2, cfg.process);
+        d.goodDieCostUsd =
+            cost_model.goodDieCostUsd(d.dieAreaMm2, cfg.process);
+    }
+    const perf::InferenceSimulator sim(cfg, params);
+    const perf::InferenceResult result =
+        sim.run(w.model, w.setting, w.system);
+    d.ttftS = result.ttftS;
+    d.tbtS = result.tbtS;
+    return d;
+}
+
+/** Legacy parallel batch: a fresh std::thread crew per call. */
+std::vector<dse::EvaluatedDesign>
+legacyEvaluateAllParallel(const std::vector<hw::HardwareConfig> &cfgs,
+                          const core::Workload &w, unsigned threads)
+{
+    perf::PerfParams params;
+    params.memoizeOps = false;
+    const area::AreaModel area_model;
+    const area::CostModel cost_model;
+    std::vector<dse::EvaluatedDesign> out(cfgs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < cfgs.size();
+             i = next.fetch_add(1)) {
+            out[i] = legacyEvaluate(cfgs[i], w, area_model, cost_model,
+                                    params);
+        }
+    };
+    std::vector<std::thread> crew;
+    crew.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        crew.emplace_back(worker);
+    for (std::thread &t : crew)
+        t.join();
+    return out;
+}
+
+/** Best designs/second over @p reps repetitions of @p run. */
+template <typename Fn>
+double
+bestThroughput(std::size_t designs, int reps, Fn &&run)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        run();
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        best = std::max(best, designs / s);
+    }
+    return best;
+}
+
+void
+runDseThroughput(int reps)
+{
+    // The Fig. 6 space and workload: GPT-3 175B, TPP 4800, 600 GB/s.
+    const core::Workload workload = core::gpt3Workload();
+    const dse::SweepSpace space =
+        dse::table3Space(4800.0, {600.0 * units::GBPS});
+    const auto cfgs = space.generate();
+    const dse::DesignEvaluator evaluator(workload.model,
+                                         workload.setting,
+                                         workload.system);
+    constexpr unsigned THREADS = 8;
+
+    std::cout << "\nDSE sweep throughput (fig06 space, "
+              << cfgs.size() << " designs, " << THREADS
+              << " threads, best of " << reps << ")\n";
+
+    const double legacy = bestThroughput(cfgs.size(), reps, [&] {
+        legacyEvaluateAllParallel(cfgs, workload, THREADS);
+    });
+    const double serial = bestThroughput(cfgs.size(), reps, [&] {
+        evaluator.evaluateAll(cfgs);
+    });
+    const double pooled = bestThroughput(cfgs.size(), reps, [&] {
+        evaluator.evaluateAllParallel(cfgs, THREADS);
+    });
+    const double streaming = bestThroughput(cfgs.size(), reps, [&] {
+        evaluator.evaluateStream(space, nullptr, nullptr, THREADS);
+    });
+
+    const auto row = [](const char *name, double v, double base) {
+        std::cout << "  " << name << ": " << static_cast<long>(v)
+                  << " designs/s (" << v / base << "x legacy)\n";
+    };
+    row("legacy   ", legacy, legacy);
+    row("serial   ", serial, legacy);
+    row("pooled   ", pooled, legacy);
+    row("streaming", streaming, legacy);
+
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    std::ofstream out("results/BENCH_dse.json");
+    out << "{\n"
+        << "  \"space\": \"table3/fig06\",\n"
+        << "  \"designs\": " << cfgs.size() << ",\n"
+        << "  \"threads\": " << THREADS << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"legacy_designs_per_s\": " << legacy << ",\n"
+        << "  \"serial_designs_per_s\": " << serial << ",\n"
+        << "  \"pooled_designs_per_s\": " << pooled << ",\n"
+        << "  \"streaming_designs_per_s\": " << streaming << ",\n"
+        << "  \"pooled_speedup_vs_legacy\": " << pooled / legacy
+        << ",\n"
+        << "  \"streaming_speedup_vs_legacy\": " << streaming / legacy
+        << "\n"
+        << "}\n";
+    std::cout << "[json] results/BENCH_dse.json\n";
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool dse = false;
+    bool dse_only = false;
+    int reps = 3;
+    std::vector<char *> bench_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dse") == 0) {
+            dse = true;
+        } else if (std::strcmp(argv[i], "--dse-only") == 0) {
+            dse = dse_only = true;
+        } else if (std::strncmp(argv[i], "--dse-reps=", 11) == 0) {
+            reps = std::max(1, std::atoi(argv[i] + 11));
+        } else {
+            bench_argv.push_back(argv[i]);
+        }
+    }
+    if (!dse_only) {
+        int bench_argc = static_cast<int>(bench_argv.size());
+        benchmark::Initialize(&bench_argc, bench_argv.data());
+        if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                                   bench_argv.data()))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    if (dse)
+        runDseThroughput(reps);
+    return 0;
+}

@@ -94,11 +94,17 @@ AreaModel::dieArea(const hw::HardwareConfig &cfg) const
 double
 AreaModel::perfDensity(const hw::HardwareConfig &cfg) const
 {
+    return perfDensity(cfg, dieArea(cfg));
+}
+
+double
+AreaModel::perfDensity(const hw::HardwareConfig &cfg,
+                       double die_area_mm2) const
+{
     if (!cfg.nonPlanarTransistor)
         return 0.0;
-    const double a = dieArea(cfg);
-    panicIf(a <= 0.0, "die area must be positive");
-    return cfg.tpp() / a;
+    panicIf(die_area_mm2 <= 0.0, "die area must be positive");
+    return cfg.tpp() / die_area_mm2;
 }
 
 } // namespace area

@@ -81,6 +81,14 @@ class AreaModel
      */
     double perfDensity(const hw::HardwareConfig &cfg) const;
 
+    /**
+     * perfDensity with an already-computed dieArea(cfg): sweep callers
+     * always need both, and the breakdown is the expensive half.
+     * Bit-identical to the recomputing overload.
+     */
+    double perfDensity(const hw::HardwareConfig &cfg,
+                       double die_area_mm2) const;
+
     /** The technology constants in use. */
     const AreaParams &params() const { return params_; }
 

@@ -1,0 +1,162 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace common {
+
+namespace {
+
+/**
+ * Nonzero while the current thread is executing batch items; a
+ * parallelFor() issued from inside a batch runs inline instead of
+ * re-entering the pool (which would deadlock on the batch mutex).
+ */
+thread_local int batchDepth = 0;
+
+unsigned
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("ACS_THREADS")) {
+        const long n = std::atol(env);
+        if (n >= 1)
+            return static_cast<unsigned>(n - 1);
+        warn("ACS_THREADS must be >= 1; using hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+}
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkerCount();
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            batch = current_;
+        }
+        runBatch(*batch);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--workersBusy_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    ++batchDepth;
+    for (;;) {
+        if (batch.failed.load(std::memory_order_relaxed))
+            break;
+        const std::size_t start =
+            batch.next.fetch_add(batch.chunk, std::memory_order_relaxed);
+        if (start >= batch.count)
+            break;
+        const std::size_t end =
+            std::min(start + batch.chunk, batch.count);
+        try {
+            for (std::size_t i = start; i < end; ++i)
+                (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!batch.error)
+                batch.error = std::current_exception();
+            batch.failed.store(true, std::memory_order_relaxed);
+        }
+    }
+    --batchDepth;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t chunk)
+{
+    if (count == 0)
+        return;
+    panicIf(!fn, "ThreadPool::parallelFor: null function");
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.count = count;
+    if (chunk == 0) {
+        // ~8 chunks per lane balances stealing granularity against
+        // cursor contention; capped so huge batches still rebalance.
+        chunk = count / (static_cast<std::size_t>(concurrency()) * 8);
+        chunk = std::clamp<std::size_t>(chunk, 1, 64);
+    }
+    batch.chunk = chunk;
+
+    // Serial fast path: nothing to fan out to (or we are already
+    // inside a batch and re-entering the pool would deadlock).
+    if (workers_.empty() || count <= chunk || batchDepth > 0) {
+        runBatch(batch);
+        if (batch.error)
+            std::rethrow_exception(batch.error);
+        return;
+    }
+
+    std::lock_guard<std::mutex> batchLock(batchMu_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_ = &batch;
+        ++generation_;
+        workersBusy_ = workerCount();
+    }
+    workCv_.notify_all();
+    runBatch(batch);
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] { return workersBusy_ == 0; });
+        current_ = nullptr;
+    }
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace common
+} // namespace acs

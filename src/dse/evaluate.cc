@@ -4,9 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
+#include "model/ops.hh"
 #include "obs/obs.hh"
 
 namespace acs {
@@ -49,6 +52,13 @@ DesignEvaluator::DesignEvaluator(const model::TransformerConfig &model_cfg,
     setting_.validate();
     fatalIf(sys_.tensorParallel < 1,
             "DesignEvaluator: tensorParallel must be >= 1");
+    // The layer graphs depend only on (model, setting, tensorParallel),
+    // never on the hardware under evaluation: build them once here so
+    // a sweep shares one pair across every design point.
+    prefill_ = model::buildPrefillGraph(modelCfg_, setting_,
+                                        sys_.tensorParallel);
+    decode_ = model::buildDecodeGraph(modelCfg_, setting_,
+                                      sys_.tensorParallel);
 }
 
 EvaluatedDesign
@@ -59,7 +69,7 @@ DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
     d.config = cfg;
     d.tpp = cfg.tpp();
     d.dieAreaMm2 = areaModel_.dieArea(cfg);
-    d.perfDensity = areaModel_.perfDensity(cfg);
+    d.perfDensity = areaModel_.perfDensity(cfg, d.dieAreaMm2);
     d.underReticle = d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
     if (costModel_.diesPerWafer(d.dieAreaMm2) > 0) {
         d.dieCostUsd = costModel_.dieCostUsd(d.dieAreaMm2, cfg.process);
@@ -69,7 +79,7 @@ DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
 
     const perf::InferenceSimulator sim(cfg, params_);
     const perf::InferenceResult result =
-        sim.run(modelCfg_, setting_, sys_);
+        sim.run(modelCfg_, setting_, sys_, prefill_, decode_);
     d.ttftS = result.ttftS;
     d.tbtS = result.tbtS;
     return d;
@@ -92,8 +102,9 @@ std::vector<EvaluatedDesign>
 DesignEvaluator::evaluateAllParallel(
     const std::vector<hw::HardwareConfig> &cfgs, unsigned threads) const
 {
+    common::ThreadPool &pool = common::ThreadPool::shared();
     if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
+        threads = pool.concurrency();
     threads = std::min<unsigned>(
         threads, std::max<std::size_t>(1, cfgs.size()));
     if (threads <= 1 || cfgs.size() < 2)
@@ -104,23 +115,33 @@ DesignEvaluator::evaluateAllParallel(
     obs::counterAdd("dse.parallel.threads", threads);
     const auto wall_start = std::chrono::steady_clock::now();
 
+    // `threads` tasks on the shared pool, each claiming designs in
+    // chunks off one atomic cursor: this caps concurrency at the
+    // requested level even when the pool is wider, and reuses the
+    // warm worker crew instead of spawning a crew per batch.
     std::vector<EvaluatedDesign> out(cfgs.size());
     std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        // Per-worker tallies land in obs's per-thread buffers, so the
-        // summary exposes work-stealing balance across the pool.
-        for (std::size_t i = next.fetch_add(1); i < cfgs.size();
-             i = next.fetch_add(1)) {
-            out[i] = evaluate(cfgs[i]);
-            obs::counterAdd("dse.worker.designs");
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    const std::size_t chunk = std::clamp<std::size_t>(
+        cfgs.size() / (static_cast<std::size_t>(threads) * 8), 1, 64);
+    pool.parallelFor(
+        threads,
+        [&](std::size_t) {
+            // Per-worker tallies land in obs's per-thread buffers, so
+            // the summary exposes work-stealing balance across the
+            // pool.
+            for (;;) {
+                const std::size_t start = next.fetch_add(chunk);
+                if (start >= cfgs.size())
+                    break;
+                const std::size_t end =
+                    std::min(start + chunk, cfgs.size());
+                for (std::size_t i = start; i < end; ++i) {
+                    out[i] = evaluate(cfgs[i]);
+                    obs::counterAdd("dse.worker.designs");
+                }
+            }
+        },
+        1);
 
     if (obs::enabled()) {
         // Batch wall time; designs/sec = dse.designs.evaluated over
@@ -131,6 +152,126 @@ DesignEvaluator::evaluateAllParallel(
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
         obs::recordDuration("dse.parallel.batch_wall", wall_s);
+    }
+    return out;
+}
+
+// ---- streaming pipeline ----------------------------------------------------
+
+void
+StreamStats::absorb(const EvaluatedDesign &design, std::size_t index,
+                    bool keep)
+{
+    ++evaluated;
+    if (!keep)
+        return;
+    ++kept;
+    if (design.underReticle)
+        ++underReticle;
+    if (policy::Oct2023Rule::classify(design.toSpec()) ==
+        policy::Classification::NOT_APPLICABLE) {
+        ++oct2023Unregulated;
+    }
+    // Strict-< with an index tie-break reproduces std::min_element's
+    // first-wins semantics over the enumeration order.
+    if (!bestTtft || design.ttftS < bestTtft->ttftS ||
+        (design.ttftS == bestTtft->ttftS && index < bestTtftIndex)) {
+        bestTtft = design;
+        bestTtftIndex = index;
+    }
+    if (!bestTbt || design.tbtS < bestTbt->tbtS ||
+        (design.tbtS == bestTbt->tbtS && index < bestTbtIndex)) {
+        bestTbt = design;
+        bestTbtIndex = index;
+    }
+}
+
+void
+StreamStats::merge(const StreamStats &other)
+{
+    evaluated += other.evaluated;
+    kept += other.kept;
+    underReticle += other.underReticle;
+    oct2023Unregulated += other.oct2023Unregulated;
+    if (other.bestTtft &&
+        (!bestTtft || other.bestTtft->ttftS < bestTtft->ttftS ||
+         (other.bestTtft->ttftS == bestTtft->ttftS &&
+          other.bestTtftIndex < bestTtftIndex))) {
+        bestTtft = other.bestTtft;
+        bestTtftIndex = other.bestTtftIndex;
+    }
+    if (other.bestTbt &&
+        (!bestTbt || other.bestTbt->tbtS < bestTbt->tbtS ||
+         (other.bestTbt->tbtS == bestTbt->tbtS &&
+          other.bestTbtIndex < bestTbtIndex))) {
+        bestTbt = other.bestTbt;
+        bestTbtIndex = other.bestTbtIndex;
+    }
+}
+
+StreamStats
+DesignEvaluator::evaluateStream(const SweepSpace &space,
+                                const StreamPredicate &predicate,
+                                const StreamVisitor &visitor,
+                                unsigned threads) const
+{
+    const obs::TraceSpan span("dse.evaluateStream");
+    const SweepPlan plan(space);
+    const std::size_t n = plan.pointCount();
+    obs::counterAdd("dse.sweep.points", n);
+    if (n == 0)
+        return StreamStats{};
+
+    common::ThreadPool &pool = common::ThreadPool::shared();
+    if (threads == 0)
+        threads = pool.concurrency();
+    threads = std::min<unsigned>(threads, n);
+    threads = std::max(threads, 1u);
+
+    obs::counterAdd("dse.designs.evaluated", n);
+    obs::counterAdd("dse.parallel.threads", threads);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // One partial reduction per streaming task; designs are claimed
+    // in chunks off the atomic cursor, built via plan.point(i), and
+    // folded immediately — at no point does more than one design per
+    // task exist.
+    std::vector<StreamStats> partials(threads);
+    std::atomic<std::size_t> next{0};
+    const std::size_t chunk = std::clamp<std::size_t>(
+        n / (static_cast<std::size_t>(threads) * 8), 1, 64);
+    pool.parallelFor(
+        threads,
+        [&](std::size_t task) {
+            StreamStats &local = partials[task];
+            for (;;) {
+                const std::size_t start = next.fetch_add(chunk);
+                if (start >= n)
+                    break;
+                const std::size_t end = std::min(start + chunk, n);
+                for (std::size_t i = start; i < end; ++i) {
+                    const EvaluatedDesign d = evaluate(plan.point(i));
+                    const bool keep = !predicate || predicate(d);
+                    local.absorb(d, i, keep);
+                    if (keep && visitor)
+                        visitor(d, i);
+                    obs::counterAdd("dse.worker.designs");
+                }
+            }
+        },
+        1);
+
+    StreamStats out;
+    for (const StreamStats &p : partials)
+        out.merge(p);
+
+    if (obs::enabled()) {
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        obs::recordDuration("dse.parallel.batch_wall", wall_s);
+        obs::counterAdd("dse.stream.kept", out.kept);
     }
     return out;
 }
@@ -147,6 +288,17 @@ filterReticle(const std::vector<EvaluatedDesign> &designs)
 }
 
 std::vector<EvaluatedDesign>
+filterReticle(std::vector<EvaluatedDesign> &&designs)
+{
+    designs.erase(std::remove_if(designs.begin(), designs.end(),
+                                 [](const EvaluatedDesign &d) {
+                                     return !d.underReticle;
+                                 }),
+                  designs.end());
+    return std::move(designs);
+}
+
+std::vector<EvaluatedDesign>
 filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs)
 {
     const obs::TraceSpan span("dse.filterOct2023");
@@ -160,6 +312,23 @@ filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs)
     }
     obs::counterAdd("policy.unregulated.oct2023", out.size());
     return out;
+}
+
+std::vector<EvaluatedDesign>
+filterOct2023Unregulated(std::vector<EvaluatedDesign> &&designs)
+{
+    const obs::TraceSpan span("dse.filterOct2023");
+    obs::counterAdd("policy.classified.oct2023", designs.size());
+    designs.erase(
+        std::remove_if(designs.begin(), designs.end(),
+                       [](const EvaluatedDesign &d) {
+                           return policy::Oct2023Rule::classify(
+                                      d.toSpec()) !=
+                                  policy::Classification::NOT_APPLICABLE;
+                       }),
+        designs.end());
+    obs::counterAdd("policy.unregulated.oct2023", designs.size());
+    return std::move(designs);
 }
 
 const EvaluatedDesign &

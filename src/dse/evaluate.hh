@@ -6,11 +6,16 @@
 #ifndef ACS_DSE_EVALUATE_HH
 #define ACS_DSE_EVALUATE_HH
 
+#include <cstddef>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "area/area_model.hh"
 #include "area/cost_model.hh"
+#include "dse/sweep.hh"
 #include "hw/config.hh"
+#include "model/ops.hh"
 #include "model/transformer.hh"
 #include "perf/simulator.hh"
 #include "policy/acr_rules.hh"
@@ -44,7 +49,44 @@ struct EvaluatedDesign
 };
 
 /**
+ * Running reduction over a streamed sweep (dse::evaluateStream).
+ *
+ * Tracks what the materializing pipeline computes with full design
+ * vectors — best-TTFT/TBT designs, reticle and Oct-2023 compliance
+ * counts — but incrementally, so a sweep needs O(threads) live
+ * designs instead of O(|space|). Argmins tie-break on the lower
+ * enumeration index, making the merged result identical to
+ * minTtft/minTbt over the materialized (filtered) vector regardless
+ * of thread count or scheduling.
+ */
+struct StreamStats
+{
+    std::size_t evaluated = 0;         //!< designs evaluated
+    std::size_t kept = 0;              //!< designs passing the predicate
+    std::size_t underReticle = 0;      //!< kept && underReticle
+    std::size_t oct2023Unregulated = 0;//!< kept && NOT_APPLICABLE
+
+    /** Min-TTFT / min-TBT designs among the kept set. */
+    std::optional<EvaluatedDesign> bestTtft;
+    std::optional<EvaluatedDesign> bestTbt;
+    std::size_t bestTtftIndex = 0; //!< enumeration index of bestTtft
+    std::size_t bestTbtIndex = 0;  //!< enumeration index of bestTbt
+
+    /** Fold one evaluated design (with its enumeration index) in. */
+    void absorb(const EvaluatedDesign &design, std::size_t index,
+                bool keep);
+
+    /** Merge another partial (commutative up to the index tie-break). */
+    void merge(const StreamStats &other);
+};
+
+/**
  * Evaluates designs for one (workload, system) context.
+ *
+ * The hardware-independent prefill/decode layer graphs are built once
+ * at construction and shared by every evaluate call, so a sweep pays
+ * graph construction once per (model, setting, tensorParallel), not
+ * once per design point.
  *
  * Thread-compatible: const after construction.
  */
@@ -82,6 +124,48 @@ class DesignEvaluator
     evaluateAllParallel(const std::vector<hw::HardwareConfig> &cfgs,
                         unsigned threads = 0) const;
 
+    /** Keep-filter over evaluated designs (true = design is kept). */
+    using StreamPredicate = std::function<bool(const EvaluatedDesign &)>;
+
+    /**
+     * Per-design hook invoked for every *kept* design with its
+     * enumeration index. May run concurrently from sweep workers: the
+     * callable must be thread-safe (the built-in StreamStats reduction
+     * does not need this hook).
+     */
+    using StreamVisitor =
+        std::function<void(const EvaluatedDesign &, std::size_t)>;
+
+    /**
+     * Fused generate → evaluate → filter → reduce over a sweep space.
+     *
+     * Design points stream out of @p space (SweepSpace::forEach
+     * order), are evaluated in parallel on the shared thread pool, and
+     * fold into per-thread StreamStats partials that are merged at the
+     * end — peak memory is O(threads) EvaluatedDesigns instead of the
+     * materializing pipeline's O(|space|). The result is bit-identical
+     * to evaluateAll(space.generate()) + filtering + minTtft/minTbt,
+     * independent of thread count (argmin ties resolve to the lowest
+     * enumeration index, matching std::min_element).
+     *
+     * @param space     Sweep space to stream.
+     * @param predicate Keep-filter; designs failing it still count in
+     *                  `evaluated` but not in `kept`/argmins. Null
+     *                  keeps everything.
+     * @param visitor   Optional thread-safe hook for kept designs.
+     * @param threads   Worker cap; 0 uses the shared pool's full
+     *                  concurrency.
+     */
+    StreamStats
+    evaluateStream(const SweepSpace &space,
+                   const StreamPredicate &predicate = nullptr,
+                   const StreamVisitor &visitor = nullptr,
+                   unsigned threads = 0) const;
+
+    /** The prebuilt per-layer graphs (hardware independent). */
+    const model::LayerGraph &prefillGraph() const { return prefill_; }
+    const model::LayerGraph &decodeGraph() const { return decode_; }
+
   private:
     model::TransformerConfig modelCfg_;
     model::InferenceSetting setting_;
@@ -89,11 +173,21 @@ class DesignEvaluator
     perf::PerfParams params_;
     area::AreaModel areaModel_;
     area::CostModel costModel_;
+    model::LayerGraph prefill_; //!< built once; shared by all designs
+    model::LayerGraph decode_;
 };
 
 /** Keep only designs with area at or under the reticle limit. */
 std::vector<EvaluatedDesign>
 filterReticle(const std::vector<EvaluatedDesign> &designs);
+
+/**
+ * Rvalue overload: filters in place and returns the same storage, so
+ * pipeline spellings like filterReticle(study.runSweep(...)) never
+ * deep-copy the design set.
+ */
+std::vector<EvaluatedDesign>
+filterReticle(std::vector<EvaluatedDesign> &&designs);
 
 /**
  * Keep only designs entirely unregulated under the Oct-2023
@@ -102,6 +196,10 @@ filterReticle(const std::vector<EvaluatedDesign> &designs);
  */
 std::vector<EvaluatedDesign>
 filterOct2023Unregulated(const std::vector<EvaluatedDesign> &designs);
+
+/** Rvalue overload: filters in place (see filterReticle). */
+std::vector<EvaluatedDesign>
+filterOct2023Unregulated(std::vector<EvaluatedDesign> &&designs);
 
 /** The design with minimum TTFT (fatal on empty input). */
 const EvaluatedDesign &

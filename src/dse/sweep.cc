@@ -20,79 +20,121 @@ SweepSpace::size() const
            deviceBandwidths.size() * diesPerPackage.size();
 }
 
-std::vector<hw::HardwareConfig>
-SweepSpace::generate() const
+namespace {
+
+constexpr double PHY_BW = 50.0 * units::GBPS;
+
+/** Build one named, validated design point (shared by plan/generate). */
+hw::HardwareConfig
+makePoint(const SweepSpace &space, int dies, int dim, int lanes,
+          int cores, double l1, double l2, double mem_bw, double dev_bw)
 {
-    fatalIf(systolicDims.empty() || lanesPerCore.empty() ||
-            l1BytesPerCore.empty() || l2Bytes.empty() ||
-            memBandwidths.empty() || deviceBandwidths.empty() ||
-            diesPerPackage.empty(),
+    hw::HardwareConfig cfg = space.base;
+    cfg.systolicDimX = dim;
+    cfg.systolicDimY = dim;
+    cfg.lanesPerCore = lanes;
+    cfg.coreCount = cores;
+    cfg.l1BytesPerCore = l1;
+    cfg.l2Bytes = l2;
+    cfg.memBandwidth = mem_bw;
+    // Round to the nearest whole PHY but never below one: bandwidths
+    // under half a PHY (25 GB/s) would otherwise round to an
+    // interconnect-less design.
+    cfg.devicePhyCount =
+        std::max(1, static_cast<int>(dev_bw / PHY_BW + 0.5));
+    cfg.perPhyBandwidth = PHY_BW;
+    cfg.diesPerPackage = dies;
+    std::ostringstream name;
+    name << "dse-" << dim << "x" << dim << "-l" << lanes << "-c"
+         << cores << "-L1." << l1 / units::KIB << "K-L2."
+         << l2 / units::MIB << "M-hbm" << mem_bw / units::TBPS
+         << "T-dev" << dev_bw / units::GBPS << "G";
+    if (dies > 1)
+        name << "-d" << dies;
+    cfg.name = name.str();
+    cfg.validate();
+    return cfg;
+}
+
+} // anonymous namespace
+
+SweepPlan::SweepPlan(const SweepSpace &space)
+    : space_(space)
+{
+    fatalIf(space.systolicDims.empty() || space.lanesPerCore.empty() ||
+            space.l1BytesPerCore.empty() || space.l2Bytes.empty() ||
+            space.memBandwidths.empty() ||
+            space.deviceBandwidths.empty() ||
+            space.diesPerPackage.empty(),
             "SweepSpace: every parameter list must be non-empty");
-    fatalIf(tppTarget <= 0.0, "SweepSpace: tppTarget must be > 0");
+    fatalIf(space.tppTarget <= 0.0, "SweepSpace: tppTarget must be > 0");
 
-    constexpr double PHY_BW = 50.0 * units::GBPS;
-
-    const obs::TraceSpan span("dse.sweep.generate");
-    std::vector<hw::HardwareConfig> out;
-    out.reserve(size());
-    for (int dies : diesPerPackage) {
+    for (int dies : space.diesPerPackage) {
       fatalIf(dies < 1, "SweepSpace: diesPerPackage entries must be >= 1");
       // TPP aggregates over the package; each die gets an equal share
       // of the budget (Sec. 2.1).
-      for (int dim : systolicDims) {
-        for (int lanes : lanesPerCore) {
-            const int cores = hw::coresForTpp(tppTarget / dies, dim,
-                                              dim, lanes, base.clockHz,
-                                              base.opBitwidth);
+      for (int dim : space.systolicDims) {
+        for (int lanes : space.lanesPerCore) {
+            const int cores = hw::coresForTpp(
+                space.tppTarget / dies, dim, dim, lanes,
+                space.base.clockHz, space.base.opBitwidth);
             if (cores < 1) {
                 std::ostringstream oss;
                 oss << "skipping " << dim << "x" << dim << " x" << lanes
                     << " lanes: one core already exceeds TPP "
-                    << tppTarget;
+                    << space.tppTarget;
                 warn(oss.str());
                 continue;
             }
-            for (double l1 : l1BytesPerCore) {
-                for (double l2 : l2Bytes) {
-                    for (double mem_bw : memBandwidths) {
-                        for (double dev_bw : deviceBandwidths) {
-                            hw::HardwareConfig cfg = base;
-                            cfg.systolicDimX = dim;
-                            cfg.systolicDimY = dim;
-                            cfg.lanesPerCore = lanes;
-                            cfg.coreCount = cores;
-                            cfg.l1BytesPerCore = l1;
-                            cfg.l2Bytes = l2;
-                            cfg.memBandwidth = mem_bw;
-                            // Round to the nearest whole PHY but
-                            // never below one: bandwidths under half
-                            // a PHY (25 GB/s) would otherwise round
-                            // to an interconnect-less design.
-                            cfg.devicePhyCount = std::max(
-                                1, static_cast<int>(dev_bw / PHY_BW +
-                                                    0.5));
-                            cfg.perPhyBandwidth = PHY_BW;
-                            cfg.diesPerPackage = dies;
-                            std::ostringstream name;
-                            name << "dse-" << dim << "x" << dim << "-l"
-                                 << lanes << "-c" << cores << "-L1."
-                                 << l1 / units::KIB << "K-L2."
-                                 << l2 / units::MIB << "M-hbm"
-                                 << mem_bw / units::TBPS << "T-dev"
-                                 << dev_bw / units::GBPS << "G";
-                            if (dies > 1)
-                                name << "-d" << dies;
-                            cfg.name = name.str();
-                            cfg.validate();
-                            out.push_back(cfg);
-                        }
-                    }
-                }
-            }
+            outers_.push_back({dies, dim, lanes, cores});
         }
       }
     }
-    obs::counterAdd("dse.sweep.points", out.size());
+    innerBlock_ = space.l1BytesPerCore.size() * space.l2Bytes.size() *
+                  space.memBandwidths.size() *
+                  space.deviceBandwidths.size();
+    pointCount_ = outers_.size() * innerBlock_;
+}
+
+hw::HardwareConfig
+SweepPlan::point(std::size_t index) const
+{
+    fatalIf(index >= pointCount_, "SweepPlan::point: index out of range");
+    const OuterPoint &o = outers_[index / innerBlock_];
+    std::size_t rem = index % innerBlock_;
+    const std::size_t n_dev = space_.deviceBandwidths.size();
+    const std::size_t n_mem = space_.memBandwidths.size();
+    const std::size_t n_l2 = space_.l2Bytes.size();
+    const double dev_bw = space_.deviceBandwidths[rem % n_dev];
+    rem /= n_dev;
+    const double mem_bw = space_.memBandwidths[rem % n_mem];
+    rem /= n_mem;
+    const double l2 = space_.l2Bytes[rem % n_l2];
+    rem /= n_l2;
+    const double l1 = space_.l1BytesPerCore[rem];
+    return makePoint(space_, o.dies, o.dim, o.lanes, o.cores, l1, l2,
+                     mem_bw, dev_bw);
+}
+
+void
+SweepSpace::forEach(const std::function<void(const hw::HardwareConfig &,
+                                             std::size_t)> &fn) const
+{
+    const SweepPlan plan(*this);
+    for (std::size_t i = 0; i < plan.pointCount(); ++i)
+        fn(plan.point(i), i);
+    obs::counterAdd("dse.sweep.points", plan.pointCount());
+}
+
+std::vector<hw::HardwareConfig>
+SweepSpace::generate() const
+{
+    const obs::TraceSpan span("dse.sweep.generate");
+    std::vector<hw::HardwareConfig> out;
+    out.reserve(size());
+    forEach([&out](const hw::HardwareConfig &cfg, std::size_t) {
+        out.push_back(cfg);
+    });
     return out;
 }
 

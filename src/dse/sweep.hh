@@ -10,12 +10,16 @@
 #ifndef ACS_DSE_SWEEP_HH
 #define ACS_DSE_SWEEP_HH
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "hw/config.hh"
 
 namespace acs {
 namespace dse {
+
+class SweepPlan;
 
 /** Parameter lists whose cartesian product is the design space. */
 struct SweepSpace
@@ -45,6 +49,64 @@ struct SweepSpace
      * as 50 GB/s PHYs.
      */
     std::vector<hw::HardwareConfig> generate() const;
+
+    /**
+     * Streaming enumeration: invoke @p fn with every design point
+     * generate() would materialize — same points, same order, same
+     * names — plus the point's enumeration index, without ever holding
+     * more than one config alive. This is the O(1)-memory producer the
+     * fused sweep pipeline (DesignEvaluator::evaluateStream) builds
+     * on.
+     */
+    void forEach(const std::function<void(const hw::HardwareConfig &,
+                                          std::size_t)> &fn) const;
+};
+
+/**
+ * A compiled sweep space: the feasible (dies, systolicDim, lanes,
+ * cores) outer combinations, each spanning one contiguous block of
+ * |l1| x |l2| x |memBw| x |devBw| enumeration indices.
+ *
+ * Solving the outer loop once makes every design point independently
+ * addressable by its flat index (point(i)), which is what lets sweep
+ * workers claim chunks of the space off an atomic cursor and build
+ * only the points they own — the cartesian product is never
+ * materialized. Construction performs the feasibility checks (and
+ * emits the one-per-combination warnings) that generate() does.
+ *
+ * Thread-compatible: const after construction.
+ */
+class SweepPlan
+{
+  public:
+    /** Compiles @p space (fatal on empty parameter lists). */
+    explicit SweepPlan(const SweepSpace &space);
+
+    /** Design points the plan enumerates (== generate().size()). */
+    std::size_t pointCount() const { return pointCount_; }
+
+    /**
+     * Build the design point at flat index @p index (bounds-checked;
+     * identical to generate()[index]).
+     */
+    hw::HardwareConfig point(std::size_t index) const;
+
+    /** The compiled space (kept by reference; must outlive the plan). */
+    const SweepSpace &space() const { return space_; }
+
+  private:
+    struct OuterPoint
+    {
+        int dies;
+        int dim;
+        int lanes;
+        int cores;
+    };
+
+    const SweepSpace &space_;
+    std::vector<OuterPoint> outers_;
+    std::size_t innerBlock_ = 0; //!< points per OuterPoint
+    std::size_t pointCount_ = 0;
 };
 
 /**

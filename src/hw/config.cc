@@ -68,20 +68,36 @@ HardwareConfig::l1BytesPerLane() const
 void
 HardwareConfig::validate() const
 {
-    fatalIf(coreCount < 1, name + ": coreCount must be >= 1");
-    fatalIf(lanesPerCore < 1, name + ": lanesPerCore must be >= 1");
-    fatalIf(systolicDimX < 1 || systolicDimY < 1,
-            name + ": systolic array dims must be >= 1");
-    fatalIf(vectorWidth < 1, name + ": vectorWidth must be >= 1");
-    fatalIf(clockHz <= 0.0, name + ": clockHz must be > 0");
-    fatalIf(opBitwidth < 1, name + ": opBitwidth must be >= 1");
-    fatalIf(l1BytesPerCore <= 0.0, name + ": L1 size must be > 0");
-    fatalIf(l2Bytes <= 0.0, name + ": L2 size must be > 0");
-    fatalIf(memCapacityBytes <= 0.0, name + ": HBM capacity must be > 0");
-    fatalIf(memBandwidth <= 0.0, name + ": HBM bandwidth must be > 0");
-    fatalIf(devicePhyCount < 0, name + ": PHY count must be >= 0");
-    fatalIf(perPhyBandwidth < 0.0, name + ": PHY bandwidth must be >= 0");
-    fatalIf(diesPerPackage < 1, name + ": diesPerPackage must be >= 1");
+    // Messages are formatted only on the failure path: validate() runs
+    // on every model construction (several times per DSE design
+    // point), and eagerly concatenating fourteen strings per call
+    // dominated sweep throughput.
+    if (coreCount < 1)
+        fatal(name + ": coreCount must be >= 1");
+    if (lanesPerCore < 1)
+        fatal(name + ": lanesPerCore must be >= 1");
+    if (systolicDimX < 1 || systolicDimY < 1)
+        fatal(name + ": systolic array dims must be >= 1");
+    if (vectorWidth < 1)
+        fatal(name + ": vectorWidth must be >= 1");
+    if (clockHz <= 0.0)
+        fatal(name + ": clockHz must be > 0");
+    if (opBitwidth < 1)
+        fatal(name + ": opBitwidth must be >= 1");
+    if (l1BytesPerCore <= 0.0)
+        fatal(name + ": L1 size must be > 0");
+    if (l2Bytes <= 0.0)
+        fatal(name + ": L2 size must be > 0");
+    if (memCapacityBytes <= 0.0)
+        fatal(name + ": HBM capacity must be > 0");
+    if (memBandwidth <= 0.0)
+        fatal(name + ": HBM bandwidth must be > 0");
+    if (devicePhyCount < 0)
+        fatal(name + ": PHY count must be >= 0");
+    if (perPhyBandwidth < 0.0)
+        fatal(name + ": PHY bandwidth must be >= 0");
+    if (diesPerPackage < 1)
+        fatal(name + ": diesPerPackage must be >= 1");
 }
 
 long

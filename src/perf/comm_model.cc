@@ -15,8 +15,8 @@ CommModel::CommModel(const hw::HardwareConfig &cfg,
 CommTiming
 CommModel::time(const model::Op &op, int tensor_parallel) const
 {
-    fatalIf(op.kind != model::OpKind::ALLREDUCE,
-            "CommModel::time requires an ALLREDUCE op: " + op.name);
+    if (op.kind != model::OpKind::ALLREDUCE)
+        fatal("CommModel::time requires an ALLREDUCE op: " + op.name);
     fatalIf(tensor_parallel < 1,
             "CommModel::time: tensor_parallel must be >= 1");
 

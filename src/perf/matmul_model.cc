@@ -116,18 +116,27 @@ blockedHbmTraffic(const hw::HardwareConfig &cfg, const model::Op &op,
 double
 MatmulModel::globalBufferBandwidth() const
 {
-    return params_.l2BytesPerCyclePerFpu *
-           static_cast<double>(cfg_.totalSystolicFpus()) * cfg_.clockHz;
+    return globalBufferBandwidth(cfg_, params_);
+}
+
+double
+MatmulModel::globalBufferBandwidth(const hw::HardwareConfig &cfg,
+                                   const PerfParams &params)
+{
+    return params.l2BytesPerCyclePerFpu *
+           static_cast<double>(cfg.totalSystolicFpus()) * cfg.clockHz;
 }
 
 MatmulTiming
 MatmulModel::time(const model::Op &op) const
 {
-    fatalIf(op.kind != model::OpKind::MATMUL,
-            "MatmulModel::time requires a MATMUL op: " + op.name);
+    // Messages only on the failure path: time() runs per op per
+    // design in DSE sweeps, and eager concatenation is measurable.
+    if (op.kind != model::OpKind::MATMUL)
+        fatal("MatmulModel::time requires a MATMUL op: " + op.name);
     const auto &mm = op.mm;
-    fatalIf(mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1,
-            "MatmulModel::time: degenerate GEMM dims in " + op.name);
+    if (mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1)
+        fatal("MatmulModel::time: degenerate GEMM dims in " + op.name);
 
     MatmulTiming t;
 
@@ -190,9 +199,12 @@ MatmulModel::time(const model::Op &op) const
     // ---- Roofline combination -------------------------------------------
     t.totalS = std::max({t.computeS, t.hbmS, t.globalBufS}) +
                params_.kernelOverheadS;
-    if (t.totalS == t.computeS + params_.kernelOverheadS)
+    // Attribute the bound by argmax over the component times directly
+    // (ties prefer compute, then HBM) rather than reconstructing and
+    // float-comparing totalS, which is brittle under FP rounding.
+    if (t.computeS >= t.hbmS && t.computeS >= t.globalBufS)
         t.bound = Bound::COMPUTE;
-    else if (t.totalS == t.hbmS + params_.kernelOverheadS)
+    else if (t.hbmS >= t.globalBufS)
         t.bound = Bound::HBM;
     else
         t.bound = Bound::GLOBAL_BUFFER;

@@ -104,6 +104,14 @@ class MatmulModel
     /** Peak global-buffer bandwidth (bytes/s) of the modeled device. */
     double globalBufferBandwidth() const;
 
+    /**
+     * Static form of globalBufferBandwidth so sibling models
+     * (VectorModel) can share the formula without constructing (and
+     * copy-validating) a whole MatmulModel per design point.
+     */
+    static double globalBufferBandwidth(const hw::HardwareConfig &cfg,
+                                        const PerfParams &params);
+
   private:
     hw::HardwareConfig cfg_;
     PerfParams params_;

@@ -89,6 +89,16 @@ struct PerfParams
     /** Model L1-capacity-limited tiling (ablation switch). */
     bool modelTiling = true;
 
+    /**
+     * Memoize op timings by shape within one simulation run: identical
+     * GEMM/vector shapes (e.g. the two norms, the two residual adds,
+     * the two allreduces of a decoder layer) are timed once and the
+     * cached timing reused. Bit-exact — the models are deterministic —
+     * so this is a pure speedup; the switch exists for A/B testing
+     * (tests/test_perf.cpp asserts on/off equality).
+     */
+    bool memoizeOps = true;
+
     /** Model L2-capacity GEMM blocking for HBM traffic (ablation). */
     bool modelL2Blocking = true;
 };

@@ -30,6 +30,62 @@ tallyBound(Bound bound)
 
 } // anonymous namespace
 
+/**
+ * Per-run cache of op timings keyed by operator shape/footprint.
+ *
+ * Graphs repeat shapes (the two layer norms, the two residual adds,
+ * the attention and FFN allreduces carry identical payloads), and the
+ * models are pure functions of (shape, footprint), so a repeated shape
+ * can reuse the first timing bit-exactly. Lookups are a linear scan:
+ * layer graphs hold ~15 ops, so a hash table would cost more than it
+ * saves.
+ */
+class OpShapeMemo
+{
+  public:
+    struct Timing
+    {
+        double latencyS;
+        Bound bound;
+        double utilization;
+    };
+
+    const Timing *find(const model::Op &op) const
+    {
+        for (const Entry &e : entries_) {
+            if (matches(e.op, op))
+                return &e.timing;
+        }
+        return nullptr;
+    }
+
+    void insert(const model::Op &op, const Timing &timing)
+    {
+        entries_.push_back({op, timing});
+    }
+
+  private:
+    static bool matches(const model::Op &a, const model::Op &b)
+    {
+        return a.kind == b.kind && a.flops == b.flops &&
+               a.weightBytes == b.weightBytes &&
+               a.inputBytes == b.inputBytes &&
+               a.outputBytes == b.outputBytes &&
+               a.commBytes == b.commBytes &&
+               a.memoryPasses == b.memoryPasses && a.mm.m == b.mm.m &&
+               a.mm.n == b.mm.n && a.mm.k == b.mm.k &&
+               a.mm.batchCount == b.mm.batchCount &&
+               a.mm.weightStationary == b.mm.weightStationary;
+    }
+
+    struct Entry
+    {
+        model::Op op; //!< key fields only; the name is ignored
+        Timing timing;
+    };
+    std::vector<Entry> entries_;
+};
+
 double
 LayerResult::mfu(double peak_flops) const
 {
@@ -72,37 +128,62 @@ LayerResult
 InferenceSimulator::simulateLayer(const model::LayerGraph &graph,
                                   int tensor_parallel) const
 {
+    OpShapeMemo memo;
+    return simulateLayer(graph, tensor_parallel,
+                         params_.memoizeOps ? &memo : nullptr);
+}
+
+LayerResult
+InferenceSimulator::simulateLayer(const model::LayerGraph &graph,
+                                  int tensor_parallel,
+                                  OpShapeMemo *memo) const
+{
     fatalIf(tensor_parallel < 1,
             "simulateLayer: tensor_parallel must be >= 1");
 
     LayerResult result;
+    result.ops.reserve(graph.ops.size());
     for (const model::Op &op : graph.ops) {
         const obs::TraceSpan op_span(op.name);
         OpTiming timing;
         timing.name = op.name;
         timing.kind = op.kind;
-        switch (op.kind) {
-          case model::OpKind::MATMUL: {
-            const MatmulTiming t = matmul_.time(op);
-            timing.latencyS = t.totalS;
-            timing.bound = t.bound;
-            timing.utilization = t.utilization;
-            break;
-          }
-          case model::OpKind::VECTOR: {
-            const VectorTiming t = vector_.time(op);
-            timing.latencyS = t.totalS;
-            timing.bound = t.bound;
-            break;
-          }
-          case model::OpKind::ALLREDUCE: {
-            const CommTiming t = comm_.time(op, tensor_parallel);
-            timing.latencyS = t.totalS;
-            timing.bound = Bound::INTERCONNECT;
-            break;
-          }
+        const OpShapeMemo::Timing *hit = memo ? memo->find(op) : nullptr;
+        if (hit) {
+            timing.latencyS = hit->latencyS;
+            timing.bound = hit->bound;
+            timing.utilization = hit->utilization;
+            obs::counterAdd("perf.memo.hits");
+        } else {
+            switch (op.kind) {
+              case model::OpKind::MATMUL: {
+                const MatmulTiming t = matmul_.time(op);
+                timing.latencyS = t.totalS;
+                timing.bound = t.bound;
+                timing.utilization = t.utilization;
+                break;
+              }
+              case model::OpKind::VECTOR: {
+                const VectorTiming t = vector_.time(op);
+                timing.latencyS = t.totalS;
+                timing.bound = t.bound;
+                break;
+              }
+              case model::OpKind::ALLREDUCE: {
+                const CommTiming t = comm_.time(op, tensor_parallel);
+                timing.latencyS = t.totalS;
+                timing.bound = Bound::INTERCONNECT;
+                break;
+              }
+            }
+            if (memo) {
+                memo->insert(op, {timing.latencyS, timing.bound,
+                                  timing.utilization});
+            }
         }
         if (obs::enabled()) {
+            // Memo hits still count: these tallies describe the graph
+            // (how many ops run, what binds them), not model work.
             obs::counterAdd("perf.ops.timed");
             tallyBound(timing.bound);
         }
@@ -127,15 +208,32 @@ InferenceSimulator::run(const model::TransformerConfig &model_cfg,
         model::buildPrefillGraph(model_cfg, setting, sys.tensorParallel);
     const model::LayerGraph decode =
         model::buildDecodeGraph(model_cfg, setting, sys.tensorParallel);
+    return run(model_cfg, setting, sys, prefill, decode);
+}
+
+InferenceResult
+InferenceSimulator::run(const model::TransformerConfig &model_cfg,
+                        const model::InferenceSetting &setting,
+                        const SystemConfig &sys,
+                        const model::LayerGraph &prefill,
+                        const model::LayerGraph &decode) const
+{
+    fatalIf(sys.tensorParallel < 1,
+            "SystemConfig: tensorParallel must be >= 1");
+
+    // One memo for both phases: the graph builders guarantee the
+    // graphs were produced for the same tensor_parallel degree.
+    OpShapeMemo memo;
+    OpShapeMemo *memo_ptr = params_.memoizeOps ? &memo : nullptr;
 
     InferenceResult r;
     {
         const obs::TraceSpan span("perf.prefill");
-        r.prefill = simulateLayer(prefill, sys.tensorParallel);
+        r.prefill = simulateLayer(prefill, sys.tensorParallel, memo_ptr);
     }
     {
         const obs::TraceSpan span("perf.decode");
-        r.decode = simulateLayer(decode, sys.tensorParallel);
+        r.decode = simulateLayer(decode, sys.tensorParallel, memo_ptr);
     }
     r.ttftS = r.prefill.latencyS;
     r.tbtS = r.decode.latencyS;

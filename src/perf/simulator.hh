@@ -25,6 +25,8 @@
 namespace acs {
 namespace perf {
 
+class OpShapeMemo; // per-run op-timing cache (internal to simulator.cc)
+
 /** Multi-device execution configuration. */
 struct SystemConfig
 {
@@ -129,6 +131,25 @@ class InferenceSimulator
                         const model::InferenceSetting &setting,
                         const SystemConfig &sys) const;
 
+    /**
+     * Prebuilt-graph overload: the layer graphs are hardware
+     * independent, so sweep callers (dse::DesignEvaluator) build them
+     * once per (model, setting, tensorParallel) and evaluate thousands
+     * of devices against the same pair instead of rebuilding both
+     * graphs per design.
+     *
+     * @param prefill Graph from buildPrefillGraph(model_cfg, setting,
+     *                sys.tensorParallel).
+     * @param decode  Graph from buildDecodeGraph with the same
+     *                arguments. Results are bit-identical to the
+     *                graph-building overload.
+     */
+    InferenceResult run(const model::TransformerConfig &model_cfg,
+                        const model::InferenceSetting &setting,
+                        const SystemConfig &sys,
+                        const model::LayerGraph &prefill,
+                        const model::LayerGraph &decode) const;
+
     /** The modeled device. */
     const hw::HardwareConfig &device() const { return cfg_; }
 
@@ -136,6 +157,17 @@ class InferenceSimulator
     const PerfParams &params() const { return params_; }
 
   private:
+    /**
+     * simulateLayer with an optional cross-call memo: identical op
+     * shapes (Q/K/V projections, the paired norms/residuals, repeated
+     * allreduce payloads) are timed once per run. @p memo may be null
+     * (no memoization) and must only be shared between calls with the
+     * same tensor_parallel (collective timings depend on it).
+     */
+    LayerResult simulateLayer(const model::LayerGraph &graph,
+                              int tensor_parallel,
+                              OpShapeMemo *memo) const;
+
     hw::HardwareConfig cfg_;
     PerfParams params_;
     MatmulModel matmul_;

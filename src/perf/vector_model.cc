@@ -12,15 +12,15 @@ VectorModel::VectorModel(const hw::HardwareConfig &cfg,
     : cfg_(cfg), params_(params)
 {
     cfg_.validate();
-    globalBufBandwidth_ = MatmulModel(cfg_, params_)
-                              .globalBufferBandwidth();
+    globalBufBandwidth_ =
+        MatmulModel::globalBufferBandwidth(cfg_, params_);
 }
 
 VectorTiming
 VectorModel::time(const model::Op &op) const
 {
-    fatalIf(op.kind != model::OpKind::VECTOR,
-            "VectorModel::time requires a VECTOR op: " + op.name);
+    if (op.kind != model::OpKind::VECTOR)
+        fatal("VectorModel::time requires a VECTOR op: " + op.name);
 
     VectorTiming t;
     t.computeS = op.flops / cfg_.peakVectorFlops();
@@ -36,6 +36,8 @@ VectorModel::time(const model::Op &op) const
     t.memoryS = bytes / bw;
 
     t.totalS = std::max(t.computeS, t.memoryS) + params_.kernelOverheadS;
+    // Argmax over component times (ties prefer compute), mirroring the
+    // bound attribution in MatmulModel::time.
     t.bound = t.computeS >= t.memoryS
                   ? Bound::COMPUTE
                   : (t.servedByGlobalBuffer ? Bound::GLOBAL_BUFFER

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -406,6 +408,147 @@ TEST(SweepIntegration, Table3SweepEvaluatesCleanly)
         EXPECT_LE(d.tpp, 4800.0 * (1.0 + 1e-9));
         EXPECT_GE(d.tpp, 4800.0 * 0.90);
     }
+}
+
+// ---- streaming pipeline ----------------------------------------------------
+
+TEST(SweepPlan, PointMatchesGenerate)
+{
+    const SweepSpace space = table5Space();
+    const SweepPlan plan(space);
+    const auto cfgs = space.generate();
+    ASSERT_EQ(plan.pointCount(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const hw::HardwareConfig cfg = plan.point(i);
+        EXPECT_EQ(cfg.name, cfgs[i].name) << i;
+        EXPECT_EQ(cfg.coreCount, cfgs[i].coreCount) << i;
+        EXPECT_EQ(cfg.memBandwidth, cfgs[i].memBandwidth) << i;
+    }
+    EXPECT_THROW(plan.point(plan.pointCount()), FatalError);
+}
+
+TEST(SweepSpace, ForEachMatchesGenerate)
+{
+    const SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    const auto cfgs = space.generate();
+    std::size_t seen = 0;
+    space.forEach([&](const hw::HardwareConfig &cfg, std::size_t i) {
+        ASSERT_LT(i, cfgs.size());
+        EXPECT_EQ(i, seen);
+        EXPECT_EQ(cfg.name, cfgs[i].name);
+        ++seen;
+    });
+    EXPECT_EQ(seen, cfgs.size());
+}
+
+TEST(Streaming, MatchesMaterializedPipelineExactly)
+{
+    // The acceptance bar: evaluateStream over the Table 5 space must
+    // reproduce evaluateAll + filters + argmins bit-for-bit at every
+    // thread count.
+    const DesignEvaluator evaluator = makeEvaluator();
+    const SweepSpace space = table5Space();
+    const auto designs = evaluator.evaluateAll(space.generate());
+    const std::size_t n_reticle = filterReticle(designs).size();
+    const std::size_t n_unreg =
+        filterOct2023Unregulated(designs).size();
+    const EvaluatedDesign &best_ttft = minTtft(designs);
+    const EvaluatedDesign &best_tbt = minTbt(designs);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        const StreamStats stats =
+            evaluator.evaluateStream(space, nullptr, nullptr, threads);
+        EXPECT_EQ(stats.evaluated, designs.size()) << threads;
+        EXPECT_EQ(stats.kept, designs.size()) << threads;
+        EXPECT_EQ(stats.underReticle, n_reticle) << threads;
+        EXPECT_EQ(stats.oct2023Unregulated, n_unreg) << threads;
+        ASSERT_TRUE(stats.bestTtft && stats.bestTbt) << threads;
+        EXPECT_EQ(stats.bestTtft->config.name, best_ttft.config.name);
+        EXPECT_EQ(stats.bestTtft->ttftS, best_ttft.ttftS) << threads;
+        EXPECT_EQ(stats.bestTbt->config.name, best_tbt.config.name);
+        EXPECT_EQ(stats.bestTbt->tbtS, best_tbt.tbtS) << threads;
+    }
+}
+
+TEST(Streaming, PredicateMatchesFilteredArgmin)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    const SweepSpace space = table5Space();
+    const auto kept = filterReticle(evaluator.evaluateAll(
+        space.generate()));
+    ASSERT_FALSE(kept.empty());
+    const EvaluatedDesign &best_ttft = minTtft(kept);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        const StreamStats stats = evaluator.evaluateStream(
+            space,
+            [](const EvaluatedDesign &d) { return d.underReticle; },
+            nullptr, threads);
+        EXPECT_EQ(stats.evaluated, space.size()) << threads;
+        EXPECT_EQ(stats.kept, kept.size()) << threads;
+        EXPECT_EQ(stats.underReticle, kept.size()) << threads;
+        ASSERT_TRUE(stats.bestTtft) << threads;
+        EXPECT_EQ(stats.bestTtft->config.name, best_ttft.config.name);
+        EXPECT_EQ(stats.bestTtft->ttftS, best_ttft.ttftS) << threads;
+    }
+}
+
+TEST(Streaming, VisitorSeesEveryKeptDesign)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.l1BytesPerCore = {192.0 * units::KIB};
+    space.l2Bytes = {32.0 * units::MIB};
+
+    std::mutex mu;
+    std::set<std::size_t> indices;
+    const StreamStats stats = evaluator.evaluateStream(
+        space, nullptr,
+        [&](const EvaluatedDesign &, std::size_t i) {
+            const std::lock_guard<std::mutex> lock(mu);
+            indices.insert(i);
+        });
+    EXPECT_EQ(indices.size(), stats.kept);
+    EXPECT_EQ(stats.kept, space.size());
+    // Indices cover exactly [0, size).
+    EXPECT_EQ(*indices.begin(), 0u);
+    EXPECT_EQ(*indices.rbegin(), space.size() - 1);
+}
+
+TEST(Streaming, EmptyKeptSetHasNoArgmin)
+{
+    const DesignEvaluator evaluator = makeEvaluator();
+    SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    space.l1BytesPerCore = {192.0 * units::KIB};
+    space.l2Bytes = {32.0 * units::MIB};
+    space.memBandwidths = {2.0 * units::TBPS};
+    const StreamStats stats = evaluator.evaluateStream(
+        space, [](const EvaluatedDesign &) { return false; });
+    EXPECT_EQ(stats.evaluated, space.size());
+    EXPECT_EQ(stats.kept, 0u);
+    EXPECT_FALSE(stats.bestTtft);
+    EXPECT_FALSE(stats.bestTbt);
+}
+
+TEST(Filters, RvalueOverloadsMatchLvalue)
+{
+    const auto designs = syntheticDesigns();
+
+    auto moved = syntheticDesigns();
+    const auto rv_reticle = filterReticle(std::move(moved));
+    const auto lv_reticle = filterReticle(designs);
+    ASSERT_EQ(rv_reticle.size(), lv_reticle.size());
+    for (std::size_t i = 0; i < lv_reticle.size(); ++i)
+        EXPECT_EQ(rv_reticle[i].config.name, lv_reticle[i].config.name);
+
+    auto moved2 = syntheticDesigns();
+    moved2[0].tpp = 1000.0;
+    auto lv_in = moved2;
+    const auto rv_unreg = filterOct2023Unregulated(std::move(moved2));
+    const auto lv_unreg = filterOct2023Unregulated(lv_in);
+    ASSERT_EQ(rv_unreg.size(), lv_unreg.size());
+    for (std::size_t i = 0; i < lv_unreg.size(); ++i)
+        EXPECT_EQ(rv_unreg[i].config.name, lv_unreg[i].config.name);
 }
 
 } // anonymous namespace

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "hw/presets.hh"
@@ -488,6 +491,89 @@ TEST(LayerResult, MfuValidation)
     r.latencyS = 1.0;
     EXPECT_DOUBLE_EQ(r.mfu(1000.0), 0.1);
     EXPECT_THROW(r.mfu(0.0), PanicError);
+}
+
+// ---- op-shape memoization ---------------------------------------------------
+
+TEST(OpShapeMemo, MemoOnOffBitIdentical)
+{
+    // Memoized timings must be byte-for-byte what re-timing would
+    // produce: identical shapes reuse the stored result, so the run's
+    // doubles cannot drift.
+    for (const model::TransformerConfig &m :
+         {model::gpt3_175b(), model::llama3_8b()}) {
+        PerfParams on;
+        on.memoizeOps = true;
+        PerfParams off;
+        off.memoizeOps = false;
+        const InferenceSimulator sim_on(hw::modeledA100(), on);
+        const InferenceSimulator sim_off(hw::modeledA100(), off);
+        const model::InferenceSetting setting;
+        const SystemConfig sys{4};
+        const InferenceResult a = sim_on.run(m, setting, sys);
+        const InferenceResult b = sim_off.run(m, setting, sys);
+        EXPECT_EQ(a.ttftS, b.ttftS) << m.name;
+        EXPECT_EQ(a.tbtS, b.tbtS) << m.name;
+        EXPECT_EQ(a.ttftFullModelS, b.ttftFullModelS) << m.name;
+        EXPECT_EQ(a.tbtFullModelS, b.tbtFullModelS) << m.name;
+        EXPECT_EQ(a.fitsMemory, b.fitsMemory) << m.name;
+        ASSERT_EQ(a.prefill.ops.size(), b.prefill.ops.size());
+        for (std::size_t i = 0; i < a.prefill.ops.size(); ++i) {
+            EXPECT_EQ(a.prefill.ops[i].latencyS,
+                      b.prefill.ops[i].latencyS)
+                << m.name << " prefill op " << i;
+            EXPECT_EQ(a.prefill.ops[i].bound, b.prefill.ops[i].bound);
+        }
+        ASSERT_EQ(a.decode.ops.size(), b.decode.ops.size());
+        for (std::size_t i = 0; i < a.decode.ops.size(); ++i) {
+            EXPECT_EQ(a.decode.ops[i].latencyS,
+                      b.decode.ops[i].latencyS)
+                << m.name << " decode op " << i;
+        }
+    }
+}
+
+TEST(OpShapeMemo, PrebuiltGraphRunMatchesConvenienceOverload)
+{
+    const InferenceSimulator sim(hw::modeledA100());
+    const model::TransformerConfig m = model::gpt3_175b();
+    const model::InferenceSetting setting;
+    const SystemConfig sys{4};
+    const auto prefill =
+        model::buildPrefillGraph(m, setting, sys.tensorParallel);
+    const auto decode =
+        model::buildDecodeGraph(m, setting, sys.tensorParallel);
+    const InferenceResult a = sim.run(m, setting, sys);
+    const InferenceResult b = sim.run(m, setting, sys, prefill, decode);
+    EXPECT_EQ(a.ttftS, b.ttftS);
+    EXPECT_EQ(a.tbtS, b.tbtS);
+    EXPECT_EQ(a.weightBytesPerDevice, b.weightBytesPerDevice);
+    EXPECT_EQ(a.kvCacheBytesPerDevice, b.kvCacheBytesPerDevice);
+}
+
+TEST(MatmulModel, BoundIsArgmaxOfResourceTimes)
+{
+    const MatmulModel m(hw::modeledA100(), PerfParams{});
+    for (const model::Op &op :
+         {weightGemm(1, 12288, 12288), weightGemm(2048, 12288, 12288),
+          weightGemm(512, 128, 49152)}) {
+        const MatmulTiming t = m.time(op);
+        const double max_t =
+            std::max({t.computeS, t.hbmS, t.globalBufS});
+        switch (t.bound) {
+          case Bound::COMPUTE:
+            EXPECT_EQ(t.computeS, max_t) << op.name;
+            break;
+          case Bound::HBM:
+            EXPECT_EQ(t.hbmS, max_t) << op.name;
+            break;
+          case Bound::GLOBAL_BUFFER:
+            EXPECT_EQ(t.globalBufS, max_t) << op.name;
+            break;
+          default:
+            FAIL() << "unexpected bound for " << op.name;
+        }
+    }
 }
 
 } // anonymous namespace

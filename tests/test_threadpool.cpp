@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for common::ThreadPool: batch completion, work
+ * distribution, reuse, nesting, and exception safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace acs {
+namespace common {
+namespace {
+
+TEST(ThreadPool, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    constexpr std::size_t N = 10000;
+    std::vector<std::atomic<int>> hits(N);
+    pool.parallelFor(N, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < N; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, MoreTasksThanWorkers)
+{
+    // 2 workers + caller, 97 indices (not a multiple of any chunk).
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    pool.parallelFor(97, [&](std::size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 97L * 96L / 2L);
+}
+
+TEST(ThreadPool, FewerTasksThanWorkers)
+{
+    ThreadPool pool(8);
+    std::atomic<int> calls{0};
+    pool.parallelFor(3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> calls{0};
+        pool.parallelFor(64, [&](std::size_t) { ++calls; }, 4);
+        ASSERT_EQ(calls.load(), 64) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, SerialFastPathPreservesOrder)
+{
+    // chunk >= count forces the serial fast path (what a zero-worker
+    // pool on a 1-core host always takes): plain loop order, no
+    // synchronization.
+    ThreadPool pool(2);
+    std::vector<std::size_t> order;
+    pool.parallelFor(
+        8, [&](std::size_t i) { order.push_back(i); }, 8);
+    ASSERT_EQ(order.size(), 8u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  },
+                                  1),
+                 std::runtime_error);
+    // Pool must remain usable after a failed batch.
+    std::atomic<int> calls{0};
+    pool.parallelFor(10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        // Nested submissions must not deadlock on the pool; they run
+        // inline on the submitting lane.
+        pool.parallelFor(5, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 4 * 5);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton)
+{
+    ThreadPool &a = ThreadPool::shared();
+    ThreadPool &b = ThreadPool::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.concurrency(), 1u);
+    std::atomic<int> calls{0};
+    a.parallelFor(16, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, NullFunctionIsFatal)
+{
+    ThreadPool pool(1);
+    EXPECT_ANY_THROW(
+        pool.parallelFor(4, std::function<void(std::size_t)>{}));
+}
+
+} // anonymous namespace
+} // namespace common
+} // namespace acs
