@@ -80,6 +80,30 @@ initObs(int argc = 0, char **argv = nullptr)
 }
 
 /**
+ * Build the study's PerfParams from bench arguments.
+ *
+ * Recognizes `--gemm-mode={analytic,tile_sim}` (fatal on any other
+ * value) and leaves every other parameter at its default, so the DSE
+ * benches can sweep with either the closed-form roofline or the
+ * wave-level tile simulator. The default (analytic) reproduces the
+ * committed CSVs byte for byte.
+ */
+inline perf::PerfParams
+perfParamsFromArgs(int argc, char **argv)
+{
+    perf::PerfParams params;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--gemm-mode=", 12) == 0) {
+            const std::string value = argv[i] + 12;
+            fatalIf(!perf::parseGemmMode(value, &params.gemmMode),
+                    "unknown --gemm-mode '" + value +
+                        "' (expected analytic or tile_sim)");
+        }
+    }
+    return params;
+}
+
+/**
  * Write a table as results/<name>.csv so the figures can be re-plotted
  * with external tooling; prints the path on success.
  */

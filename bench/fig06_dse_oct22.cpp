@@ -130,7 +130,9 @@ main(int argc, char **argv)
     bench::header("Figure 6 / Table 3",
                   "Oct 2022 DSE at TPP ~4800, 600 GB/s device BW");
 
-    const core::SanctionsStudy study;
+    const perf::PerfParams params = bench::perfParamsFromArgs(argc, argv);
+    std::cout << "gemm mode: " << perf::toString(params.gemmMode) << "\n";
+    const core::SanctionsStudy study(params);
     runWorkload(study, core::gpt3Workload());
     runWorkload(study, core::llamaWorkload());
     return 0;

@@ -115,7 +115,9 @@ main(int argc, char **argv)
     bench::initObs(argc, argv);
     bench::header("Figure 7",
                   "Oct 2023 DSE at TPP in {1600, 2400, 4800}");
-    const core::SanctionsStudy study;
+    const perf::PerfParams params = bench::perfParamsFromArgs(argc, argv);
+    std::cout << "gemm mode: " << perf::toString(params.gemmMode) << "\n";
+    const core::SanctionsStudy study(params);
     runWorkload(study, core::gpt3Workload());
     runWorkload(study, core::llamaWorkload());
     return 0;

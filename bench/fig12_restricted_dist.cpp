@@ -73,7 +73,9 @@ main(int argc, char **argv)
     bench::header("Figure 12 / Table 5",
                   "Restricted-parameter DSE distributions (parameters "
                   "at or below the modeled A100)");
-    const core::SanctionsStudy study;
+    const perf::PerfParams params = bench::perfParamsFromArgs(argc, argv);
+    std::cout << "gemm mode: " << perf::toString(params.gemmMode) << "\n";
+    const core::SanctionsStudy study(params);
     runWorkload(study, core::gpt3Workload());
     runWorkload(study, core::llamaWorkload());
     std::cout << "\npaper: '32 KB L1' -> median TTFT +58.7% (GPT-3) / "

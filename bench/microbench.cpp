@@ -4,7 +4,10 @@
  * design evaluation, a full Table-3 sweep, and rule classification —
  * plus a sweep-throughput section (--dse / --dse-only) comparing the
  * legacy per-batch-thread pipeline against the shared-pool and
- * streaming paths, emitting results/BENCH_dse.json.
+ * streaming paths, emitting results/BENCH_dse.json, and a GEMM-mode
+ * section (--gemm / --gemm-only) comparing TILE_SIM sweep evaluation
+ * under the aggregated fast path vs the legacy per-tile wave walk,
+ * emitting results/BENCH_gemm.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -214,14 +217,18 @@ runDseThroughput(int reps)
               << cfgs.size() << " designs, " << THREADS
               << " threads, best of " << reps << ")\n";
 
+    // Each row times the full pipeline from the SweepSpace, which is
+    // what core::SanctionsStudy::runSweep pays: the materializing rows
+    // include generate(), the streaming row fuses point-building into
+    // its workers.
     const double legacy = bestThroughput(cfgs.size(), reps, [&] {
-        legacyEvaluateAllParallel(cfgs, workload, THREADS);
+        legacyEvaluateAllParallel(space.generate(), workload, THREADS);
     });
     const double serial = bestThroughput(cfgs.size(), reps, [&] {
-        evaluator.evaluateAll(cfgs);
+        evaluator.evaluateAll(space.generate());
     });
     const double pooled = bestThroughput(cfgs.size(), reps, [&] {
-        evaluator.evaluateAllParallel(cfgs, THREADS);
+        evaluator.evaluateAllParallel(space.generate(), THREADS);
     });
     const double streaming = bestThroughput(cfgs.size(), reps, [&] {
         evaluator.evaluateStream(space, nullptr, nullptr, THREADS);
@@ -256,27 +263,106 @@ runDseThroughput(int reps)
     std::cout << "[json] results/BENCH_dse.json\n";
 }
 
+// ---- TILE_SIM GEMM-mode throughput -----------------------------------------
+
+/**
+ * Designs/second for full TILE_SIM-mode sweep evaluation on the
+ * Fig. 6 space: the aggregated wave-class fast path vs the retained
+ * legacy per-tile walk (plus the analytic mode for scale). Both
+ * TILE_SIM rows produce bit-identical results — the suite in
+ * tests/test_gemm_property.cpp proves it — so this measures pure
+ * implementation cost.
+ */
+void
+runGemmThroughput(int reps)
+{
+    const core::Workload workload = core::gpt3Workload();
+    const dse::SweepSpace space =
+        dse::table3Space(4800.0, {600.0 * units::GBPS});
+    const auto cfgs = space.generate();
+    constexpr unsigned THREADS = 8;
+
+    perf::PerfParams analytic_params;
+    perf::PerfParams fast_params;
+    fast_params.gemmMode = perf::GemmMode::TILE_SIM;
+    perf::PerfParams legacy_params = fast_params;
+    legacy_params.tileSimEngine = perf::TileSimEngine::LEGACY_WALK;
+
+    const dse::DesignEvaluator analytic(workload.model, workload.setting,
+                                        workload.system, analytic_params);
+    const dse::DesignEvaluator fast(workload.model, workload.setting,
+                                    workload.system, fast_params);
+    const dse::DesignEvaluator legacy(workload.model, workload.setting,
+                                      workload.system, legacy_params);
+
+    std::cout << "\nGEMM-mode sweep throughput (fig06 space, "
+              << cfgs.size() << " designs, " << THREADS
+              << " threads, best of " << reps << ")\n";
+
+    const double legacy_walk = bestThroughput(cfgs.size(), reps, [&] {
+        legacy.evaluateAllParallel(cfgs, THREADS);
+    });
+    const double aggregated = bestThroughput(cfgs.size(), reps, [&] {
+        fast.evaluateAllParallel(cfgs, THREADS);
+    });
+    const double analytic_mode = bestThroughput(cfgs.size(), reps, [&] {
+        analytic.evaluateAllParallel(cfgs, THREADS);
+    });
+
+    const auto row = [&](const char *name, double v) {
+        std::cout << "  " << name << ": " << static_cast<long>(v)
+                  << " designs/s (" << v / legacy_walk
+                  << "x legacy walk)\n";
+    };
+    row("tile_sim legacy walk", legacy_walk);
+    row("tile_sim aggregated ", aggregated);
+    row("analytic            ", analytic_mode);
+
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    std::ofstream out("results/BENCH_gemm.json");
+    out << "{\n"
+        << "  \"space\": \"table3/fig06\",\n"
+        << "  \"designs\": " << cfgs.size() << ",\n"
+        << "  \"threads\": " << THREADS << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"tile_sim_legacy_walk_designs_per_s\": " << legacy_walk
+        << ",\n"
+        << "  \"tile_sim_aggregated_designs_per_s\": " << aggregated
+        << ",\n"
+        << "  \"analytic_designs_per_s\": " << analytic_mode << ",\n"
+        << "  \"aggregated_speedup_vs_legacy_walk\": "
+        << aggregated / legacy_walk << "\n"
+        << "}\n";
+    std::cout << "[json] results/BENCH_gemm.json\n";
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     bool dse = false;
-    bool dse_only = false;
+    bool gemm = false;
+    bool skip_micro = false;
     int reps = 3;
     std::vector<char *> bench_argv{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dse") == 0) {
             dse = true;
         } else if (std::strcmp(argv[i], "--dse-only") == 0) {
-            dse = dse_only = true;
+            dse = skip_micro = true;
+        } else if (std::strcmp(argv[i], "--gemm") == 0) {
+            gemm = true;
+        } else if (std::strcmp(argv[i], "--gemm-only") == 0) {
+            gemm = skip_micro = true;
         } else if (std::strncmp(argv[i], "--dse-reps=", 11) == 0) {
             reps = std::max(1, std::atoi(argv[i] + 11));
         } else {
             bench_argv.push_back(argv[i]);
         }
     }
-    if (!dse_only) {
+    if (!skip_micro) {
         int bench_argc = static_cast<int>(bench_argv.size());
         benchmark::Initialize(&bench_argc, bench_argv.data());
         if (benchmark::ReportUnrecognizedArguments(bench_argc,
@@ -287,5 +373,7 @@ main(int argc, char **argv)
     }
     if (dse)
         runDseThroughput(reps);
+    if (gemm)
+        runGemmThroughput(reps);
     return 0;
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Warn-only GEMM-throughput diff for CI.
+
+Compares a freshly measured results/BENCH_gemm.json against the
+committed baseline and prints a warning when a mode's designs/second
+regressed beyond a noise margin. Always exits 0: CI runners are
+shared and noisy, so throughput deltas are advisory — the artifact
+and the log line are the signal, the committed baseline the record.
+
+Usage: compare_bench_gemm.py <baseline.json> <measured.json>
+"""
+
+import json
+import sys
+
+# Shared CI runners routinely swing this much; only flag beyond it.
+NOISE_MARGIN = 0.30
+
+METRICS = [
+    "analytic_designs_per_s",
+    "tile_sim_aggregated_designs_per_s",
+    "tile_sim_legacy_walk_designs_per_s",
+]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <baseline.json> <measured.json>")
+        return 0
+    try:
+        with open(argv[1]) as f:
+            baseline = json.load(f)
+        with open(argv[2]) as f:
+            measured = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"::warning::BENCH_gemm compare skipped: {err}")
+        return 0
+
+    for key in METRICS:
+        base = baseline.get(key)
+        meas = measured.get(key)
+        if not base or not meas:
+            print(f"::warning::BENCH_gemm compare: missing '{key}'")
+            continue
+        delta = meas / base - 1.0
+        line = (f"{key}: baseline {base:.0f}/s, measured {meas:.0f}/s "
+                f"({delta:+.1%})")
+        if delta < -NOISE_MARGIN:
+            print(f"::warning::GEMM throughput regression? {line}")
+        else:
+            print(line)
+
+    speedup = measured.get("aggregated_speedup_vs_legacy_walk")
+    if speedup is not None:
+        line = f"aggregated vs legacy walk: {speedup:.1f}x"
+        # The acceptance bar for the aggregation rewrite (ISSUE: >=10x).
+        if speedup < 10.0:
+            print(f"::warning::{line} (expected >= 10x)")
+        else:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -235,22 +235,39 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
     // One partial reduction per streaming task; designs are claimed
     // in chunks off the atomic cursor, built via plan.point(i), and
     // folded immediately — at no point does more than one design per
-    // task exist.
-    std::vector<StreamStats> partials(threads);
+    // task exist. Partials are padded to cache lines: absorb() writes
+    // its partial on every design, and unpadded adjacent StreamStats
+    // would false-share, which is measurable at streaming rates
+    // (results/BENCH_gemm.json's TILE_SIM rows stream > 100k
+    // designs/s through here).
+    struct alignas(64) PaddedStreamStats
+    {
+        StreamStats stats;
+    };
+    std::vector<PaddedStreamStats> partials(threads);
     std::atomic<std::size_t> next{0};
+    // Larger claims than the materializing path: workers touch no
+    // shared output array, so the only cursor pressure is the claim
+    // itself — 4 claims per worker amortizes it without risking
+    // imbalance on these homogeneous design points.
     const std::size_t chunk = std::clamp<std::size_t>(
-        n / (static_cast<std::size_t>(threads) * 8), 1, 64);
+        n / (static_cast<std::size_t>(threads) * 4), 1, 64);
     pool.parallelFor(
         threads,
         [&](std::size_t task) {
-            StreamStats &local = partials[task];
+            StreamStats &local = partials[task].stats;
+            // One scratch config per worker: in-place point() reuses
+            // its name buffer, keeping the per-design build off the
+            // allocator (which serializes across workers).
+            hw::HardwareConfig cfg;
             for (;;) {
                 const std::size_t start = next.fetch_add(chunk);
                 if (start >= n)
                     break;
                 const std::size_t end = std::min(start + chunk, n);
                 for (std::size_t i = start; i < end; ++i) {
-                    const EvaluatedDesign d = evaluate(plan.point(i));
+                    plan.point(i, &cfg);
+                    const EvaluatedDesign d = evaluate(cfg);
                     const bool keep = !predicate || predicate(d);
                     local.absorb(d, i, keep);
                     if (keep && visitor)
@@ -262,8 +279,8 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
         1);
 
     StreamStats out;
-    for (const StreamStats &p : partials)
-        out.merge(p);
+    for (const PaddedStreamStats &p : partials)
+        out.merge(p.stats);
 
     if (obs::enabled()) {
         const double wall_s =

@@ -1,5 +1,6 @@
 #include "sweep.hh"
 
+#include <charconv>
 #include <sstream>
 
 #include <algorithm>
@@ -24,12 +25,45 @@ namespace {
 
 constexpr double PHY_BW = 50.0 * units::GBPS;
 
-/** Build one named, validated design point (shared by plan/generate). */
-hw::HardwareConfig
-makePoint(const SweepSpace &space, int dies, int dim, int lanes,
-          int cores, double l1, double l2, double mem_bw, double dev_bw)
+/**
+ * Append an integer to @p s, matching ostream's formatting.
+ */
+void
+appendNum(std::string &s, long v)
 {
-    hw::HardwareConfig cfg = space.base;
+    char buf[24];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    s.append(buf, r.ptr);
+}
+
+/**
+ * Append a double to @p s. to_chars with chars_format::general at
+ * precision 6 is specified to produce printf-%g bytes in the C locale
+ * — exactly ostream's default float formatting — so names built here
+ * are byte-identical to the historical ostringstream ones;
+ * tests/test_dse.cpp asserts this against a stream-built reference.
+ */
+void
+appendNum(std::string &s, double v)
+{
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 6);
+    s.append(buf, r.ptr);
+}
+
+/**
+ * Fill the swept hardware fields of one design point into @p out
+ * (name and validation are the caller's job — SweepPlan::point
+ * assembles the name from fragments precompiled per axis value).
+ */
+void
+fillFields(const SweepSpace &space, int dies, int dim, int lanes,
+           int cores, double l1, double l2, double mem_bw, double dev_bw,
+           hw::HardwareConfig *out)
+{
+    hw::HardwareConfig &cfg = *out;
+    cfg = space.base;
     cfg.systolicDimX = dim;
     cfg.systolicDimY = dim;
     cfg.lanesPerCore = lanes;
@@ -44,16 +78,6 @@ makePoint(const SweepSpace &space, int dies, int dim, int lanes,
         std::max(1, static_cast<int>(dev_bw / PHY_BW + 0.5));
     cfg.perPhyBandwidth = PHY_BW;
     cfg.diesPerPackage = dies;
-    std::ostringstream name;
-    name << "dse-" << dim << "x" << dim << "-l" << lanes << "-c"
-         << cores << "-L1." << l1 / units::KIB << "K-L2."
-         << l2 / units::MIB << "M-hbm" << mem_bw / units::TBPS
-         << "T-dev" << dev_bw / units::GBPS << "G";
-    if (dies > 1)
-        name << "-d" << dies;
-    cfg.name = name.str();
-    cfg.validate();
-    return cfg;
 }
 
 } // anonymous namespace
@@ -86,7 +110,21 @@ SweepPlan::SweepPlan(const SweepSpace &space)
                 warn(oss.str());
                 continue;
             }
-            outers_.push_back({dies, dim, lanes, cores});
+            OuterPoint o{dies, dim, lanes, cores, {}, {}};
+            o.namePrefix = "dse-";
+            appendNum(o.namePrefix, static_cast<long>(dim));
+            o.namePrefix += 'x';
+            appendNum(o.namePrefix, static_cast<long>(dim));
+            o.namePrefix += "-l";
+            appendNum(o.namePrefix, static_cast<long>(lanes));
+            o.namePrefix += "-c";
+            appendNum(o.namePrefix, static_cast<long>(cores));
+            o.namePrefix += "-L1.";
+            if (dies > 1) {
+                o.diesSuffix = "-d";
+                appendNum(o.diesSuffix, static_cast<long>(dies));
+            }
+            outers_.push_back(std::move(o));
         }
       }
     }
@@ -94,14 +132,50 @@ SweepPlan::SweepPlan(const SweepSpace &space)
                   space.memBandwidths.size() *
                   space.deviceBandwidths.size();
     pointCount_ = outers_.size() * innerBlock_;
+
+    // Compile the inner name tails once: point() then only splices
+    // three precomputed strings instead of formatting four floats per
+    // design (see the innerSuffixes_ member note).
+    innerSuffixes_.resize(innerBlock_);
+    for (std::size_t rem = 0; rem < innerBlock_; ++rem) {
+        std::size_t r = rem;
+        const std::size_t n_dev = space.deviceBandwidths.size();
+        const std::size_t n_mem = space.memBandwidths.size();
+        const std::size_t n_l2 = space.l2Bytes.size();
+        const double dev_bw = space.deviceBandwidths[r % n_dev];
+        r /= n_dev;
+        const double mem_bw = space.memBandwidths[r % n_mem];
+        r /= n_mem;
+        const double l2 = space.l2Bytes[r % n_l2];
+        r /= n_l2;
+        const double l1 = space.l1BytesPerCore[r];
+        std::string &tail = innerSuffixes_[rem];
+        appendNum(tail, l1 / units::KIB);
+        tail += "K-L2.";
+        appendNum(tail, l2 / units::MIB);
+        tail += "M-hbm";
+        appendNum(tail, mem_bw / units::TBPS);
+        tail += "T-dev";
+        appendNum(tail, dev_bw / units::GBPS);
+        tail += 'G';
+    }
 }
 
 hw::HardwareConfig
 SweepPlan::point(std::size_t index) const
 {
+    hw::HardwareConfig cfg;
+    point(index, &cfg);
+    return cfg;
+}
+
+void
+SweepPlan::point(std::size_t index, hw::HardwareConfig *out) const
+{
     fatalIf(index >= pointCount_, "SweepPlan::point: index out of range");
     const OuterPoint &o = outers_[index / innerBlock_];
-    std::size_t rem = index % innerBlock_;
+    const std::size_t inner = index % innerBlock_;
+    std::size_t rem = inner;
     const std::size_t n_dev = space_.deviceBandwidths.size();
     const std::size_t n_mem = space_.memBandwidths.size();
     const std::size_t n_l2 = space_.l2Bytes.size();
@@ -112,8 +186,14 @@ SweepPlan::point(std::size_t index) const
     const double l2 = space_.l2Bytes[rem % n_l2];
     rem /= n_l2;
     const double l1 = space_.l1BytesPerCore[rem];
-    return makePoint(space_, o.dies, o.dim, o.lanes, o.cores, l1, l2,
-                     mem_bw, dev_bw);
+    fillFields(space_, o.dies, o.dim, o.lanes, o.cores, l1, l2, mem_bw,
+               dev_bw, out);
+    // Assemble the name from the precompiled fragments, reusing the
+    // caller's string storage (no allocation once warm).
+    out->name.assign(o.namePrefix);
+    out->name.append(innerSuffixes_[inner]);
+    out->name.append(o.diesSuffix);
+    out->validate();
 }
 
 void
@@ -121,8 +201,11 @@ SweepSpace::forEach(const std::function<void(const hw::HardwareConfig &,
                                              std::size_t)> &fn) const
 {
     const SweepPlan plan(*this);
-    for (std::size_t i = 0; i < plan.pointCount(); ++i)
-        fn(plan.point(i), i);
+    hw::HardwareConfig cfg;
+    for (std::size_t i = 0; i < plan.pointCount(); ++i) {
+        plan.point(i, &cfg);
+        fn(cfg, i);
+    }
     obs::counterAdd("dse.sweep.points", plan.pointCount());
 }
 

@@ -91,6 +91,19 @@ class SweepPlan
      */
     hw::HardwareConfig point(std::size_t index) const;
 
+    /**
+     * Build the design point at flat index @p index into @p out.
+     *
+     * Same point as the returning overload, but reusing the caller's
+     * config — and in particular its name string's heap buffer. Sweep
+     * workers build one design per enumeration step; with a fresh
+     * config each step the name allocation dominates the build under
+     * thread contention (the allocator serializes at streaming
+     * rates), so hot loops keep one scratch config per worker and
+     * fill it in place.
+     */
+    void point(std::size_t index, hw::HardwareConfig *out) const;
+
     /** The compiled space (kept by reference; must outlive the plan). */
     const SweepSpace &space() const { return space_; }
 
@@ -101,10 +114,19 @@ class SweepPlan
         int dim;
         int lanes;
         int cores;
+        std::string namePrefix; //!< "dse-<dim>x<dim>-l<lanes>-c<cores>-L1."
+        std::string diesSuffix; //!< "-d<dies>", empty for single-die
     };
 
     const SweepSpace &space_;
     std::vector<OuterPoint> outers_;
+    /**
+     * Per inner-index name tail "<l1>K-L2.<l2>M-hbm<mem>T-dev<dev>G":
+     * every design name is namePrefix + innerSuffix + diesSuffix, so
+     * compiling the fragments here keeps all number formatting out of
+     * point() (glibc's float printf serializes across sweep workers).
+     */
+    std::vector<std::string> innerSuffixes_;
     std::size_t innerBlock_ = 0; //!< points per OuterPoint
     std::size_t pointCount_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "matmul_model.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -19,6 +20,12 @@ double
 ceilDiv(double a, double b)
 {
     return std::ceil(a / b);
+}
+
+long
+ceilDivL(long a, long b)
+{
+    return (a + b - 1) / b;
 }
 
 } // anonymous namespace
@@ -70,16 +77,34 @@ chooseTiles(const hw::HardwareConfig &cfg, const model::MatmulShape &mm,
 
     // Skinny GEMMs (decode): shrink the column tile toward one array
     // width so the tile count can cover all systolic arrays, as real
-    // GEMM kernels do with reduced-N / split-N scheduling.
-    const double arrays = cfg.totalSystolicArrays();
-    auto tiles = [&]() {
-        return static_cast<double>(mm.batchCount) *
-               ceilDiv(static_cast<double>(mm.m), choice.tileM) *
-               ceilDiv(static_cast<double>(mm.n), choice.tileN);
-    };
-    while (tiles() < arrays && choice.tileN > cfg.systolicDimY) {
-        choice.tileN =
-            std::max<long>(choice.tileN / 2, cfg.systolicDimY);
+    // GEMM kernels do with reduced-N / split-N scheduling. The
+    // historical halving cascade
+    //   while (tiles() < arrays && tileN > DIMY)
+    //       tileN = max(tileN / 2, DIMY);
+    // has a closed form: tiles() is monotone in tileN, so the loop
+    // stops at the first right-shift that lands at or below
+    // max(t_max, DIMY), where t_max is the largest tileN still giving
+    // >= arrays tiles. One bit_width computes that shift count.
+    const long dim_y = cfg.systolicDimY;
+    if (choice.tileN > dim_y) {
+        const long arrays = cfg.totalSystolicArrays();
+        const long row_tiles = static_cast<long>(mm.batchCount) *
+                               ceilDivL(mm.m, choice.tileM);
+        if (row_tiles * ceilDivL(mm.n, choice.tileN) < arrays) {
+            // row_tiles < arrays here, so the needed column-tile count
+            // K is >= 2 and t_max = ceil(n / (K - 1)) - 1 is well
+            // defined (possibly 0 when no tileN reaches K columns).
+            const long need_cols = ceilDivL(arrays, row_tiles);
+            const long t_max = (mm.n + need_cols - 2) / (need_cols - 1) - 1;
+            const long target = std::max(t_max, dim_y);
+            long tile_n = choice.tileN;
+            if (tile_n > target) {
+                const int shift = std::bit_width(
+                    static_cast<unsigned long long>(tile_n / (target + 1)));
+                tile_n >>= shift;
+            }
+            choice.tileN = std::max(tile_n, dim_y);
+        }
     }
     return choice;
 }
@@ -209,13 +234,18 @@ MatmulModel::time(const model::Op &op) const
     else
         t.bound = Bound::GLOBAL_BUFFER;
 
-    obs::counterAdd("perf.matmul.timed");
+    if (obs::enabled())
+        obs::counterAdd("perf.matmul.timed");
 
     // Detailed mode: take the latency from the explicit wave
     // schedule; the analytic decomposition above still labels the
-    // binding resource and utilization.
+    // binding resource and utilization. The summary path skips
+    // WaveRecord materialization, and the per-run op-shape memo
+    // (PerfParams::memoizeOps, applied above this model in
+    // simulateLayer) caches simulated timings exactly like analytic
+    // ones.
     if (params_.gemmMode == GemmMode::TILE_SIM)
-        t.totalS = simulateGemm(cfg_, op, params_).totalS;
+        t.totalS = simulateGemmSummary(cfg_, op, params_).totalS;
     return t;
 }
 

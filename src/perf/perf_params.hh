@@ -6,6 +6,8 @@
 #ifndef ACS_PERF_PERF_PARAMS_HH
 #define ACS_PERF_PERF_PARAMS_HH
 
+#include <string>
+
 namespace acs {
 namespace perf {
 
@@ -14,6 +16,56 @@ enum class GemmMode
 {
     ANALYTIC, //!< closed-form roofline (fast; the default)
     TILE_SIM, //!< wave-level schedule simulation (detailed)
+};
+
+/** Mode name as accepted by the --gemm-mode flag. */
+inline const char *
+toString(GemmMode mode)
+{
+    return mode == GemmMode::ANALYTIC ? "analytic" : "tile_sim";
+}
+
+/**
+ * Parse a --gemm-mode value ("analytic" or "tile_sim").
+ *
+ * @return false (leaving @p out untouched) on an unknown name.
+ */
+inline bool
+parseGemmMode(const std::string &name, GemmMode *out)
+{
+    if (name == "analytic") {
+        *out = GemmMode::ANALYTIC;
+        return true;
+    }
+    if (name == "tile_sim") {
+        *out = GemmMode::TILE_SIM;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Which implementation runs the TILE_SIM wave schedule.
+ *
+ * Both engines implement the same physics and produce bit-identical
+ * traces (tests/test_gemm_property.cpp); they differ only in cost.
+ */
+enum class TileSimEngine
+{
+    /**
+     * Closed-form wave-class aggregation (the default): every tile in
+     * a wave falls into one of <= 4 shape classes, so a wave's
+     * slowest-tile time and fetch bytes come from O(1) class counts
+     * instead of an O(arrays) tile loop. See docs/PERF.md.
+     */
+    AGGREGATED,
+
+    /**
+     * The original per-tile wave walk, O(total tiles). Retained as the
+     * reference for the property suite and the `microbench
+     * --gemm-only` baseline; never the right choice for sweeps.
+     */
+    LEGACY_WALK,
 };
 
 /**
@@ -27,6 +79,9 @@ struct PerfParams
 {
     /** GEMM latency derivation (closed form vs wave simulation). */
     GemmMode gemmMode = GemmMode::ANALYTIC;
+
+    /** TILE_SIM implementation (aggregated fast path vs legacy walk). */
+    TileSimEngine tileSimEngine = TileSimEngine::AGGREGATED;
 
     /**
      * Charge vector kernels their multi-pass traffic (softmax makes

@@ -7,8 +7,15 @@
  * systolic arrays in waves, each wave's compute and its (double
  * buffered) operand transfers contend for the global buffer and HBM,
  * and edge waves carry their true remainder shapes. It exists to
- * cross-validate the analytical model (tests assert agreement) and to
- * expose a per-wave trace for inspection.
+ * cross-validate the analytical model (tests assert agreement), to
+ * expose a per-wave trace for inspection, and — since the closed-form
+ * wave-class aggregation rewrite — to back `GemmMode::TILE_SIM`
+ * sweeps at full DSE throughput (see docs/PERF.md).
+ *
+ * Two entry points share one engine:
+ *  - simulateGemm materializes the full per-wave trace;
+ *  - simulateGemmSummary returns only the scalars a sweep needs
+ *    (latency, wave count, tile count) without allocating WaveRecords.
  */
 
 #ifndef ACS_PERF_TILE_SIM_HH
@@ -43,8 +50,25 @@ struct GemmTrace
     long tileN = 0;
     double totalS = 0.0;
 
-    /** Total tiles scheduled. */
-    long totalTiles() const;
+    /** Tile jobs scheduled, recorded at simulation time. */
+    long scheduledTiles = 0;
+
+    /** Total tiles scheduled (O(1)). */
+    long totalTiles() const { return scheduledTiles; }
+};
+
+/**
+ * Scalar result of one simulated GEMM: what a sweep consumes, without
+ * the per-wave trace. Field-for-field bit-identical to the trace the
+ * same simulation would materialize.
+ */
+struct GemmSummary
+{
+    long tileM = 0;
+    long tileN = 0;
+    long waves = 0;      //!< scheduling waves
+    long totalTiles = 0; //!< tile jobs scheduled
+    double totalS = 0.0; //!< GEMM latency incl. kernel overhead
 };
 
 /**
@@ -58,6 +82,11 @@ struct GemmTrace
  * with fetch_ready_i tracking the shared global-buffer and HBM
  * service queues.
  *
+ * `params.tileSimEngine` selects the implementation: AGGREGATED (the
+ * default) derives each wave from O(1) shape-class counts; LEGACY_WALK
+ * is the original O(total tiles) per-tile walk. Both produce
+ * bit-identical traces.
+ *
  * @param cfg    Device (validated).
  * @param op     Operator with kind == MATMUL (fatal otherwise).
  * @param params Model constants.
@@ -65,6 +94,18 @@ struct GemmTrace
 GemmTrace simulateGemm(const hw::HardwareConfig &cfg,
                        const model::Op &op,
                        const PerfParams &params = PerfParams{});
+
+/**
+ * Simulate one GEMM without materializing the per-wave trace.
+ *
+ * Same schedule, same recurrence, same doubles as simulateGemm — only
+ * the WaveRecord vector is skipped, which is what makes TILE_SIM mode
+ * cheap enough to sit inside a DSE sweep (`MatmulModel::time` calls
+ * this when `params.gemmMode == GemmMode::TILE_SIM`).
+ */
+GemmSummary simulateGemmSummary(const hw::HardwareConfig &cfg,
+                                const model::Op &op,
+                                const PerfParams &params = PerfParams{});
 
 } // namespace perf
 } // namespace acs

@@ -9,6 +9,7 @@
 
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -425,6 +426,55 @@ TEST(SweepPlan, PointMatchesGenerate)
         EXPECT_EQ(cfg.memBandwidth, cfgs[i].memBandwidth) << i;
     }
     EXPECT_THROW(plan.point(plan.pointCount()), FatalError);
+}
+
+TEST(SweepPlan, NamesAreByteIdenticalToStreamFormatting)
+{
+    // Design names are compiled from to_chars fragments at plan
+    // construction (glibc's float printf serializes across sweep
+    // workers, so point() must not format numbers). The committed
+    // CSVs embed the historical ostringstream names, so the fragment
+    // path must reproduce them byte for byte — including the
+    // fractional mem-bandwidths (2.4, 2.8) that exercise %g.
+    std::vector<SweepSpace> spaces;
+    spaces.push_back(table3Space(4800.0, {600.0 * units::GBPS}));
+    spaces.back().diesPerPackage = {1, 2};
+    spaces.push_back(table5Space());
+
+    for (const SweepSpace &space : spaces) {
+        const SweepPlan plan(space);
+        std::size_t index = 0;
+        for (int dies : space.diesPerPackage) {
+            for (int dim : space.systolicDims) {
+                for (int lanes : space.lanesPerCore) {
+                    const int cores = hw::coresForTpp(
+                        space.tppTarget / dies, dim, dim, lanes,
+                        space.base.clockHz, space.base.opBitwidth);
+                    if (cores < 1)
+                        continue;
+                    for (double l1 : space.l1BytesPerCore)
+                    for (double l2 : space.l2Bytes)
+                    for (double mem_bw : space.memBandwidths)
+                    for (double dev_bw : space.deviceBandwidths) {
+                        std::ostringstream name;
+                        name << "dse-" << dim << "x" << dim << "-l"
+                             << lanes << "-c" << cores << "-L1."
+                             << l1 / units::KIB << "K-L2."
+                             << l2 / units::MIB << "M-hbm"
+                             << mem_bw / units::TBPS << "T-dev"
+                             << dev_bw / units::GBPS << "G";
+                        if (dies > 1)
+                            name << "-d" << dies;
+                        ASSERT_LT(index, plan.pointCount());
+                        EXPECT_EQ(plan.point(index).name, name.str())
+                            << index;
+                        ++index;
+                    }
+                }
+            }
+        }
+        EXPECT_EQ(index, plan.pointCount());
+    }
 }
 
 TEST(SweepSpace, ForEachMatchesGenerate)

@@ -14,6 +14,7 @@
 #include "common/units.hh"
 #include "hw/presets.hh"
 #include "perf/simulator.hh"
+#include "perf/tile_sim.hh"
 
 namespace acs {
 namespace perf {
@@ -531,6 +532,83 @@ TEST(OpShapeMemo, MemoOnOffBitIdentical)
                 << m.name << " decode op " << i;
         }
     }
+}
+
+// ---- TILE_SIM GEMM mode -----------------------------------------------------
+
+TEST(GemmMode, TileSimTimingComesFromWaveSimulator)
+{
+    PerfParams params;
+    params.gemmMode = GemmMode::TILE_SIM;
+    const MatmulModel m(hw::modeledA100(), params);
+    for (const model::Op &op :
+         {weightGemm(32, 12288, 12288), weightGemm(2048, 4096, 4096),
+          weightGemm(209, 353, 512)}) {
+        const MatmulTiming t = m.time(op);
+        const GemmSummary s =
+            simulateGemmSummary(hw::modeledA100(), op, params);
+        EXPECT_EQ(t.totalS, s.totalS) << op.name;
+        EXPECT_EQ(t.tileM, s.tileM) << op.name;
+        EXPECT_EQ(t.tileN, s.tileN) << op.name;
+    }
+}
+
+TEST(GemmMode, TileSimMemoOnOffBitIdentical)
+{
+    // Memoization must stay bit-exact when the memoized timings come
+    // from the wave simulator instead of the closed form — TILE_SIM
+    // sweeps lean on the memo to amortize the per-shape schedule.
+    PerfParams on;
+    on.gemmMode = GemmMode::TILE_SIM;
+    on.memoizeOps = true;
+    PerfParams off = on;
+    off.memoizeOps = false;
+    const model::TransformerConfig m = model::llama3_8b();
+    const model::InferenceSetting setting;
+    const SystemConfig sys{1};
+    const InferenceResult a =
+        InferenceSimulator(hw::modeledA100(), on).run(m, setting, sys);
+    const InferenceResult b =
+        InferenceSimulator(hw::modeledA100(), off).run(m, setting, sys);
+    EXPECT_EQ(a.ttftS, b.ttftS);
+    EXPECT_EQ(a.tbtS, b.tbtS);
+    EXPECT_EQ(a.ttftFullModelS, b.ttftFullModelS);
+    EXPECT_EQ(a.tbtFullModelS, b.tbtFullModelS);
+}
+
+TEST(GemmMode, TileSimEnginesAgreeThroughSimulator)
+{
+    // End to end through the layer simulator, the aggregated engine
+    // and the legacy walk must be interchangeable.
+    PerfParams fast;
+    fast.gemmMode = GemmMode::TILE_SIM;
+    fast.tileSimEngine = TileSimEngine::AGGREGATED;
+    PerfParams ref = fast;
+    ref.tileSimEngine = TileSimEngine::LEGACY_WALK;
+    const model::TransformerConfig m = model::llama3_8b();
+    const model::InferenceSetting setting;
+    const SystemConfig sys{1};
+    const InferenceResult a =
+        InferenceSimulator(hw::modeledA100(), fast).run(m, setting, sys);
+    const InferenceResult b =
+        InferenceSimulator(hw::modeledA100(), ref).run(m, setting, sys);
+    EXPECT_EQ(a.ttftS, b.ttftS);
+    EXPECT_EQ(a.tbtS, b.tbtS);
+}
+
+TEST(GemmMode, FlagParsingRoundTrips)
+{
+    GemmMode mode = GemmMode::ANALYTIC;
+    EXPECT_TRUE(parseGemmMode("tile_sim", &mode));
+    EXPECT_EQ(mode, GemmMode::TILE_SIM);
+    EXPECT_TRUE(parseGemmMode("analytic", &mode));
+    EXPECT_EQ(mode, GemmMode::ANALYTIC);
+    EXPECT_STREQ(toString(GemmMode::ANALYTIC), "analytic");
+    EXPECT_STREQ(toString(GemmMode::TILE_SIM), "tile_sim");
+    // Unknown names leave the mode untouched.
+    mode = GemmMode::TILE_SIM;
+    EXPECT_FALSE(parseGemmMode("roofline", &mode));
+    EXPECT_EQ(mode, GemmMode::TILE_SIM);
 }
 
 TEST(OpShapeMemo, PrebuiltGraphRunMatchesConvenienceOverload)

@@ -143,6 +143,104 @@ TEST(TileSim, SingleTileProblem)
     EXPECT_GT(trace.totalS, 0.0);
 }
 
+TEST(TileSim, RemainderEdgeWaveScheduling)
+{
+    // Remainders on BOTH axes at once, batched, with a short final
+    // wave: 209 x 353 tiles at 64 give a 4 x 6 grid per batch item
+    // (m % 64 = 17, n % 64 = 33), 480 jobs over 432 arrays — one full
+    // wave plus a 48-tile partial.
+    const auto op = weightGemm(209, 353, 512, 20);
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    const GemmTrace trace = simulateGemm(cfg, op);
+
+    ASSERT_GT(trace.tileM, 0);
+    EXPECT_NE(209 % trace.tileM, 0);
+    EXPECT_NE(353 % trace.tileN, 0);
+    const long m_tiles = (209 + trace.tileM - 1) / trace.tileM;
+    const long n_tiles = (353 + trace.tileN - 1) / trace.tileN;
+    EXPECT_EQ(trace.totalTiles(), 20 * m_tiles * n_tiles);
+
+    const long arrays = cfg.totalSystolicArrays();
+    ASSERT_EQ(trace.waves.size(),
+              static_cast<std::size_t>(
+                  (trace.totalTiles() + arrays - 1) / arrays));
+    long scheduled = 0;
+    for (std::size_t w = 0; w < trace.waves.size(); ++w) {
+        const WaveRecord &rec = trace.waves[w];
+        if (w + 1 < trace.waves.size()) {
+            EXPECT_EQ(rec.tilesInWave, arrays) << w;
+        }
+        scheduled += rec.tilesInWave;
+    }
+    EXPECT_EQ(scheduled, trace.totalTiles());
+    // The final wave is partial here.
+    EXPECT_LT(trace.waves.back().tilesInWave, arrays);
+
+    // And the aggregated engine matches the legacy walk on it.
+    PerfParams legacy;
+    legacy.tileSimEngine = TileSimEngine::LEGACY_WALK;
+    const GemmTrace ref = simulateGemm(cfg, op, legacy);
+    ASSERT_EQ(ref.waves.size(), trace.waves.size());
+    EXPECT_EQ(ref.totalS, trace.totalS);
+    for (std::size_t w = 0; w < trace.waves.size(); ++w) {
+        EXPECT_EQ(ref.waves[w].tilesInWave,
+                  trace.waves[w].tilesInWave) << w;
+        EXPECT_EQ(ref.waves[w].computeS, trace.waves[w].computeS) << w;
+        EXPECT_EQ(ref.waves[w].endS, trace.waves[w].endS) << w;
+    }
+}
+
+TEST(TileSim, ComputeTimeNeverRisesAcrossWaves)
+{
+    // Jobs are issued row-major, so later waves only ever swap
+    // interior tiles for edge tiles (same or shorter compute). The
+    // shape puts 3 m-edge tiles alone in the last wave: its computeS
+    // must strictly drop.
+    const auto op = weightGemm(6545, 1313, 2048);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    ASSERT_GE(trace.waves.size(), 2u);
+    for (std::size_t w = 1; w < trace.waves.size(); ++w)
+        EXPECT_LE(trace.waves[w].computeS,
+                  trace.waves[w - 1].computeS) << w;
+    EXPECT_LT(trace.waves.back().computeS, trace.waves[0].computeS);
+}
+
+TEST(TileSim, UniformWavesShareOneSignature)
+{
+    // A 1x1 tile grid divides the array count, so every full wave is
+    // identical — the aggregated engine reuses one signature and the
+    // records must come out equal.
+    const auto op = weightGemm(16, 16, 1024, 1000);
+    const GemmTrace trace = simulateGemm(hw::modeledA100(), op);
+    ASSERT_GE(trace.waves.size(), 2u);
+    const WaveRecord &a = trace.waves[0];
+    const WaveRecord &b = trace.waves[1];
+    EXPECT_EQ(a.tilesInWave, b.tilesInWave);
+    EXPECT_EQ(a.computeS, b.computeS);
+    EXPECT_EQ(a.globalBufS, b.globalBufS);
+    EXPECT_EQ(a.hbmS, b.hbmS);
+}
+
+TEST(TileSim, SummaryMatchesTraceBitwise)
+{
+    const auto op = weightGemm(209, 353, 512, 20);
+    for (const TileSimEngine engine :
+         {TileSimEngine::AGGREGATED, TileSimEngine::LEGACY_WALK}) {
+        PerfParams params;
+        params.tileSimEngine = engine;
+        const GemmTrace trace =
+            simulateGemm(hw::modeledA100(), op, params);
+        const GemmSummary summary =
+            simulateGemmSummary(hw::modeledA100(), op, params);
+        EXPECT_EQ(summary.tileM, trace.tileM);
+        EXPECT_EQ(summary.tileN, trace.tileN);
+        EXPECT_EQ(summary.waves,
+                  static_cast<long>(trace.waves.size()));
+        EXPECT_EQ(summary.totalTiles, trace.totalTiles());
+        EXPECT_EQ(summary.totalS, trace.totalS);
+    }
+}
+
 } // anonymous namespace
 } // namespace perf
 } // namespace acs

@@ -18,6 +18,8 @@
  * The global option --trace=<file> (or the ACS_TRACE environment
  * variable) records counters and spans during the command, prints a
  * per-stage summary, and writes a Chrome-trace JSON to <file>.
+ * --gemm-mode={analytic,tile_sim} selects the GEMM latency model for
+ * the evaluate/sweep commands (docs/PERF.md).
  */
 
 #include <fstream>
@@ -32,18 +34,23 @@ using namespace acs;
 
 namespace {
 
+/** Model constants shared by evaluate/sweep; set by global options. */
+perf::PerfParams g_perf_params;
+
 int
 usage()
 {
     std::cout <<
-        "usage: acs [--trace=<file>] <command> [args]\n"
+        "usage: acs [--trace=<file>] [--gemm-mode=<mode>] <command> [args]\n"
         "  classify <tpp> <devbw_gbps> <area_mm2> [dc|consumer]\n"
         "  db [data-center|consumer|workstation]\n"
         "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
         "  sweep <gpt3|llama|llama70b|mixtral> <tpp>\n"
         "  metrics <config.kv>\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
-        "counters/spans and writes Chrome-trace JSON to <file>.\n";
+        "counters/spans and writes Chrome-trace JSON to <file>.\n"
+        "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
+        "for evaluate/sweep (default analytic; see docs/PERF.md).\n";
     return 2;
 }
 
@@ -123,7 +130,7 @@ cmdEvaluate(const std::vector<std::string> &args)
         return usage();
     const hw::HardwareConfig cfg = loadConfig(args[0]);
     const core::Workload workload = core::workloadByName(args[1]);
-    const core::SanctionsStudy study;
+    const core::SanctionsStudy study(g_perf_params);
     const core::DesignReport report =
         study.evaluateDesign(cfg, workload);
 
@@ -156,7 +163,7 @@ cmdSweep(const std::vector<std::string> &args)
         return usage();
     const core::Workload workload = core::workloadByName(args[0]);
     const double tpp = std::stod(args[1]);
-    const core::SanctionsStudy study;
+    const core::SanctionsStudy study(g_perf_params);
     const auto baseline = study.evaluateBaseline(workload);
     const auto designs = study.runSweep(
         dse::table3Space(tpp, {500.0 * units::GBPS,
@@ -236,11 +243,20 @@ main(int argc, char **argv)
 {
     std::string trace_path = obs::enableFromEnv();
     int argi = 1;
-    while (argi < argc &&
-           std::string(argv[argi]).rfind("--trace=", 0) == 0) {
-        trace_path = std::string(argv[argi]).substr(8);
-        obs::setEnabled(true);
-        ++argi;
+    for (; argi < argc; ++argi) {
+        const std::string arg = argv[argi];
+        if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
+            obs::setEnabled(true);
+        } else if (arg.rfind("--gemm-mode=", 0) == 0) {
+            const std::string value = arg.substr(12);
+            if (!perf::parseGemmMode(value, &g_perf_params.gemmMode)) {
+                std::cerr << "unknown --gemm-mode '" << value << "'\n";
+                return usage();
+            }
+        } else {
+            break;
+        }
     }
     if (argi >= argc)
         return usage();
