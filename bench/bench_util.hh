@@ -82,11 +82,14 @@ initObs(int argc = 0, char **argv = nullptr)
 /**
  * Build the study's PerfParams from bench arguments.
  *
- * Recognizes `--gemm-mode={analytic,tile_sim}` (fatal on any other
- * value) and leaves every other parameter at its default, so the DSE
- * benches can sweep with either the closed-form roofline or the
- * wave-level tile simulator. The default (analytic) reproduces the
- * committed CSVs byte for byte.
+ * Recognizes `--gemm-mode={analytic,tile_sim}` and
+ * `--gemm-cache={on,off}` (fatal on any other value) and leaves every
+ * other parameter at its default, so the DSE benches can sweep with
+ * either the closed-form roofline or the wave-level tile simulator,
+ * with or without the sweep-scoped cross-design GEMM cache. The
+ * default (analytic) reproduces the committed CSVs byte for byte;
+ * tile_sim output is byte-identical cache-on vs cache-off (the cache
+ * stores exact result bits — docs/PERF.md).
  */
 inline perf::PerfParams
 perfParamsFromArgs(int argc, char **argv)
@@ -98,6 +101,12 @@ perfParamsFromArgs(int argc, char **argv)
             fatalIf(!perf::parseGemmMode(value, &params.gemmMode),
                     "unknown --gemm-mode '" + value +
                         "' (expected analytic or tile_sim)");
+        } else if (std::strncmp(argv[i], "--gemm-cache=", 13) == 0) {
+            const std::string value = argv[i] + 13;
+            fatalIf(value != "on" && value != "off",
+                    "unknown --gemm-cache '" + value +
+                        "' (expected on or off)");
+            params.cacheTileSimGemms = value == "on";
         }
     }
     return params;

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Warn-only bench-throughput diff for CI.
+
+Compares freshly measured results/BENCH_*.json files against their
+committed baselines and prints a warning when a metric regressed
+beyond a noise margin, or when a speedup falls under its acceptance
+bar. Always exits 0: CI runners are shared and noisy, so throughput
+deltas are advisory — the artifact and the log line are the signal,
+the committed baseline the record.
+
+Covers both bench suites emitted by bench/microbench:
+  BENCH_gemm.json (--gemm-only)  GEMM-mode sweep throughput
+  BENCH_dse.json  (--dse-only)   DSE pipeline sweep throughput
+The suite is picked per file pair from the metrics present, so the
+caller just passes matching (baseline, measured) pairs:
+
+Usage: compare_bench.py <baseline.json> <measured.json> [<b2> <m2> ...]
+"""
+
+import json
+import sys
+
+# Shared CI runners routinely swing this much; only flag beyond it.
+NOISE_MARGIN = 0.30
+
+# Throughput metrics per suite (designs/second, higher is better).
+SUITES = {
+    "BENCH_gemm": [
+        "analytic_designs_per_s",
+        "tile_sim_aggregated_designs_per_s",
+        "tile_sim_cached_designs_per_s",
+        "tile_sim_legacy_walk_designs_per_s",
+    ],
+    "BENCH_dse": [
+        "legacy_designs_per_s",
+        "serial_designs_per_s",
+        "pooled_designs_per_s",
+        "streaming_designs_per_s",
+    ],
+}
+
+# Speedup acceptance bars: (metric, floor, label). Measured-side only;
+# each encodes the ISSUE bar its optimization shipped under.
+BARS = {
+    "BENCH_gemm": [
+        ("aggregated_speedup_vs_legacy_walk", 10.0,
+         "aggregated vs legacy walk"),
+        ("cached_speedup_vs_aggregated", 5.0,
+         "cached vs aggregated"),
+    ],
+    "BENCH_dse": [
+        ("streaming_speedup_vs_legacy", 2.0,
+         "streaming vs legacy"),
+    ],
+}
+
+
+def suite_of(data):
+    """The suite whose metrics the measurement actually carries."""
+    for name, metrics in SUITES.items():
+        if any(key in data for key in metrics):
+            return name
+    return None
+
+
+def compare_pair(baseline_path, measured_path):
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(measured_path) as f:
+            measured = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"::warning::bench compare skipped: {err}")
+        return
+
+    suite = suite_of(measured)
+    if suite is None:
+        print(f"::warning::{measured_path}: no known bench metrics")
+        return
+    print(f"-- {suite} ({measured_path})")
+
+    for key in SUITES[suite]:
+        base = baseline.get(key)
+        meas = measured.get(key)
+        if not base or not meas:
+            # Baselines predating a metric (e.g. the cached row) are
+            # expected right after the metric ships; just note it.
+            print(f"::warning::{suite} compare: missing '{key}'")
+            continue
+        delta = meas / base - 1.0
+        line = (f"{key}: baseline {base:.0f}/s, measured {meas:.0f}/s "
+                f"({delta:+.1%})")
+        if delta < -NOISE_MARGIN:
+            print(f"::warning::{suite} throughput regression? {line}")
+        else:
+            print(line)
+
+    for key, floor, label in BARS[suite]:
+        speedup = measured.get(key)
+        if speedup is None:
+            continue
+        line = f"{label}: {speedup:.1f}x"
+        if speedup < floor:
+            print(f"::warning::{line} (expected >= {floor:g}x)")
+        else:
+            print(line)
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        print(f"usage: {argv[0]} <baseline.json> <measured.json> "
+              "[<baseline2.json> <measured2.json> ...]")
+        return 0
+    for i in range(1, len(argv), 2):
+        compare_pair(argv[i], argv[i + 1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

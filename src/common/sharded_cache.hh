@@ -1,0 +1,190 @@
+/**
+ * @file
+ * A lock-striped concurrent hash map for hot-path result reuse.
+ *
+ * The DSE pipeline re-derives identical intermediate results from
+ * many threads at once (the same (device-tiling, op-shape) GEMM is
+ * simulated for thousands of sweep neighbours); a single-mutex map
+ * would serialize exactly the path the cache exists to accelerate.
+ * ShardedCache stripes the key space over a fixed power-of-two number
+ * of independently locked shards, so concurrent lookups of different
+ * keys contend only when their hashes land in the same stripe.
+ *
+ * Design points:
+ *  - fixed shard count (chosen at construction, rounded up to a power
+ *    of two) — no resizing coordination, no global locks, ever;
+ *  - per-shard std::mutex guarding a std::unordered_map — insertions
+ *    are first-writer-wins, so racing computations of the same key
+ *    are benign when the value is a pure function of the key;
+ *  - per-shard hit/miss tallies recorded under the shard lock and
+ *    summed on demand, so stats stay exact without atomic traffic.
+ *
+ * Thread-safe: all member functions may be called concurrently.
+ */
+
+#ifndef ACS_COMMON_SHARDED_CACHE_HH
+#define ACS_COMMON_SHARDED_CACHE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace acs {
+namespace common {
+
+/**
+ * Lock-striped concurrent cache from Key to Value.
+ *
+ * @tparam Key   Copyable, equality-comparable key.
+ * @tparam Value Copyable cached result.
+ * @tparam Hash  Hash functor for Key (also selects the shard).
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache
+{
+  public:
+    /** Exact aggregate statistics at one point in time. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0; //!< find() misses + insert-creating calls
+        std::size_t entries = 0;
+
+        /** Hits over lookups, 0 when nothing was looked up. */
+        double hitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total == 0 ? 0.0
+                              : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+        }
+    };
+
+    /**
+     * @param shards Stripe count; rounded up to a power of two, floor
+     *               1. The default (64) keeps the chance of two of a
+     *               dozen sweep workers colliding on a stripe small
+     *               without bloating the footprint of short sweeps.
+     */
+    explicit ShardedCache(std::size_t shards = 64)
+        : mask_(std::bit_ceil(shards < 1 ? std::size_t{1} : shards) - 1),
+          shards_(std::make_unique<Shard[]>(mask_ + 1))
+    {}
+
+    /** Stripes actually allocated. */
+    std::size_t shardCount() const { return mask_ + 1; }
+
+    /**
+     * Look @p key up; on a hit copy the cached value into @p out.
+     *
+     * @return true on a hit. Tallies the hit or miss either way.
+     */
+    bool find(const Key &key, Value *out) const
+    {
+        Shard &shard = shardFor(key);
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        const auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            ++shard.misses;
+            return false;
+        }
+        ++shard.hits;
+        *out = it->second;
+        return true;
+    }
+
+    /**
+     * Insert @p value under @p key unless the key is already present
+     * (first-writer-wins: with deterministic values both writers carry
+     * identical bits, so dropping the loser changes nothing).
+     *
+     * @return true when this call created the entry.
+     */
+    bool insert(const Key &key, const Value &value)
+    {
+        Shard &shard = shardFor(key);
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        return shard.map.emplace(key, value).second;
+    }
+
+    /**
+     * The cached value for @p key, computing and caching it via
+     * @p compute() on a miss. Racing computations of one key are
+     * allowed (the lock is not held while computing); the first
+     * completed insert wins and every caller returns that entry's
+     * value bit-for-bit once it lands.
+     */
+    template <typename Fn>
+    Value getOrCompute(const Key &key, Fn &&compute)
+    {
+        Value value;
+        if (find(key, &value))
+            return value;
+        value = compute();
+        Shard &shard = shardFor(key);
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        return shard.map.emplace(key, value).first->second;
+    }
+
+    /** Exact totals across all shards (locks each in turn). */
+    Stats stats() const
+    {
+        Stats s;
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            const std::lock_guard<std::mutex> lock(shards_[i].mu);
+            s.hits += shards_[i].hits;
+            s.misses += shards_[i].misses;
+            s.entries += shards_[i].map.size();
+        }
+        return s;
+    }
+
+    /** Cached entries across all shards. */
+    std::size_t size() const { return stats().entries; }
+
+    /** Drop every entry and zero the tallies. */
+    void clear()
+    {
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            const std::lock_guard<std::mutex> lock(shards_[i].mu);
+            shards_[i].map.clear();
+            shards_[i].hits = 0;
+            shards_[i].misses = 0;
+        }
+    }
+
+  private:
+    /**
+     * One stripe, padded to its own cache lines so neighbouring
+     * shards' mutexes never false-share under concurrent traffic.
+     */
+    struct alignas(64) Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Key, Value, Hash> map;
+        std::uint64_t hits = 0;   //!< guarded by mu
+        std::uint64_t misses = 0; //!< guarded by mu
+    };
+
+    Shard &shardFor(const Key &key) const
+    {
+        // Fold the high bits in: unordered_map already consumes the
+        // low bits for bucketing, so sharding on them alone would put
+        // a stripe's worth of keys in the same bucket chain.
+        const std::size_t h = Hash{}(key);
+        return shards_[(h ^ (h >> 16)) & mask_];
+    }
+
+    std::size_t mask_;
+    std::unique_ptr<Shard[]> shards_;
+};
+
+} // namespace common
+} // namespace acs
+
+#endif // ACS_COMMON_SHARDED_CACHE_HH

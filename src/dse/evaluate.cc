@@ -11,9 +11,47 @@
 #include "common/units.hh"
 #include "model/ops.hh"
 #include "obs/obs.hh"
+#include "perf/gemm_cache.hh"
 
 namespace acs {
 namespace dse {
+
+namespace {
+
+/**
+ * Sweep-scoped GEMM-cache hoist: a params copy for one batch call,
+ * with a batch-lifetime perf::GemmCache installed when the base
+ * params run TILE_SIM, allow caching, and carry no caller-installed
+ * handle. In every other case `params` is a plain copy and the unused
+ * cache costs only its (empty) shard array. Results are bit-identical
+ * with or without the hoist; only the sweep's cost changes.
+ */
+struct SweepCacheScope
+{
+    perf::GemmCache cache;
+    perf::PerfParams params;
+
+    explicit SweepCacheScope(const perf::PerfParams &base) : params(base)
+    {
+        if (params.gemmMode == perf::GemmMode::TILE_SIM &&
+            params.cacheTileSimGemms && !params.gemmCache) {
+            params.gemmCache = &cache;
+        }
+    }
+
+    /** Report hit/miss totals to obs (call once, after the batch). */
+    void report() const
+    {
+        if (!obs::enabled() || params.gemmCache != &cache)
+            return;
+        const perf::GemmCache::Stats stats = cache.stats();
+        obs::counterAdd("dse.gemm_cache.hits", stats.hits);
+        obs::counterAdd("dse.gemm_cache.misses", stats.misses);
+        obs::counterAdd("dse.gemm_cache.entries", stats.entries);
+    }
+};
+
+} // anonymous namespace
 
 double
 EvaluatedDesign::ttftCostProduct() const
@@ -64,6 +102,13 @@ DesignEvaluator::DesignEvaluator(const model::TransformerConfig &model_cfg,
 EvaluatedDesign
 DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
 {
+    return evaluateWith(cfg, params_);
+}
+
+EvaluatedDesign
+DesignEvaluator::evaluateWith(const hw::HardwareConfig &cfg,
+                              const perf::PerfParams &params) const
+{
     const obs::ScopedTimer timer("dse.evaluate");
     EvaluatedDesign d;
     d.config = cfg;
@@ -77,7 +122,7 @@ DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
             costModel_.goodDieCostUsd(d.dieAreaMm2, cfg.process);
     }
 
-    const perf::InferenceSimulator sim(cfg, params_);
+    const perf::InferenceSimulator sim(cfg, params);
     const perf::InferenceResult result =
         sim.run(modelCfg_, setting_, sys_, prefill_, decode_);
     d.ttftS = result.ttftS;
@@ -91,10 +136,12 @@ DesignEvaluator::evaluateAll(const std::vector<hw::HardwareConfig> &cfgs)
 {
     const obs::TraceSpan span("dse.evaluateAll");
     obs::counterAdd("dse.designs.evaluated", cfgs.size());
+    SweepCacheScope scope(params_);
     std::vector<EvaluatedDesign> out;
     out.reserve(cfgs.size());
     for (const hw::HardwareConfig &cfg : cfgs)
-        out.push_back(evaluate(cfg));
+        out.push_back(evaluateWith(cfg, scope.params));
+    scope.report();
     return out;
 }
 
@@ -119,6 +166,7 @@ DesignEvaluator::evaluateAllParallel(
     // chunks off one atomic cursor: this caps concurrency at the
     // requested level even when the pool is wider, and reuses the
     // warm worker crew instead of spawning a crew per batch.
+    SweepCacheScope scope(params_);
     std::vector<EvaluatedDesign> out(cfgs.size());
     std::atomic<std::size_t> next{0};
     const std::size_t chunk = std::clamp<std::size_t>(
@@ -136,12 +184,13 @@ DesignEvaluator::evaluateAllParallel(
                 const std::size_t end =
                     std::min(start + chunk, cfgs.size());
                 for (std::size_t i = start; i < end; ++i) {
-                    out[i] = evaluate(cfgs[i]);
+                    out[i] = evaluateWith(cfgs[i], scope.params);
                     obs::counterAdd("dse.worker.designs");
                 }
             }
         },
         1);
+    scope.report();
 
     if (obs::enabled()) {
         // Batch wall time; designs/sec = dse.designs.evaluated over
@@ -244,6 +293,10 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
     {
         StreamStats stats;
     };
+    // One GEMM cache for the whole stream (TILE_SIM only): the plan
+    // enumerates comm-only axes innermost, so each compute-class run
+    // of commOnlyRunLength() designs simulates its GEMMs once.
+    SweepCacheScope scope(params_);
     std::vector<PaddedStreamStats> partials(threads);
     std::atomic<std::size_t> next{0};
     // Larger claims than the materializing path: workers touch no
@@ -267,7 +320,8 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
                 const std::size_t end = std::min(start + chunk, n);
                 for (std::size_t i = start; i < end; ++i) {
                     plan.point(i, &cfg);
-                    const EvaluatedDesign d = evaluate(cfg);
+                    const EvaluatedDesign d =
+                        evaluateWith(cfg, scope.params);
                     const bool keep = !predicate || predicate(d);
                     local.absorb(d, i, keep);
                     if (keep && visitor)
@@ -281,6 +335,7 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
     StreamStats out;
     for (const PaddedStreamStats &p : partials)
         out.merge(p.stats);
+    scope.report();
 
     if (obs::enabled()) {
         const double wall_s =

@@ -107,7 +107,16 @@ class DesignEvaluator
     /** Evaluate one design. */
     EvaluatedDesign evaluate(const hw::HardwareConfig &cfg) const;
 
-    /** Evaluate a batch of designs. */
+    /**
+     * Evaluate a batch of designs.
+     *
+     * Like every batch entry point (evaluateAllParallel,
+     * evaluateStream), hoists one sweep-scoped perf::GemmCache over
+     * the whole batch when the params ask for TILE_SIM mode and
+     * cacheTileSimGemms (and no caller-installed cache) — designs
+     * sharing a canonical GEMM projection then simulate each GEMM
+     * once. Bit-identical to the uncached path.
+     */
     std::vector<EvaluatedDesign>
     evaluateAll(const std::vector<hw::HardwareConfig> &cfgs) const;
 
@@ -148,6 +157,13 @@ class DesignEvaluator
      * independent of thread count (argmin ties resolve to the lowest
      * enumeration index, matching std::min_element).
      *
+     * Under GemmMode::TILE_SIM one sweep-scoped perf::GemmCache is
+     * hoisted over the whole stream (unless the params install their
+     * own handle or clear cacheTileSimGemms): the SweepPlan keeps
+     * comm-only axes innermost, so all designs of one compute-class
+     * run — the entire deviceBandwidths axis — reuse each die-local
+     * GEMM simulation from the run's first design, bit-exactly.
+     *
      * @param space     Sweep space to stream.
      * @param predicate Keep-filter; designs failing it still count in
      *                  `evaluated` but not in `kept`/argmins. Null
@@ -167,6 +183,16 @@ class DesignEvaluator
     const model::LayerGraph &decodeGraph() const { return decode_; }
 
   private:
+    /**
+     * evaluate() against an explicit params set: the batch entry
+     * points pass a copy of params_ carrying the hoisted sweep-scoped
+     * GemmCache handle (perf_params.hh). Must be bit-identical to
+     * evaluate() whenever @p params differs from params_ only in its
+     * cache handle.
+     */
+    EvaluatedDesign evaluateWith(const hw::HardwareConfig &cfg,
+                                 const perf::PerfParams &params) const;
+
     model::TransformerConfig modelCfg_;
     model::InferenceSetting setting_;
     perf::SystemConfig sys_;

@@ -21,6 +21,30 @@ SweepSpace::size() const
            deviceBandwidths.size() * diesPerPackage.size();
 }
 
+std::size_t
+SweepSpace::feasibleSize() const
+{
+    return SweepPlan(*this).pointCount();
+}
+
+std::vector<SweepAxis>
+SweepSpace::axes() const
+{
+    // Enumeration order, outermost first. Comm-only axes must stay
+    // innermost (SweepPlan relies on this for commOnlyRunLength();
+    // tests/test_dse.cpp asserts the resulting adjacency).
+    return {
+        {"diesPerPackage", AxisEffect::COMPUTE, diesPerPackage.size()},
+        {"systolicDims", AxisEffect::COMPUTE, systolicDims.size()},
+        {"lanesPerCore", AxisEffect::COMPUTE, lanesPerCore.size()},
+        {"l1BytesPerCore", AxisEffect::COMPUTE, l1BytesPerCore.size()},
+        {"l2Bytes", AxisEffect::COMPUTE, l2Bytes.size()},
+        {"memBandwidths", AxisEffect::COMPUTE, memBandwidths.size()},
+        {"deviceBandwidths", AxisEffect::COMM_ONLY,
+         deviceBandwidths.size()},
+    };
+}
+
 namespace {
 
 constexpr double PHY_BW = 50.0 * units::GBPS;
@@ -136,6 +160,14 @@ SweepPlan::SweepPlan(const SweepSpace &space)
     // Compile the inner name tails once: point() then only splices
     // three precomputed strings instead of formatting four floats per
     // design (see the innerSuffixes_ member note).
+    //
+    // Axis order inside the inner block is l1 -> l2 -> mem -> dev
+    // with dev varying fastest: the one comm-only axis
+    // (SweepSpace::axes()) sits innermost so designs sharing every
+    // die-local compute parameter occupy contiguous runs of
+    // commOnlyRunLength() indices. Sweep evaluators lean on that
+    // adjacency — a cross-design GEMM cache warms on the first design
+    // of each run and hits for the rest of it.
     innerSuffixes_.resize(innerBlock_);
     for (std::size_t rem = 0; rem < innerBlock_; ++rem) {
         std::size_t r = rem;

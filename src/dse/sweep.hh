@@ -21,6 +21,31 @@ namespace dse {
 
 class SweepPlan;
 
+/**
+ * How a sweep axis influences an evaluated design.
+ *
+ * COMPUTE axes change die-local timing (GEMM/vector latencies):
+ * varying one invalidates any cached per-op simulation result.
+ * COMM_ONLY axes change only the device-device interconnect (and the
+ * classification metrics derived from it) — die-local GEMM timing is
+ * invariant along them, which is what lets a sweep-scoped GEMM cache
+ * (perf::GemmCache) reuse one simulation across the entire axis. See
+ * docs/PERF.md ("Cross-design GEMM memoization").
+ */
+enum class AxisEffect
+{
+    COMPUTE,
+    COMM_ONLY,
+};
+
+/** One sweep axis: its name, effect class, and value count. */
+struct SweepAxis
+{
+    const char *name;
+    AxisEffect effect;
+    std::size_t count;
+};
+
 /** Parameter lists whose cartesian product is the design space. */
 struct SweepSpace
 {
@@ -38,8 +63,35 @@ struct SweepSpace
     std::vector<double> deviceBandwidths;   //!< bytes/s, bidirectional
     std::vector<int> diesPerPackage = {1};  //!< chiplet counts
 
-    /** Number of design points the space generates. */
+    /**
+     * The *raw* cartesian-product size of the parameter lists — an
+     * upper bound on what the space generates. generate() (and every
+     * SweepPlan-backed enumeration) skips infeasible outer
+     * combinations whose TPP budget cannot fit even one core, so the
+     * actual point count is feasibleSize() <= size(). Spaces whose
+     * lists all admit at least one core (the paper's Table 3/5
+     * spaces) have feasibleSize() == size().
+     */
     std::size_t size() const;
+
+    /**
+     * The number of design points the space actually enumerates:
+     * size() minus the points of infeasible (dies, dim, lanes) outer
+     * combinations. Exactly generate().size(); costs one SweepPlan
+     * compilation (and emits its one-per-combination skip warnings).
+     */
+    std::size_t feasibleSize() const;
+
+    /**
+     * The sweep axes in enumeration order, outermost first, each
+     * tagged compute-affecting or comm-only. The enumeration
+     * invariant (held by SweepPlan and asserted in tests/test_dse.cpp)
+     * is that comm-only axes are innermost: designs sharing all
+     * die-local compute parameters occupy contiguous index runs, so a
+     * cross-design GEMM cache hits on every design of a run after its
+     * first.
+     */
+    std::vector<SweepAxis> axes() const;
 
     /**
      * Materialize every design point.
@@ -90,6 +142,20 @@ class SweepPlan
      * identical to generate()[index]).
      */
     hw::HardwareConfig point(std::size_t index) const;
+
+    /**
+     * Length of one compute-class run: the number of consecutive
+     * enumeration indices that share every compute-affecting
+     * parameter and differ only along comm-only axes (currently the
+     * deviceBandwidths axis, which SweepPlan keeps innermost — see
+     * SweepSpace::axes()). Designs i and j share die-local GEMM
+     * timing whenever i / commOnlyRunLength() == j /
+     * commOnlyRunLength().
+     */
+    std::size_t commOnlyRunLength() const
+    {
+        return space_.deviceBandwidths.size();
+    }
 
     /**
      * Build the design point at flat index @p index into @p out.

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "obs/obs.hh"
+#include "perf/gemm_cache.hh"
 #include "perf/tile_sim.hh"
 
 namespace acs {
@@ -47,6 +48,10 @@ MatmulModel::MatmulModel(const hw::HardwareConfig &cfg,
     : cfg_(cfg), params_(params)
 {
     cfg_.validate();
+    // Hash the model constants once: with a TILE_SIM cache installed
+    // every time() call embeds this fingerprint in its key.
+    if (params_.gemmCache)
+        paramsFp_ = fingerprintGemmParams(params_);
 }
 
 TileChoice
@@ -163,6 +168,26 @@ MatmulModel::time(const model::Op &op) const
     if (mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1)
         fatal("MatmulModel::time: degenerate GEMM dims in " + op.name);
 
+    // Cross-design memoization (TILE_SIM only — the analytic closed
+    // form is cheaper than a lookup): consult the sweep-scoped cache
+    // before doing any modeling. Hits return the exact bits the miss
+    // path stored, so cached and uncached sweeps are byte-identical.
+    GemmCache *const cache =
+        params_.gemmMode == GemmMode::TILE_SIM ? params_.gemmCache
+                                               : nullptr;
+    GemmCacheKey cache_key;
+    if (cache) {
+        cache_key = makeGemmCacheKey(cfg_, op, params_, paramsFp_);
+        MatmulTiming cached;
+        if (cache->find(cache_key, &cached)) {
+            if (obs::enabled()) {
+                obs::counterAdd("perf.gemm_cache.hits");
+                obs::counterAdd("perf.matmul.timed");
+            }
+            return cached;
+        }
+    }
+
     MatmulTiming t;
 
     const TileChoice tiles_choice = chooseTiles(cfg_, mm, params_);
@@ -244,8 +269,14 @@ MatmulModel::time(const model::Op &op) const
     // (PerfParams::memoizeOps, applied above this model in
     // simulateLayer) caches simulated timings exactly like analytic
     // ones.
-    if (params_.gemmMode == GemmMode::TILE_SIM)
+    if (params_.gemmMode == GemmMode::TILE_SIM) {
         t.totalS = simulateGemmSummary(cfg_, op, params_).totalS;
+        if (cache) {
+            cache->insert(cache_key, t);
+            if (obs::enabled())
+                obs::counterAdd("perf.gemm_cache.misses");
+        }
+    }
     return t;
 }
 

@@ -17,6 +17,8 @@
 #ifndef ACS_PERF_MATMUL_MODEL_HH
 #define ACS_PERF_MATMUL_MODEL_HH
 
+#include <cstdint>
+
 #include "hw/config.hh"
 #include "model/ops.hh"
 #include "perf/perf_params.hh"
@@ -115,6 +117,11 @@ class MatmulModel
   private:
     hw::HardwareConfig cfg_;
     PerfParams params_;
+    /**
+     * fingerprintGemmParams(params_), computed once here so TILE_SIM
+     * cache keys (params_.gemmCache) need no per-op re-hashing.
+     */
+    std::uint64_t paramsFp_ = 0;
 };
 
 } // namespace perf

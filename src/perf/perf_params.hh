@@ -11,6 +11,8 @@
 namespace acs {
 namespace perf {
 
+class GemmCache; // cross-design TILE_SIM timing cache (gemm_cache.hh)
+
 /** How GEMM latency is derived. */
 enum class GemmMode
 {
@@ -156,6 +158,29 @@ struct PerfParams
 
     /** Model L2-capacity GEMM blocking for HBM traffic (ablation). */
     bool modelL2Blocking = true;
+
+    /**
+     * Cross-design TILE_SIM GEMM timing cache (non-owning; null =
+     * none installed). Where the op-shape memo above reuses timings
+     * *within* one design's simulation run, this handle reuses them
+     * *across* designs whose canonical projection matches (see
+     * gemm_cache.hh) — sweep axes that never touch die-local GEMM
+     * timing (device interconnect bandwidth) then re-simulate
+     * nothing. Bit-exact: hits return the exact MatmulTiming the
+     * miss path computed. The holder owns the cache and guarantees
+     * it outlives every model constructed from these params.
+     */
+    GemmCache *gemmCache = nullptr;
+
+    /**
+     * Let sweep drivers (dse::DesignEvaluator's evaluateAll,
+     * evaluateAllParallel, and evaluateStream) hoist a sweep-scoped
+     * GemmCache automatically
+     * when gemmCache is null and gemmMode is TILE_SIM. Off is for
+     * A/B verification (`--gemm-cache=off` on the DSE benches):
+     * outputs are bit-identical either way, only the speed differs.
+     */
+    bool cacheTileSimGemms = true;
 };
 
 } // namespace perf

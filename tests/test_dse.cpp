@@ -20,6 +20,7 @@
 #include "dse/evaluate.hh"
 #include "dse/sweep.hh"
 #include "hw/presets.hh"
+#include "perf/gemm_cache.hh"
 
 namespace acs {
 namespace dse {
@@ -599,6 +600,173 @@ TEST(Filters, RvalueOverloadsMatchLvalue)
     ASSERT_EQ(rv_unreg.size(), lv_unreg.size());
     for (std::size_t i = 0; i < lv_unreg.size(); ++i)
         EXPECT_EQ(rv_unreg[i].config.name, lv_unreg[i].config.name);
+}
+
+// ---- axis factorization + feasibleSize --------------------------------------
+
+TEST(SweepSpace, AxesMatchEnumerationOrderAndRawSize)
+{
+    const SweepSpace space = table3Space(4800.0, {500.0 * units::GBPS,
+                                                  700.0 * units::GBPS,
+                                                  900.0 * units::GBPS});
+    const auto axes = space.axes();
+    ASSERT_FALSE(axes.empty());
+    // The raw cartesian size is the product of the axis counts.
+    std::size_t product = 1;
+    std::size_t comm_only = 0;
+    for (const SweepAxis &axis : axes) {
+        product *= axis.count;
+        if (axis.effect == AxisEffect::COMM_ONLY)
+            ++comm_only;
+    }
+    EXPECT_EQ(product, space.size());
+    // Exactly one comm-only axis today (deviceBandwidths), and the
+    // enumeration invariant keeps it innermost (last).
+    EXPECT_EQ(comm_only, 1u);
+    EXPECT_STREQ(axes.back().name, "deviceBandwidths");
+    EXPECT_EQ(axes.back().effect, AxisEffect::COMM_ONLY);
+    EXPECT_EQ(axes.back().count, space.deviceBandwidths.size());
+}
+
+TEST(SweepSpace, FeasibleSizeMatchesGenerateUnderSkips)
+{
+    // A TPP budget small enough that the widest (dim, lanes) combos
+    // cannot fit one core: size() keeps counting the raw product while
+    // feasibleSize() counts what generate() actually produces.
+    SweepSpace space = table3Space(150.0, {600.0 * units::GBPS});
+    const auto cfgs = space.generate();
+    EXPECT_EQ(space.feasibleSize(), cfgs.size());
+    EXPECT_LT(space.feasibleSize(), space.size());
+    ASSERT_GT(space.feasibleSize(), 0u) << "space unexpectedly empty";
+
+    // Flat-index addressing must agree with the compacted enumeration:
+    // skipped outer combinations shift every later block down.
+    const SweepPlan plan(space);
+    ASSERT_EQ(plan.pointCount(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        EXPECT_EQ(plan.point(i).name, cfgs[i].name) << i;
+
+    // Fully feasible spaces collapse the distinction.
+    const SweepSpace full = table3Space(4800.0, {600.0 * units::GBPS});
+    EXPECT_EQ(full.feasibleSize(), full.size());
+}
+
+TEST(SweepPlan, CommOnlyRunsShareComputeProjection)
+{
+    // Designs within one commOnlyRunLength() run must differ only in
+    // the interconnect realization (and name) — this adjacency is what
+    // the sweep-scoped GEMM cache exploits.
+    const SweepSpace space = table3Space(4800.0, {500.0 * units::GBPS,
+                                                  700.0 * units::GBPS,
+                                                  900.0 * units::GBPS});
+    const SweepPlan plan(space);
+    const std::size_t run = plan.commOnlyRunLength();
+    ASSERT_EQ(run, 3u);
+    ASSERT_EQ(plan.pointCount() % run, 0u);
+    for (std::size_t base = 0; base < plan.pointCount(); base += run) {
+        const hw::HardwareConfig first = plan.point(base);
+        std::set<int> phys{first.devicePhyCount};
+        for (std::size_t j = 1; j < run; ++j) {
+            const hw::HardwareConfig cfg = plan.point(base + j);
+            EXPECT_EQ(cfg.systolicDimX, first.systolicDimX);
+            EXPECT_EQ(cfg.systolicDimY, first.systolicDimY);
+            EXPECT_EQ(cfg.lanesPerCore, first.lanesPerCore);
+            EXPECT_EQ(cfg.coreCount, first.coreCount);
+            EXPECT_EQ(cfg.diesPerPackage, first.diesPerPackage);
+            EXPECT_EQ(cfg.l1BytesPerCore, first.l1BytesPerCore);
+            EXPECT_EQ(cfg.l2Bytes, first.l2Bytes);
+            EXPECT_EQ(cfg.memBandwidth, first.memBandwidth);
+            phys.insert(cfg.devicePhyCount);
+        }
+        // The comm-only axis really varies inside the run.
+        EXPECT_EQ(phys.size(), run) << "run at " << base;
+    }
+}
+
+// ---- sweep-scoped GEMM cache -------------------------------------------------
+
+/** A trimmed TILE_SIM-relevant space: fast, but multi-valued on every
+ *  axis class (two comm-only values per compute projection). */
+SweepSpace
+tinyTileSimSpace()
+{
+    SweepSpace space = table3Space(4800.0, {400.0 * units::GBPS,
+                                            600.0 * units::GBPS});
+    space.systolicDims = {16};
+    space.lanesPerCore = {2, 4};
+    space.l1BytesPerCore.resize(2);
+    space.l2Bytes.resize(2);
+    space.memBandwidths.resize(2);
+    return space;
+}
+
+TEST(GemmCacheSweep, CacheOnOffBitIdenticalAcrossEntryPoints)
+{
+    const core::Workload w = smallWorkload();
+    perf::PerfParams on;
+    on.gemmMode = perf::GemmMode::TILE_SIM;
+    ASSERT_TRUE(on.cacheTileSimGemms); // hoisted cache is the default
+    perf::PerfParams off = on;
+    off.cacheTileSimGemms = false;
+    const DesignEvaluator cached(w.model, w.setting, w.system, on);
+    const DesignEvaluator plain(w.model, w.setting, w.system, off);
+
+    const SweepSpace space = tinyTileSimSpace();
+    const auto cfgs = space.generate();
+    const auto a = cached.evaluateAll(cfgs);
+    const auto b = plain.evaluateAll(cfgs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ttftS, b[i].ttftS) << i;
+        EXPECT_EQ(a[i].tbtS, b[i].tbtS) << i;
+        EXPECT_EQ(a[i].config.name, b[i].config.name) << i;
+    }
+
+    const auto c = cached.evaluateAllParallel(cfgs, 4);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ttftS, c[i].ttftS) << i;
+        EXPECT_EQ(a[i].tbtS, c[i].tbtS) << i;
+    }
+
+    for (unsigned threads : {1u, 4u}) {
+        const StreamStats son =
+            cached.evaluateStream(space, nullptr, nullptr, threads);
+        const StreamStats soff =
+            plain.evaluateStream(space, nullptr, nullptr, threads);
+        ASSERT_TRUE(son.bestTtft && soff.bestTtft) << threads;
+        EXPECT_EQ(son.bestTtft->ttftS, soff.bestTtft->ttftS) << threads;
+        EXPECT_EQ(son.bestTbt->tbtS, soff.bestTbt->tbtS) << threads;
+        EXPECT_EQ(son.bestTtft->config.name,
+                  soff.bestTtft->config.name) << threads;
+    }
+}
+
+TEST(GemmCacheSweep, CallerInstalledCacheStaysBitIdenticalWhenWarm)
+{
+    // A session-scoped cache handle (PerfParams::gemmCache) must serve
+    // the second sweep from hits without perturbing a single bit.
+    const core::Workload w = smallWorkload();
+    perf::GemmCache cache;
+    perf::PerfParams params;
+    params.gemmMode = perf::GemmMode::TILE_SIM;
+    params.gemmCache = &cache;
+    const DesignEvaluator evaluator(w.model, w.setting, w.system,
+                                    params);
+    const SweepSpace space = tinyTileSimSpace();
+    const auto cfgs = space.generate();
+    const auto cold = evaluator.evaluateAll(cfgs);
+    const auto warm_stats = cache.stats();
+    EXPECT_GT(warm_stats.entries, 0u);
+    const auto warm = evaluator.evaluateAllParallel(cfgs, 4);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].ttftS, warm[i].ttftS) << i;
+        EXPECT_EQ(cold[i].tbtS, warm[i].tbtS) << i;
+    }
+    // The warm sweep's GEMMs were all hits: no new entries appeared.
+    const auto final_stats = cache.stats();
+    EXPECT_EQ(final_stats.entries, warm_stats.entries);
+    EXPECT_GT(final_stats.hits, warm_stats.hits);
 }
 
 } // anonymous namespace

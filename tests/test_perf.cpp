@@ -13,6 +13,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "hw/presets.hh"
+#include "perf/gemm_cache.hh"
 #include "perf/simulator.hh"
 #include "perf/tile_sim.hh"
 
@@ -652,6 +653,138 @@ TEST(MatmulModel, BoundIsArgmaxOfResourceTimes)
             FAIL() << "unexpected bound for " << op.name;
         }
     }
+}
+
+// ---- GemmCache (cross-design memoization) ----------------------------------
+
+TEST(GemmCache, HitReturnsIdenticalBitsAndTallies)
+{
+    GemmCache cache;
+    PerfParams params;
+    params.gemmMode = GemmMode::TILE_SIM;
+    params.gemmCache = &cache;
+    params.memoizeOps = false; // isolate the cross-design cache
+    const MatmulModel m(hw::modeledA100(), params);
+    const model::Op op = weightGemm(2048, 4096, 4096);
+
+    const MatmulTiming miss = m.time(op); // populates the cache
+    const MatmulTiming hit = m.time(op);  // must be served from it
+    EXPECT_EQ(miss.totalS, hit.totalS);
+    EXPECT_EQ(miss.computeS, hit.computeS);
+    EXPECT_EQ(miss.hbmS, hit.hbmS);
+    EXPECT_EQ(miss.tileM, hit.tileM);
+    EXPECT_EQ(miss.tileN, hit.tileN);
+    EXPECT_EQ(miss.bound, hit.bound);
+
+    const GemmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(GemmCache, AnalyticModeNeverConsultsTheCache)
+{
+    GemmCache cache;
+    PerfParams params; // gemmMode stays ANALYTIC
+    params.gemmCache = &cache;
+    const MatmulModel m(hw::modeledA100(), params);
+    (void)m.time(weightGemm(2048, 4096, 4096));
+    const GemmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.hits + s.misses, 0u);
+}
+
+TEST(GemmCache, KeyIgnoresInterconnectFields)
+{
+    // Designs differing only along comm-only axes (device PHYs) must
+    // share one cache entry: that is the axis-factorization the sweep
+    // drivers exploit (docs/PERF.md).
+    PerfParams params;
+    params.gemmMode = GemmMode::TILE_SIM;
+    const model::Op op = weightGemm(2048, 4096, 4096);
+    hw::HardwareConfig a = hw::modeledA100();
+    hw::HardwareConfig b = a;
+    b.name = "comm-variant";
+    b.devicePhyCount = a.devicePhyCount + 7;
+    b.perPhyBandwidth = 2.0 * a.perPhyBandwidth;
+    b.memCapacityBytes = 2.0 * a.memCapacityBytes;
+    const std::uint64_t fp = fingerprintGemmParams(params);
+    EXPECT_EQ(makeGemmCacheKey(a, op, params, fp),
+              makeGemmCacheKey(b, op, params, fp));
+
+    // End to end: a model on the comm-variant hits the entry the
+    // original populated, bit-exactly.
+    GemmCache cache;
+    params.gemmCache = &cache;
+    params.memoizeOps = false;
+    const MatmulTiming ta = MatmulModel(a, params).time(op);
+    const MatmulTiming tb = MatmulModel(b, params).time(op);
+    EXPECT_EQ(ta.totalS, tb.totalS);
+    const GemmCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(GemmCache, KeyCanonicalizesCoresTimesLanesIntoArrayCount)
+{
+    // TILE_SIM timing depends on the total systolic-array count, not
+    // the cores/lanes split, so the key canonicalizes the product.
+    PerfParams params;
+    params.gemmMode = GemmMode::TILE_SIM;
+    const model::Op op = weightGemm(2048, 4096, 4096);
+    hw::HardwareConfig a = hw::modeledA100();
+    ASSERT_EQ(a.coreCount % 2, 0);
+    hw::HardwareConfig b = a;
+    b.coreCount = a.coreCount / 2;
+    b.lanesPerCore = a.lanesPerCore * 2;
+    const std::uint64_t fp = fingerprintGemmParams(params);
+    EXPECT_EQ(makeGemmCacheKey(a, op, params, fp).arrays,
+              makeGemmCacheKey(b, op, params, fp).arrays);
+}
+
+TEST(GemmCache, KeyDropsL2ForNonWeightStationaryOps)
+{
+    // L2 blocking only models weight-stationary GEMMs; for the rest
+    // the key canonicalizes l2Bytes to zero so attention GEMMs share
+    // entries across the whole l2Bytes sweep axis.
+    PerfParams params;
+    params.gemmMode = GemmMode::TILE_SIM;
+    ASSERT_TRUE(params.modelL2Blocking);
+    model::Op act = weightGemm(2048, 4096, 4096);
+    act.mm.weightStationary = false;
+    hw::HardwareConfig a = hw::modeledA100();
+    hw::HardwareConfig b = a;
+    b.l2Bytes = 2.0 * a.l2Bytes;
+    const std::uint64_t fp = fingerprintGemmParams(params);
+    EXPECT_EQ(makeGemmCacheKey(a, act, params, fp),
+              makeGemmCacheKey(b, act, params, fp));
+
+    // Weight-stationary ops DO key on L2 (blockedHbmTraffic reads it).
+    const model::Op ws = weightGemm(2048, 4096, 4096);
+    EXPECT_FALSE(makeGemmCacheKey(a, ws, params, fp) ==
+                 makeGemmCacheKey(b, ws, params, fp));
+}
+
+TEST(GemmCache, ParamsFingerprintSeparatesTimingConstants)
+{
+    // One cache must never serve timings computed under different
+    // model constants: the params fingerprint is part of the key.
+    PerfParams a;
+    a.gemmMode = GemmMode::TILE_SIM;
+    PerfParams b = a;
+    b.memEfficiency = a.memEfficiency * 0.5;
+    PerfParams c = a;
+    c.tileSimEngine = TileSimEngine::LEGACY_WALK;
+    EXPECT_NE(fingerprintGemmParams(a), fingerprintGemmParams(b));
+    // Engine choice is timing-invariant (proved bit-identical by
+    // tests/test_gemm_property.cpp) but fingerprinted anyway so a
+    // shared cache never mixes engines within one sweep.
+    EXPECT_NE(fingerprintGemmParams(a), fingerprintGemmParams(c));
+
+    const model::Op op = weightGemm(2048, 4096, 4096);
+    const hw::HardwareConfig cfg = hw::modeledA100();
+    EXPECT_FALSE(makeGemmCacheKey(cfg, op, a, fingerprintGemmParams(a)) ==
+                 makeGemmCacheKey(cfg, op, b, fingerprintGemmParams(b)));
 }
 
 } // anonymous namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * common::ShardedCache: single-thread semantics plus a multithreaded
+ * stress run with deliberately colliding keys. The stress test is also
+ * part of the ThreadSanitizer CI job (.github/workflows/ci.yml), which
+ * rebuilds it with -fsanitize=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/sharded_cache.hh"
+
+namespace acs {
+namespace common {
+namespace {
+
+using Cache = ShardedCache<int, double>;
+
+TEST(ShardedCache, FindMissesOnEmptyAndTalliesMiss)
+{
+    Cache cache;
+    double out = -1.0;
+    EXPECT_FALSE(cache.find(7, &out));
+    EXPECT_EQ(out, -1.0);
+    const Cache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.hitRate(), 0.0);
+}
+
+TEST(ShardedCache, InsertThenFindHits)
+{
+    Cache cache;
+    EXPECT_TRUE(cache.insert(7, 3.5));
+    double out = 0.0;
+    EXPECT_TRUE(cache.find(7, &out));
+    EXPECT_EQ(out, 3.5);
+    const Cache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.hitRate(), 1.0);
+}
+
+TEST(ShardedCache, InsertIsFirstWriterWins)
+{
+    Cache cache;
+    EXPECT_TRUE(cache.insert(1, 10.0));
+    EXPECT_FALSE(cache.insert(1, 99.0)); // loser's value is dropped
+    double out = 0.0;
+    ASSERT_TRUE(cache.find(1, &out));
+    EXPECT_EQ(out, 10.0);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCache, GetOrComputeComputesOncePerKey)
+{
+    Cache cache;
+    int calls = 0;
+    const auto compute = [&calls]() {
+        ++calls;
+        return 2.5;
+    };
+    EXPECT_EQ(cache.getOrCompute(3, compute), 2.5);
+    EXPECT_EQ(cache.getOrCompute(3, compute), 2.5);
+    EXPECT_EQ(calls, 1);
+    const Cache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(ShardedCache, GetOrComputeReturnsFirstWritersValue)
+{
+    Cache cache;
+    cache.insert(5, 1.0);
+    // A racing computation that lost the insert race must still return
+    // the winning entry's value, not its own.
+    double out = 0.0;
+    ASSERT_TRUE(cache.find(5, &out));
+    EXPECT_EQ(cache.getOrCompute(5, [] { return 2.0; }), 1.0);
+}
+
+TEST(ShardedCache, ClearDropsEntriesAndTallies)
+{
+    Cache cache;
+    cache.insert(1, 1.0);
+    cache.insert(2, 2.0);
+    double out;
+    cache.find(1, &out);
+    cache.find(9, &out);
+    cache.clear();
+    const Cache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_FALSE(cache.find(1, &out));
+}
+
+TEST(ShardedCache, ShardCountRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(Cache(0).shardCount(), 1u);
+    EXPECT_EQ(Cache(1).shardCount(), 1u);
+    EXPECT_EQ(Cache(3).shardCount(), 4u);
+    EXPECT_EQ(Cache(64).shardCount(), 64u);
+    EXPECT_EQ(Cache(65).shardCount(), 128u);
+}
+
+/** Hash that collapses the key space onto very few shards. */
+struct CollidingHash
+{
+    std::size_t operator()(int key) const
+    {
+        return static_cast<std::size_t>(key % 3);
+    }
+};
+
+/**
+ * Many threads hammer a small key set through both getOrCompute and
+ * find/insert. With deterministic values keyed off the key, every
+ * observed value must be consistent, entries must equal the unique key
+ * count, and the exact per-shard tallies must satisfy
+ * hits + misses == lookups issued.
+ */
+TEST(ShardedCache, MultithreadedStressWithCollidingKeys)
+{
+    ShardedCache<int, std::uint64_t, CollidingHash> cache(8);
+    constexpr int THREADS = 8;
+    constexpr int ITERS = 4000;
+    constexpr int KEYS = 17; // >> shard count under CollidingHash
+
+    std::vector<std::thread> crew;
+    crew.reserve(THREADS);
+    for (int t = 0; t < THREADS; ++t) {
+        crew.emplace_back([&cache, t]() {
+            for (int i = 0; i < ITERS; ++i) {
+                const int key = (i + t) % KEYS;
+                const std::uint64_t expect =
+                    static_cast<std::uint64_t>(key) * 1000003u;
+                if (i % 2 == 0) {
+                    const std::uint64_t got = cache.getOrCompute(
+                        key, [expect]() { return expect; });
+                    ASSERT_EQ(got, expect);
+                } else {
+                    std::uint64_t got = 0;
+                    if (cache.find(key, &got))
+                        ASSERT_EQ(got, expect);
+                    else
+                        cache.insert(key, expect);
+                }
+            }
+        });
+    }
+    for (std::thread &t : crew)
+        t.join();
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.entries, static_cast<std::size_t>(KEYS));
+    // Every iteration issues exactly one tallied lookup (getOrCompute's
+    // internal find, or the explicit find); inserts don't tally.
+    EXPECT_EQ(s.hits + s.misses,
+              static_cast<std::uint64_t>(THREADS) * ITERS);
+    // At most one miss per (key, racing thread); in practice nearly
+    // every lookup after warm-up hits.
+    EXPECT_GE(s.hits, static_cast<std::uint64_t>(THREADS) * ITERS -
+                          static_cast<std::uint64_t>(KEYS) * THREADS);
+
+    // All values are still the deterministic function of the key.
+    for (int key = 0; key < KEYS; ++key) {
+        std::uint64_t got = 0;
+        ASSERT_TRUE(cache.find(key, &got));
+        EXPECT_EQ(got, static_cast<std::uint64_t>(key) * 1000003u);
+    }
+}
+
+} // anonymous namespace
+} // namespace common
+} // namespace acs

@@ -95,6 +95,44 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
     EXPECT_EQ(calls.load(), 10);
 }
 
+TEST(ThreadPool, NestedExceptionCapturedAndRethrownAtNestedCaller)
+{
+    ThreadPool pool(2);
+    // An exception inside a *nested* batch must surface at the nested
+    // parallelFor call (which runs inline on the submitting lane), be
+    // catchable there, and — when the outer task lets it escape —
+    // propagate out of the outer batch without wedging the pool.
+    std::atomic<int> nested_caught{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        try {
+            pool.parallelFor(3, [](std::size_t j) {
+                if (j == 1)
+                    throw std::runtime_error("nested");
+            });
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "nested");
+            ++nested_caught;
+        }
+    });
+    EXPECT_EQ(nested_caught.load(), 4);
+
+    // Uncaught in the outer task: the outer batch rethrows it.
+    EXPECT_THROW(pool.parallelFor(2,
+                                  [&](std::size_t) {
+                                      pool.parallelFor(
+                                          2, [](std::size_t) {
+                                              throw std::runtime_error(
+                                                  "escape");
+                                          });
+                                  }),
+                 std::runtime_error);
+
+    // Pool still healthy after both failure shapes.
+    std::atomic<int> calls{0};
+    pool.parallelFor(8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 8);
+}
+
 TEST(ThreadPool, NestedParallelForRunsInline)
 {
     ThreadPool pool(2);

@@ -19,7 +19,9 @@
  * variable) records counters and spans during the command, prints a
  * per-stage summary, and writes a Chrome-trace JSON to <file>.
  * --gemm-mode={analytic,tile_sim} selects the GEMM latency model for
- * the evaluate/sweep commands (docs/PERF.md).
+ * the evaluate/sweep commands, and --gemm-cache={on,off} toggles the
+ * sweep-scoped cross-design GEMM cache in tile_sim mode — output is
+ * byte-identical either way (docs/PERF.md).
  */
 
 #include <fstream>
@@ -41,7 +43,8 @@ int
 usage()
 {
     std::cout <<
-        "usage: acs [--trace=<file>] [--gemm-mode=<mode>] <command> [args]\n"
+        "usage: acs [--trace=<file>] [--gemm-mode=<mode>]\n"
+        "           [--gemm-cache=on|off] <command> [args]\n"
         "  classify <tpp> <devbw_gbps> <area_mm2> [dc|consumer]\n"
         "  db [data-center|consumer|workstation]\n"
         "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
@@ -50,7 +53,9 @@ usage()
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
         "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
-        "for evaluate/sweep (default analytic; see docs/PERF.md).\n";
+        "for evaluate/sweep (default analytic; see docs/PERF.md).\n"
+        "--gemm-cache=on|off toggles tile_sim's sweep-scoped GEMM\n"
+        "cache (default on; byte-identical output either way).\n";
     return 2;
 }
 
@@ -254,6 +259,13 @@ main(int argc, char **argv)
                 std::cerr << "unknown --gemm-mode '" << value << "'\n";
                 return usage();
             }
+        } else if (arg.rfind("--gemm-cache=", 0) == 0) {
+            const std::string value = arg.substr(13);
+            if (value != "on" && value != "off") {
+                std::cerr << "unknown --gemm-cache '" << value << "'\n";
+                return usage();
+            }
+            g_perf_params.cacheTileSimGemms = value == "on";
         } else {
             break;
         }
