@@ -38,5 +38,12 @@
 #include "policy/historical.hh"
 #include "policy/marketing.hh"
 #include "serve/capacity.hh"
+#include "serve/percentile.hh"
+#include "sim/cost_model.hh"
+#include "sim/event.hh"
+#include "sim/fleet.hh"
+#include "sim/metrics.hh"
+#include "sim/replica.hh"
+#include "sim/workload.hh"
 
 #endif // ACS_CORE_ACS_HH

@@ -102,6 +102,58 @@ SanctionsStudy::runSweep(const dse::SweepSpace &space,
     return evaluator.evaluateAllParallel(space.generate());
 }
 
+ServingStudyResult
+SanctionsStudy::runServingStudy(const hw::HardwareConfig &cfg,
+                                const Workload &workload,
+                                const ServingStudyConfig &config) const
+{
+    const obs::TraceSpan span("core.runServingStudy");
+    fatalIf(config.ratesPerS.empty() && config.fleetRatePerS <= 0.0,
+            "runServingStudy: no rates and no fleet demand given");
+
+    const sim::IterationCostModel cost(cfg, workload.model,
+                                       workload.setting,
+                                       workload.system, params_);
+
+    ServingStudyResult result;
+    result.curve.reserve(config.ratesPerS.size());
+    const sim::SloTargets targets = config.slo.targets();
+    for (double rate : config.ratesPerS) {
+        sim::ReplicaConfig rc;
+        rc.scheduler = config.scheduler;
+        rc.workload.arrivalRatePerS = rate;
+        rc.workload.promptLen = config.promptLen;
+        rc.workload.outputLen = config.outputLen;
+        rc.workload.horizonS = config.horizonS;
+        rc.workload.seed = config.seed;
+        const sim::ReplicaMetrics m = sim::simulateReplica(cost, rc);
+
+        ServingStudyPoint point;
+        point.ratePerS = rate;
+        point.ttft = m.ttft();
+        point.tbt = m.tbt();
+        point.attainment = m.attainment(targets);
+        point.goodputTokensPerS = m.goodputTokensPerS(targets);
+        point.completed = m.requests.size();
+        point.maxQueueDepth = m.queueDepth.maxDepth;
+        result.curve.push_back(point);
+    }
+
+    if (config.fleetRatePerS > 0.0) {
+        sim::FleetDemand demand;
+        demand.ratePerS = config.fleetRatePerS;
+        demand.promptLen = config.promptLen;
+        demand.outputLen = config.outputLen;
+        demand.horizonS = config.horizonS;
+        demand.seed = config.seed;
+        result.fleet = serve::planFleetPercentile(
+            cost, demand, config.scheduler, config.slo,
+            config.maxReplicas);
+        result.fleetSized = true;
+    }
+    return result;
+}
+
 RuleOutcomes
 SanctionsStudy::classify(const dse::EvaluatedDesign &design) const
 {

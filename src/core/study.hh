@@ -22,6 +22,8 @@
 #include "perf/simulator.hh"
 #include "policy/acr_rules.hh"
 #include "policy/marketing.hh"
+#include "serve/percentile.hh"
+#include "sim/replica.hh"
 
 namespace acs {
 namespace core {
@@ -52,6 +54,56 @@ Workload llamaWorkload();
  * to map CLI arguments.
  */
 Workload workloadByName(const std::string &name);
+
+/**
+ * Configuration of a request-level serving study (the sim-backed
+ * counterpart of the closed-form capacity arithmetic).
+ */
+struct ServingStudyConfig
+{
+    /** Per-replica offered loads for the latency-vs-load curve. */
+    std::vector<double> ratesPerS = {0.05, 0.1, 0.2, 0.4};
+
+    sim::LengthDistribution promptLen =
+        sim::LengthDistribution::fixed(2048);
+    sim::LengthDistribution outputLen =
+        sim::LengthDistribution::fixed(256);
+
+    double horizonS = 600.0;  //!< arrival horizon per simulation
+    std::uint64_t seed = 1;   //!< master seed (byte-reproducible runs)
+
+    serve::PercentileSlo slo;
+    sim::SchedulerConfig scheduler;
+
+    /**
+     * Aggregate demand for the fleet-sizing step (req/s across the
+     * fleet); 0 skips fleet sizing and produces only the curve.
+     */
+    double fleetRatePerS = 0.0;
+
+    /** Fleet-sizing search ceiling. */
+    int maxReplicas = 4096;
+};
+
+/** One offered-load point of a serving study. */
+struct ServingStudyPoint
+{
+    double ratePerS = 0.0; //!< per-replica offered load
+    sim::LatencyRollup ttft;
+    sim::LatencyRollup tbt;
+    double attainment = 0.0;         //!< SLO-attaining request share
+    double goodputTokensPerS = 0.0;  //!< SLO-attaining token rate
+    std::uint64_t completed = 0;     //!< requests completed
+    std::uint64_t maxQueueDepth = 0; //!< admission-queue high-water
+};
+
+/** Full output of SanctionsStudy::runServingStudy. */
+struct ServingStudyResult
+{
+    std::vector<ServingStudyPoint> curve; //!< one point per rate
+    bool fleetSized = false; //!< fleet plan below is populated
+    serve::PercentileFleetPlan fleet;
+};
 
 /** Rule outcomes for one design evaluated as a data-center product. */
 struct RuleOutcomes
@@ -102,6 +154,20 @@ class SanctionsStudy
 
     /** Classify a design under all rule generations. */
     RuleOutcomes classify(const dse::EvaluatedDesign &design) const;
+
+    /**
+     * Request-level serving study of one design on @p workload: a
+     * latency-vs-load percentile curve (one single-replica simulation
+     * per configured rate) plus, when config.fleetRatePerS > 0, the
+     * percentile-aware fleet plan with its closed-form cross-check.
+     *
+     * Deterministic: byte-identical results for identical inputs,
+     * independent of ACS_THREADS (see docs/SERVING.md).
+     */
+    ServingStudyResult
+    runServingStudy(const hw::HardwareConfig &cfg,
+                    const Workload &workload,
+                    const ServingStudyConfig &config) const;
 
     /** Per-rule regulated counts over a device catalogue. */
     struct DatabaseSummary

@@ -39,6 +39,30 @@ modeledA800()
 }
 
 HardwareConfig
+modeledH100()
+{
+    HardwareConfig cfg;
+    cfg.name = "modeled-H100";
+    cfg.coreCount = 132;
+    cfg.lanesPerCore = 4;
+    cfg.systolicDimX = 32; // Hopper's 2x-throughput tensor cores
+    cfg.systolicDimY = 16;
+    cfg.vectorWidth = 32;
+    cfg.clockHz = 1830.0 * units::MHZ;
+    cfg.opBitwidth = 16;
+    cfg.l1BytesPerCore = 256.0 * units::KIB;
+    cfg.l2Bytes = 50.0 * units::MIB;
+    cfg.memCapacityBytes = 80.0 * units::GB;
+    cfg.memBandwidth = 3.35 * units::TBPS;
+    cfg.devicePhyCount = 18;
+    cfg.perPhyBandwidth = 50.0 * units::GBPS; // 18 x 50 = 900 GB/s
+    cfg.process = ProcessNode::N5;
+    cfg.nonPlanarTransistor = true;
+    cfg.diesPerPackage = 1;
+    return cfg;
+}
+
+HardwareConfig
 modeledH20Style()
 {
     HardwareConfig cfg = modeledA100();

@@ -27,6 +27,15 @@ HardwareConfig modeledA100();
 HardwareConfig modeledA800();
 
 /**
+ * A modeled NVIDIA H100 SXM (extension): 132 cores with Hopper's
+ * doubled-throughput tensor cores (32x16 systolic arrays) at
+ * 1830 MHz, 50 MiB L2, 80 GB HBM3 at 3.35 TB/s, 900 GB/s NVLink —
+ * the flagship baseline the serving-simulator benches compare
+ * sanctioned fleets against.
+ */
+HardwareConfig modeledH100();
+
+/**
  * A modeled NVIDIA H20-style device: TPP capped under 4800 * (~900 ->
  * 4 TB/s-class memory retained), used in discussions of the Oct-2023
  * adaptation strategy (Sec. 4.1).

@@ -1,0 +1,64 @@
+#include "percentile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace acs {
+namespace serve {
+
+sim::SloTargets
+PercentileSlo::targets() const
+{
+    sim::SloTargets t;
+    t.ttftMaxS = ttftP99MaxS;
+    t.tbtMaxS = tbtP99MaxS;
+    t.percentile = percentile;
+    return t;
+}
+
+double
+PercentileFleetPlan::burstFactor() const
+{
+    if (!simulated.feasible || closedFormDevices <= 0)
+        return 0.0;
+    return static_cast<double>(simulated.devices) /
+           static_cast<double>(closedFormDevices);
+}
+
+PercentileFleetPlan
+planFleetPercentile(const sim::IterationCostModel &cost,
+                    const sim::FleetDemand &demand,
+                    const sim::SchedulerConfig &sched,
+                    const PercentileSlo &slo, int max_replicas)
+{
+    const obs::TraceSpan span("serve.planFleetPercentile");
+    demand.validate();
+    slo.validate();
+
+    PercentileFleetPlan plan;
+
+    // Steady-state cross-check: the old estimator at the reference
+    // setting, fed the equivalent token demand.
+    const int tp = cost.system().tensorParallel;
+    const perf::InferenceResult result = cost.simulator().run(
+        cost.model(), cost.reference(), cost.system());
+    const ServingEstimate estimate =
+        estimateServing(result, tp, slo.meanSlo());
+    const double token_demand =
+        demand.ratePerS * demand.outputLen.meanLen();
+    plan.closedForm = planFleet(estimate, tp, token_demand);
+    plan.closedFormDevices = plan.closedForm.devices;
+
+    // Simulated plan, starting the search at the closed-form size
+    // (the simulator can only need more, never fewer probes there).
+    const int hint = std::max<long>(1, plan.closedForm.devices / tp);
+    plan.simulated =
+        sizeFleet(cost, demand, sched, slo.targets(), max_replicas,
+                  static_cast<int>(hint));
+    return plan;
+}
+
+} // namespace serve
+} // namespace acs

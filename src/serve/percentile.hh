@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Percentile-aware capacity planning on top of the request-level
+ * simulator (acs::sim).
+ *
+ * serve/capacity.hh answers "does the building block meet the SLO and
+ * how many devices does mean throughput require"; this header answers
+ * the operationally meaningful version: how many devices hold the
+ * p99 TTFT/TBT objectives under bursty load. planFleetPercentile runs
+ * both estimators — sim::sizeFleet as the headline number, the
+ * closed-form planFleet as the cross-check — so the divergence
+ * ("burst tax") is always visible next to the steady-state answer.
+ */
+
+#ifndef ACS_SERVE_PERCENTILE_HH
+#define ACS_SERVE_PERCENTILE_HH
+
+#include "serve/capacity.hh"
+#include "sim/fleet.hh"
+
+namespace acs {
+namespace serve {
+
+/** Percentile latency objectives of an interactive serving fleet. */
+struct PercentileSlo
+{
+    double ttftP99MaxS = 10.0;  //!< bound on the TTFT percentile
+    double tbtP99MaxS = 0.200;  //!< bound on the TBT percentile
+    double percentile = 99.0;   //!< percentile the bounds apply to
+
+    /** The simulator's target form. */
+    sim::SloTargets targets() const;
+
+    /**
+     * The closed-form Slo with the same bounds (the steady-state path
+     * checks its single latency against them).
+     */
+    Slo meanSlo() const { return Slo{ttftP99MaxS, tbtP99MaxS}; }
+
+    /** Fatal unless bounds are positive and percentile in (0, 100]. */
+    void validate() const { targets().validate(); }
+};
+
+/** Side-by-side simulated and closed-form fleet plans. */
+struct PercentileFleetPlan
+{
+    sim::FleetSizingResult simulated; //!< the percentile-aware plan
+    FleetPlan closedForm;             //!< steady-state cross-check
+    long closedFormDevices = 0;       //!< closedForm.devices (alias)
+
+    /**
+     * Simulated over closed-form device count: the factor by which
+     * steady-state arithmetic understates the fleet (>= 1 whenever
+     * both are feasible; 0 when either is not).
+     */
+    double burstFactor() const;
+};
+
+/**
+ * Plan a fleet for @p demand with percentile objectives.
+ *
+ * Converts the request demand into the closed-form token demand
+ * (rate x mean output length), plans the steady-state fleet as the
+ * cross-check and as the simulator's starting hint, then sizes the
+ * fleet by simulation (sim::sizeFleet).
+ *
+ * @param cost         Iteration oracle of the design under study.
+ * @param demand       Aggregate request-level demand.
+ * @param sched        Continuous-batching policy per replica.
+ * @param slo          Percentile objectives.
+ * @param max_replicas Simulation search ceiling.
+ */
+PercentileFleetPlan
+planFleetPercentile(const sim::IterationCostModel &cost,
+                    const sim::FleetDemand &demand,
+                    const sim::SchedulerConfig &sched,
+                    const PercentileSlo &slo,
+                    int max_replicas = 4096);
+
+} // namespace serve
+} // namespace acs
+
+#endif // ACS_SERVE_PERCENTILE_HH

@@ -1,0 +1,112 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/ops.hh"
+#include "obs/obs.hh"
+
+namespace acs {
+namespace sim {
+
+IterationCostModel::IterationCostModel(
+    const hw::HardwareConfig &cfg,
+    const model::TransformerConfig &model_cfg,
+    const model::InferenceSetting &reference,
+    const perf::SystemConfig &sys, const perf::PerfParams &params)
+    : sim_(cfg, params), modelCfg_(model_cfg), ref_(reference),
+      sys_(sys)
+{
+    modelCfg_.validate();
+    ref_.validate();
+    fatalIf(sys_.tensorParallel < 1,
+            "IterationCostModel: tensorParallel must be >= 1");
+
+    weightBytes_ = static_cast<double>(modelCfg_.totalParams()) *
+                   ref_.bytesPerValue / sys_.tensorParallel;
+
+    // KV bytes per token of one request, per device: the per-layer
+    // helper at batch 1 and context 1 isolates exactly that.
+    model::InferenceSetting one = ref_;
+    one.batch = 1;
+    kvBytesPerToken_ =
+        model::kvCacheBytesPerLayer(modelCfg_, one, 1,
+                                    sys_.tensorParallel) *
+        modelCfg_.numLayers;
+
+    kvBudget_ = std::max(0.0, cfg.memCapacityBytes - weightBytes_);
+}
+
+double
+IterationCostModel::prefillS(int batch, int prompt_len) const
+{
+    fatalIf(batch < 1, "prefillS: batch must be >= 1");
+    fatalIf(prompt_len < 1, "prefillS: prompt_len must be >= 1");
+
+    const std::pair<int, int> key{batch, prompt_len};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = prefillMemo_.find(key);
+        if (it != prefillMemo_.end()) {
+            obs::counterAdd("sim.cost.prefill_hits");
+            return it->second;
+        }
+    }
+
+    // Same computation as InferenceSimulator::run's TTFT: one layer's
+    // prefill latency times the layer count (bit-exact; the pinning
+    // test in tests/test_sim.cpp relies on it).
+    model::InferenceSetting setting = ref_;
+    setting.batch = batch;
+    setting.inputLen = prompt_len;
+    const model::LayerGraph graph = model::buildPrefillGraph(
+        modelCfg_, setting, sys_.tensorParallel);
+    const double latency =
+        sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
+        modelCfg_.numLayers;
+
+    obs::counterAdd("sim.cost.prefill_misses");
+    std::lock_guard<std::mutex> lock(mu_);
+    prefillMemo_.emplace(key, latency);
+    return latency;
+}
+
+double
+IterationCostModel::decodeStepS(int batch) const
+{
+    fatalIf(batch < 1, "decodeStepS: batch must be >= 1");
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = decodeMemo_.find(batch);
+        if (it != decodeMemo_.end()) {
+            obs::counterAdd("sim.cost.decode_hits");
+            return it->second;
+        }
+    }
+
+    // Mirrors InferenceSimulator::run's TBT: the decode graph at the
+    // reference setting's representative context length.
+    model::InferenceSetting setting = ref_;
+    setting.batch = batch;
+    const model::LayerGraph graph = model::buildDecodeGraph(
+        modelCfg_, setting, sys_.tensorParallel);
+    const double latency =
+        sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
+        modelCfg_.numLayers;
+
+    obs::counterAdd("sim.cost.decode_misses");
+    std::lock_guard<std::mutex> lock(mu_);
+    decodeMemo_.emplace(batch, latency);
+    return latency;
+}
+
+std::size_t
+IterationCostModel::memoMisses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return prefillMemo_.size() + decodeMemo_.size();
+}
+
+} // namespace sim
+} // namespace acs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The discrete-event engine: a virtual clock and a deterministic
+ * event queue.
+ *
+ * Everything in acs::sim advances on simulated seconds, never wall
+ * time. The queue is a min-heap ordered by (time, insertion sequence):
+ * two events at the same instant pop in the order they were pushed, so
+ * a run's event interleaving — and therefore every downstream metric —
+ * is a pure function of the inputs and the RNG seed.
+ */
+
+#ifndef ACS_SIM_EVENT_HH
+#define ACS_SIM_EVENT_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace sim {
+
+/** What a scheduled event means to the replica loop. */
+enum class EventKind
+{
+    ARRIVAL,     //!< a request joins the admission queue
+    ITER_DONE,   //!< the in-flight scheduler iteration completes
+    CLIENT_WAKE, //!< a closed-loop client finishes its think time
+};
+
+/** One scheduled occurrence on the virtual timeline. */
+struct Event
+{
+    double timeS = 0.0;        //!< virtual time of the occurrence
+    std::uint64_t seq = 0;     //!< insertion order (FIFO tie-break)
+    EventKind kind = EventKind::ARRIVAL;
+    std::uint64_t payload = 0; //!< kind-specific (e.g. client index)
+};
+
+/**
+ * Deterministic min-heap of pending events.
+ *
+ * Not thread-safe: one queue belongs to one replica simulation, and
+ * the event loop itself is single-threaded by design (fleet-sizing
+ * parallelism is across independent replicas, never within one).
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p kind at virtual time @p time_s (>= 0, finite). */
+    void
+    push(double time_s, EventKind kind, std::uint64_t payload = 0)
+    {
+        panicIf(!(time_s >= 0.0), "EventQueue: event time must be >= 0");
+        heap_.push(Event{time_s, nextSeq_++, kind, payload});
+    }
+
+    /** Remove and return the earliest event (fatal when empty). */
+    Event
+    pop()
+    {
+        panicIf(heap_.empty(), "EventQueue: pop on empty queue");
+        Event e = heap_.top();
+        heap_.pop();
+        return e;
+    }
+
+    /** Earliest pending event without removing it (fatal when empty). */
+    const Event &
+    peek() const
+    {
+        panicIf(heap_.empty(), "EventQueue: peek on empty queue");
+        return heap_.top();
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    /** Later (time, seq) sorts lower, making top() the earliest. */
+    struct After
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.timeS != b.timeS)
+                return a.timeS > b.timeS;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, After> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace sim
+} // namespace acs
+
+#endif // ACS_SIM_EVENT_HH

@@ -1,0 +1,119 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/obs.hh"
+
+namespace acs {
+namespace sim {
+
+void
+FleetDemand::validate() const
+{
+    fatalIf(ratePerS <= 0.0, "FleetDemand: ratePerS must be > 0");
+    fatalIf(horizonS <= 0.0, "FleetDemand: horizonS must be > 0");
+    promptLen.validate();
+    outputLen.validate();
+}
+
+ReplicaMetrics
+simulateFleet(const IterationCostModel &cost,
+              const FleetDemand &demand, const SchedulerConfig &sched,
+              int replicas, common::ThreadPool *pool)
+{
+    demand.validate();
+    sched.validate();
+    fatalIf(replicas < 1, "simulateFleet: replicas must be >= 1");
+
+    ReplicaConfig base;
+    base.scheduler = sched;
+    base.workload.closedLoopClients = 0;
+    base.workload.arrivalRatePerS = demand.ratePerS / replicas;
+    base.workload.promptLen = demand.promptLen;
+    base.workload.outputLen = demand.outputLen;
+    base.workload.horizonS = demand.horizonS;
+
+    // Index-addressed slots: each replica writes its own entry, and
+    // the merge below walks them in index order, so the aggregate is
+    // independent of which worker simulated which replica.
+    std::vector<ReplicaMetrics> slots(replicas);
+    common::ThreadPool &crew =
+        pool ? *pool : common::ThreadPool::shared();
+    crew.parallelFor(
+        static_cast<std::size_t>(replicas),
+        [&](std::size_t i) {
+            ReplicaConfig cfg = base;
+            cfg.workload.seed = substreamSeed(demand.seed, i);
+            slots[i] = simulateReplica(cost, cfg);
+        },
+        1);
+
+    ReplicaMetrics aggregate = std::move(slots.front());
+    for (std::size_t i = 1; i < slots.size(); ++i)
+        aggregate.merge(slots[i]);
+    return aggregate;
+}
+
+FleetSizingResult
+sizeFleet(const IterationCostModel &cost, const FleetDemand &demand,
+          const SchedulerConfig &sched, const SloTargets &slo,
+          int max_replicas, int hint_replicas,
+          common::ThreadPool *pool)
+{
+    const obs::TraceSpan span("sim.sizeFleet");
+    demand.validate();
+    sched.validate();
+    slo.validate();
+    fatalIf(max_replicas < 1, "sizeFleet: max_replicas must be >= 1");
+
+    FleetSizingResult result;
+
+    // Probe one size, remembering the best (smallest) feasible
+    // aggregate seen so the chosen size never re-simulates.
+    int best = 0;
+    ReplicaMetrics best_metrics;
+    const auto feasible = [&](int replicas) {
+        ReplicaMetrics m =
+            simulateFleet(cost, demand, sched, replicas, pool);
+        ++result.probes;
+        obs::counterAdd("sim.fleet.probes");
+        const bool ok = m.meetsSlo(slo);
+        if (ok && (best == 0 || replicas < best)) {
+            best = replicas;
+            best_metrics = std::move(m);
+        }
+        return ok;
+    };
+
+    // Bracket: geometric growth from the hint until feasible.
+    int lo = 1;
+    int hi = std::clamp(hint_replicas, 1, max_replicas);
+    while (!feasible(hi)) {
+        lo = hi + 1;
+        if (hi >= max_replicas)
+            return result; // infeasible even at the ceiling
+        hi = std::min(max_replicas, hi * 2);
+    }
+
+    // Shrink: binary search the smallest feasible size in [lo, hi].
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+
+    result.feasible = true;
+    result.replicas = best;
+    result.devices =
+        static_cast<long>(best) * cost.system().tensorParallel;
+    result.aggregate = std::move(best_metrics);
+    return result;
+}
+
+} // namespace sim
+} // namespace acs

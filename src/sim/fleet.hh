@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fleet sizing against percentile SLOs: how many replicas does it
+ * take to serve an aggregate request rate?
+ *
+ * This is the simulator's headline "sanctions tax" estimator: where
+ * serve::planFleet divides demand by steady-state throughput,
+ * sizeFleet binary-searches the smallest replica count whose
+ * *simulated* p99 TTFT/TBT meet the objectives under Poisson load —
+ * queueing, batching, and prefill interference included. The two
+ * agree in the low-load limit and diverge exactly when burstiness
+ * binds (asserted in tests/test_sim.cpp).
+ */
+
+#ifndef ACS_SIM_FLEET_HH
+#define ACS_SIM_FLEET_HH
+
+#include "sim/cost_model.hh"
+#include "sim/metrics.hh"
+#include "sim/replica.hh"
+
+namespace acs {
+namespace common {
+class ThreadPool;
+} // namespace common
+
+namespace sim {
+
+/** Aggregate demand offered to a whole fleet. */
+struct FleetDemand
+{
+    /** Aggregate open-loop request rate across the fleet (req/s). */
+    double ratePerS = 1.0;
+
+    LengthDistribution promptLen = LengthDistribution::fixed(2048);
+    LengthDistribution outputLen = LengthDistribution::fixed(256);
+
+    /** Arrival horizon of each probe simulation (virtual seconds). */
+    double horizonS = 600.0;
+
+    /** Master seed; replica i runs substream i deterministically. */
+    std::uint64_t seed = 1;
+
+    /** Fatal unless rate/horizon are positive. */
+    void validate() const;
+};
+
+/** Outcome of a fleet-sizing search. */
+struct FleetSizingResult
+{
+    bool feasible = false; //!< an SLO-meeting size was found
+    int replicas = 0;      //!< smallest SLO-meeting replica count
+    long devices = 0;      //!< replicas x tensorParallel
+    int probes = 0;        //!< fleet sizes simulated by the search
+
+    /**
+     * Merged metrics of all replicas at the chosen size (replica-
+     * index merge order, so identical regardless of thread count).
+     */
+    ReplicaMetrics aggregate;
+};
+
+/**
+ * Smallest replica count meeting @p slo at @p demand.
+ *
+ * The aggregate Poisson stream splits evenly across replicas
+ * (probabilistic routing: each replica sees an independent Poisson
+ * stream at rate/R). Feasibility is monotone in R — fewer requests
+ * per replica can only shrink the tails — so the search probes
+ * geometrically up from @p hint_replicas until feasible, then binary
+ * searches the bracket. Replica simulations of one probe fan out on
+ * @p pool; per-replica results land in index-addressed slots and
+ * merge in index order, so the result is byte-identical for any
+ * worker count (tests/test_sim.cpp asserts this).
+ *
+ * @param cost          Iteration latency/memory oracle of the design.
+ * @param demand        Aggregate offered load.
+ * @param sched         Continuous-batching policy of every replica.
+ * @param slo           Percentile objectives.
+ * @param max_replicas  Search ceiling; result.feasible is false when
+ *                      even this many replicas miss the SLO.
+ * @param hint_replicas Starting size (e.g. the closed-form plan from
+ *                      serve::planFleet); clamped to [1, max].
+ * @param pool          Worker pool; null uses ThreadPool::shared().
+ */
+FleetSizingResult
+sizeFleet(const IterationCostModel &cost, const FleetDemand &demand,
+          const SchedulerConfig &sched, const SloTargets &slo,
+          int max_replicas = 4096, int hint_replicas = 1,
+          common::ThreadPool *pool = nullptr);
+
+/**
+ * Simulate one fixed fleet size without searching: @p replicas
+ * independent replicas at rate/R each, merged in index order.
+ */
+ReplicaMetrics
+simulateFleet(const IterationCostModel &cost,
+              const FleetDemand &demand, const SchedulerConfig &sched,
+              int replicas, common::ThreadPool *pool = nullptr);
+
+} // namespace sim
+} // namespace acs
+
+#endif // ACS_SIM_FLEET_HH

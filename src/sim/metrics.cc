@@ -1,0 +1,144 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace acs {
+namespace sim {
+
+LatencyRollup
+LatencyRollup::fromSamples(const std::vector<double> &samples)
+{
+    LatencyRollup r;
+    r.count = samples.size();
+    if (samples.empty())
+        return r;
+    double total = 0.0;
+    for (double s : samples) {
+        total += s;
+        r.maxS = std::max(r.maxS, s);
+    }
+    r.meanS = total / samples.size();
+    r.p50S = percentile(samples, 50.0);
+    r.p95S = percentile(samples, 95.0);
+    r.p99S = percentile(samples, 99.0);
+    return r;
+}
+
+void
+QueueDepthHistogram::record(std::uint64_t depth)
+{
+    const std::size_t bucket = std::bit_width(depth);
+    if (buckets.size() <= bucket)
+        buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+    maxDepth = std::max(maxDepth, depth);
+    ++samples;
+}
+
+void
+QueueDepthHistogram::merge(const QueueDepthHistogram &other)
+{
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    maxDepth = std::max(maxDepth, other.maxDepth);
+    samples += other.samples;
+}
+
+void
+SloTargets::validate() const
+{
+    fatalIf(ttftMaxS <= 0.0, "SloTargets: ttftMaxS must be > 0");
+    fatalIf(tbtMaxS <= 0.0, "SloTargets: tbtMaxS must be > 0");
+    fatalIf(percentile <= 0.0 || percentile > 100.0,
+            "SloTargets: percentile must be in (0, 100]");
+}
+
+LatencyRollup
+ReplicaMetrics::ttft() const
+{
+    std::vector<double> samples;
+    samples.reserve(requests.size());
+    for (const RequestRecord &r : requests)
+        samples.push_back(r.ttftS());
+    return LatencyRollup::fromSamples(samples);
+}
+
+LatencyRollup
+ReplicaMetrics::tbt() const
+{
+    return LatencyRollup::fromSamples(tbtGapsS);
+}
+
+double
+ReplicaMetrics::attainment(const SloTargets &slo) const
+{
+    slo.validate();
+    if (requests.empty())
+        return 1.0;
+    std::size_t met = 0;
+    for (const RequestRecord &r : requests) {
+        const bool ttft_ok = r.ttftS() <= slo.ttftMaxS;
+        const bool tbt_ok =
+            r.outputLen < 2 || r.meanTbtS() <= slo.tbtMaxS;
+        met += ttft_ok && tbt_ok;
+    }
+    return static_cast<double>(met) / requests.size();
+}
+
+double
+ReplicaMetrics::goodputTokensPerS(const SloTargets &slo) const
+{
+    slo.validate();
+    if (lastEventS <= 0.0)
+        return 0.0;
+    double tokens = 0.0;
+    for (const RequestRecord &r : requests) {
+        const bool ttft_ok = r.ttftS() <= slo.ttftMaxS;
+        const bool tbt_ok =
+            r.outputLen < 2 || r.meanTbtS() <= slo.tbtMaxS;
+        if (ttft_ok && tbt_ok)
+            tokens += r.outputLen;
+    }
+    return tokens / lastEventS;
+}
+
+bool
+ReplicaMetrics::meetsSlo(const SloTargets &slo) const
+{
+    slo.validate();
+    if (requests.empty())
+        return true;
+    std::vector<double> ttft_samples;
+    ttft_samples.reserve(requests.size());
+    for (const RequestRecord &r : requests)
+        ttft_samples.push_back(r.ttftS());
+    if (percentile(ttft_samples, slo.percentile) > slo.ttftMaxS)
+        return false;
+    if (tbtGapsS.empty())
+        return true;
+    return percentile(tbtGapsS, slo.percentile) <= slo.tbtMaxS;
+}
+
+void
+ReplicaMetrics::merge(const ReplicaMetrics &other)
+{
+    requests.insert(requests.end(), other.requests.begin(),
+                    other.requests.end());
+    tbtGapsS.insert(tbtGapsS.end(), other.tbtGapsS.begin(),
+                    other.tbtGapsS.end());
+    queueDepth.merge(other.queueDepth);
+    prefillIterations += other.prefillIterations;
+    decodeIterations += other.decodeIterations;
+    generatedTokens += other.generatedTokens;
+    arrivals += other.arrivals;
+    lastEventS = std::max(lastEventS, other.lastEventS);
+}
+
+} // namespace sim
+} // namespace acs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Request-level serving workloads: arrival processes and length
+ * distributions.
+ *
+ * Two client models cover the operating regimes the steady-state
+ * arithmetic in src/serve cannot distinguish:
+ *
+ *  - open loop: requests arrive in a Poisson stream at a fixed offered
+ *    rate regardless of how the system is doing — the overload regime
+ *    where queues grow without bound;
+ *  - closed loop: a fixed population of clients each keeps one request
+ *    in flight and thinks between requests — the self-throttling
+ *    regime where load tracks completion.
+ *
+ * All randomness flows through common/rng.hh (SplitMix64), so a
+ * workload is byte-reproducible from its seed on every platform.
+ */
+
+#ifndef ACS_SIM_WORKLOAD_HH
+#define ACS_SIM_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace acs {
+namespace sim {
+
+/**
+ * Distribution of a token count (prompt or output length).
+ *
+ * Sampled lengths are rounded up to a multiple of @c quantum. The
+ * quantum exists for the iteration cost model: per-iteration latencies
+ * are memoized by (batch, prompt length), so quantizing drawn lengths
+ * bounds the number of distinct simulator evaluations a run performs
+ * (docs/SERVING.md) without changing the distribution's scale.
+ */
+struct LengthDistribution
+{
+    enum class Kind
+    {
+        FIXED,   //!< every request draws exactly fixedLen tokens
+        UNIFORM, //!< uniform integer in [minLen, maxLen]
+    };
+
+    Kind kind = Kind::FIXED;
+    int fixedLen = 512; //!< FIXED: the constant length
+    int minLen = 0;     //!< UNIFORM: inclusive lower bound
+    int maxLen = 0;     //!< UNIFORM: inclusive upper bound
+    int quantum = 1;    //!< round samples up to this multiple
+
+    /** A FIXED distribution of @p len tokens. */
+    static LengthDistribution fixed(int len);
+
+    /**
+     * A UNIFORM distribution on [lo, hi], quantized to @p quantum.
+     */
+    static LengthDistribution uniform(int lo, int hi, int quantum = 16);
+
+    /** Draw one length (validated; always >= 1). */
+    int sample(Rng &rng) const;
+
+    /** Expected length before quantization (UNIFORM: midpoint). */
+    double meanLen() const;
+
+    /** Largest length the distribution can produce. */
+    int maxPossibleLen() const;
+
+    /** Fatal unless bounds/quantum are consistent and positive. */
+    void validate() const;
+};
+
+/** One serving replica's offered workload. */
+struct WorkloadSpec
+{
+    /**
+     * Open-loop Poisson arrival rate in requests/second. Used only
+     * when closedLoopClients == 0.
+     */
+    double arrivalRatePerS = 0.1;
+
+    /**
+     * Closed-loop client population; 0 selects the open-loop Poisson
+     * stream instead.
+     */
+    int closedLoopClients = 0;
+
+    /** Closed-loop think time between completion and next request. */
+    double thinkTimeS = 0.0;
+
+    LengthDistribution promptLen = LengthDistribution::fixed(2048);
+    LengthDistribution outputLen = LengthDistribution::fixed(256);
+
+    /**
+     * Arrival horizon: no new requests are generated at or after this
+     * virtual time. Requests already in the system drain to
+     * completion, so the simulated span can exceed the horizon.
+     */
+    double horizonS = 600.0;
+
+    /** Seed of every RNG stream the replica run uses. */
+    std::uint64_t seed = 1;
+
+    /** True when the workload is the open-loop Poisson stream. */
+    bool openLoop() const { return closedLoopClients == 0; }
+
+    /** Fatal unless rates/population/horizon are consistent. */
+    void validate() const;
+};
+
+/**
+ * Deterministically derive the seed of substream @p stream from a
+ * master @p seed (replica fan-out, arrival vs length streams). One
+ * SplitMix64 step of the mixed pair, so nearby (seed, stream) pairs
+ * give statistically unrelated streams.
+ */
+std::uint64_t substreamSeed(std::uint64_t seed, std::uint64_t stream);
+
+/**
+ * Draw an exponential inter-arrival gap with rate @p rate_per_s
+ * (inverse-CDF of the uniform draw; rate must be > 0).
+ */
+double sampleExponentialS(Rng &rng, double rate_per_s);
+
+} // namespace sim
+} // namespace acs
+
+#endif // ACS_SIM_WORKLOAD_HH

@@ -13,6 +13,9 @@
  *       Run the Table-3 sweep and print compliant optima.
  *   metrics <config.kv>
  *       CTP / APP / TPP for a design file.
+ *   serve-sim <workload> [device] [--rate=...] [--seed=N] ...
+ *       Request-level serving simulation: latency-vs-load percentile
+ *       curve and optional percentile-aware fleet sizing.
  *   help
  *
  * The global option --trace=<file> (or the ACS_TRACE environment
@@ -50,6 +53,15 @@ usage()
         "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
         "  sweep <gpt3|llama|llama70b|mixtral> <tpp>\n"
         "  metrics <config.kv>\n"
+        "  serve-sim <gpt3|llama|llama70b|mixtral> [device]\n"
+        "            [--rate=r1,r2,...] [--seed=<n>]\n"
+        "            [--slo-p99=<ttft_s>,<tbt_s>] [--demand=<req/s>]\n"
+        "            [--prompt=<len>] [--output=<len>] [--horizon=<s>]\n"
+        "    [device] is a100|a800|h100|h20 or a config.kv path\n"
+        "    (default a100). --rate sets per-replica offered loads for\n"
+        "    the latency-vs-load curve; --demand adds percentile-aware\n"
+        "    fleet sizing for that aggregate rate with the closed-form\n"
+        "    cross-check (docs/SERVING.md).\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
         "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
@@ -209,6 +221,120 @@ cmdMetrics(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Split "a,b,c" into doubles (fatal on parse errors via stod). */
+std::vector<double>
+parseDoubleList(const std::string &text)
+{
+    std::vector<double> values;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(std::stod(item));
+    return values;
+}
+
+/** Map a preset name or config.kv path to a device. */
+hw::HardwareConfig
+deviceByName(const std::string &name)
+{
+    if (name == "a100")
+        return hw::modeledA100();
+    if (name == "a800")
+        return hw::modeledA800();
+    if (name == "h100")
+        return hw::modeledH100();
+    if (name == "h20")
+        return hw::modeledH20Style();
+    return loadConfig(name);
+}
+
+int
+cmdServeSim(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const core::Workload workload = core::workloadByName(args[0]);
+    hw::HardwareConfig cfg = hw::modeledA100();
+    core::ServingStudyConfig scfg;
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--rate=", 0) == 0) {
+            scfg.ratesPerS = parseDoubleList(arg.substr(7));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            scfg.seed = std::stoull(arg.substr(7));
+        } else if (arg.rfind("--slo-p99=", 0) == 0) {
+            const auto bounds = parseDoubleList(arg.substr(10));
+            if (bounds.size() != 2) {
+                std::cerr << "--slo-p99 expects <ttft_s>,<tbt_s>\n";
+                return usage();
+            }
+            scfg.slo.ttftP99MaxS = bounds[0];
+            scfg.slo.tbtP99MaxS = bounds[1];
+        } else if (arg.rfind("--demand=", 0) == 0) {
+            scfg.fleetRatePerS = std::stod(arg.substr(9));
+        } else if (arg.rfind("--prompt=", 0) == 0) {
+            scfg.promptLen =
+                sim::LengthDistribution::fixed(std::stoi(arg.substr(9)));
+        } else if (arg.rfind("--output=", 0) == 0) {
+            scfg.outputLen =
+                sim::LengthDistribution::fixed(std::stoi(arg.substr(9)));
+        } else if (arg.rfind("--horizon=", 0) == 0) {
+            scfg.horizonS = std::stod(arg.substr(10));
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "unknown serve-sim option '" << arg << "'\n";
+            return usage();
+        } else {
+            cfg = deviceByName(arg);
+        }
+    }
+
+    const core::SanctionsStudy study(g_perf_params);
+    const core::ServingStudyResult result =
+        study.runServingStudy(cfg, workload, scfg);
+
+    std::cout << cfg.name << ", " << args[0] << ", seed " << scfg.seed
+              << ", horizon " << fmt(scfg.horizonS, 0) << " s\n";
+    if (!result.curve.empty()) {
+        Table t({"req/s", "done", "TTFT p50 (s)", "TTFT p99 (s)",
+                 "TBT p50 (ms)", "TBT p99 (ms)", "attain",
+                 "goodput tok/s", "max queue"});
+        for (const auto &p : result.curve) {
+            t.addRow({fmt(p.ratePerS, 2), std::to_string(p.completed),
+                      fmt(p.ttft.p50S, 3), fmt(p.ttft.p99S, 3),
+                      fmt(units::toMs(p.tbt.p50S), 2),
+                      fmt(units::toMs(p.tbt.p99S), 2),
+                      fmt(100.0 * p.attainment, 1) + "%",
+                      fmt(p.goodputTokensPerS, 0),
+                      std::to_string(p.maxQueueDepth)});
+        }
+        t.print(std::cout);
+    }
+
+    if (result.fleetSized) {
+        const auto &plan = result.fleet;
+        std::cout << "fleet for " << fmt(scfg.fleetRatePerS, 2)
+                  << " req/s at p99 SLO (TTFT "
+                  << fmt(scfg.slo.ttftP99MaxS, 2) << " s, TBT "
+                  << fmt(scfg.slo.tbtP99MaxS, 3) << " s):\n";
+        if (plan.simulated.feasible) {
+            std::cout << "  simulated: " << plan.simulated.replicas
+                      << " replicas = " << plan.simulated.devices
+                      << " devices (" << plan.simulated.probes
+                      << " probes)\n";
+        } else {
+            std::cout << "  simulated: infeasible within search cap\n";
+        }
+        std::cout << "  closed form: " << plan.closedFormDevices
+                  << " devices (steady-state mean)\n";
+        if (plan.burstFactor() > 0.0) {
+            std::cout << "  burst factor: "
+                      << fmt(plan.burstFactor(), 2) << "x\n";
+        }
+    }
+    return 0;
+}
+
 int
 runCommand(const std::string &cmd, const std::vector<std::string> &args)
 {
@@ -223,6 +349,8 @@ runCommand(const std::string &cmd, const std::vector<std::string> &args)
         return cmdSweep(args);
     if (cmd == "metrics")
         return cmdMetrics(args);
+    if (cmd == "serve-sim")
+        return cmdServeSim(args);
     return usage();
 }
 
