@@ -22,6 +22,7 @@
 #include "dse/evaluate.hh"
 #include "dse/sweep.hh"
 #include "econ/market.hh"
+#include "econ/serving_cost.hh"
 #include "hw/config.hh"
 #include "hw/serialize.hh"
 #include "hw/presets.hh"
@@ -39,11 +40,14 @@
 #include "policy/marketing.hh"
 #include "serve/capacity.hh"
 #include "serve/percentile.hh"
+#include "sim/cluster.hh"
 #include "sim/cost_model.hh"
 #include "sim/event.hh"
 #include "sim/fleet.hh"
 #include "sim/metrics.hh"
 #include "sim/replica.hh"
+#include "sim/routing.hh"
+#include "sim/trace.hh"
 #include "sim/workload.hh"
 
 #endif // ACS_CORE_ACS_HH

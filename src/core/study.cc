@@ -111,9 +111,7 @@ SanctionsStudy::runServingStudy(const hw::HardwareConfig &cfg,
     fatalIf(config.ratesPerS.empty() && config.fleetRatePerS <= 0.0,
             "runServingStudy: no rates and no fleet demand given");
 
-    const sim::IterationCostModel cost(cfg, workload.model,
-                                       workload.setting,
-                                       workload.system, params_);
+    const sim::IterationCostModel cost = makeCostModel(cfg, workload);
 
     ServingStudyResult result;
     result.curve.reserve(config.ratesPerS.size());
@@ -186,6 +184,15 @@ SanctionsStudy::classifyDatabase(const devices::Database &db)
     summary.architectural =
         policy::ArchDataCenterClassifier::summarize(specs);
     return summary;
+}
+
+sim::IterationCostModel
+SanctionsStudy::makeCostModel(const hw::HardwareConfig &cfg,
+                              const Workload &workload) const
+{
+    return sim::IterationCostModel(cfg, workload.model,
+                                   workload.setting, workload.system,
+                                   params_);
 }
 
 } // namespace core

@@ -169,6 +169,19 @@ class SanctionsStudy
                     const Workload &workload,
                     const ServingStudyConfig &config) const;
 
+    /**
+     * Iteration latency/memory oracle of @p cfg serving @p workload
+     * with this study's performance params — the building block of
+     * every request-level estimator (single replica, homogeneous
+     * fleet, heterogeneous cluster pool). Callers keep it alive for
+     * the lifetime of any simulation using it; one oracle per
+     * (device, workload) pair can be shared across pools and
+     * searches, compounding the memoization.
+     */
+    sim::IterationCostModel
+    makeCostModel(const hw::HardwareConfig &cfg,
+                  const Workload &workload) const;
+
     /** Per-rule regulated counts over a device catalogue. */
     struct DatabaseSummary
     {

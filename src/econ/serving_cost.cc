@@ -1,0 +1,45 @@
+#include "serving_cost.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace econ {
+
+void
+AmortizedCost::validate() const
+{
+    fatalIf(capexUsd < 0.0, "AmortizedCost: capexUsd must be >= 0");
+    fatalIf(amortYears <= 0.0,
+            "AmortizedCost: amortYears must be > 0");
+    fatalIf(powerW < 0.0, "AmortizedCost: powerW must be >= 0");
+    fatalIf(usdPerKwh < 0.0,
+            "AmortizedCost: usdPerKwh must be >= 0");
+    fatalIf(pue < 1.0, "AmortizedCost: pue must be >= 1");
+}
+
+double
+AmortizedCost::hourlyUsd() const
+{
+    validate();
+    const double hours_per_year = 24.0 * 365.0;
+    const double capex_hourly =
+        capexUsd / (amortYears * hours_per_year);
+    const double power_hourly =
+        powerW * pue / 1000.0 * usdPerKwh;
+    return capex_hourly + power_hourly;
+}
+
+double
+usdPerMillionTokens(double fleet_hourly_usd, double tokens_per_s)
+{
+    fatalIf(fleet_hourly_usd < 0.0,
+            "usdPerMillionTokens: fleet cost must be >= 0");
+    if (tokens_per_s <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return fleet_hourly_usd / 3600.0 / tokens_per_s * 1e6;
+}
+
+} // namespace econ
+} // namespace acs

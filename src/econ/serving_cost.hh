@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dollars per served token: amortized hardware economics for the
+ * fleet-sizing results.
+ *
+ * The sanctions tax only becomes a business quantity once a fleet
+ * plan (replica counts from sim::sizeFleet / sim::sizeDisaggFleet)
+ * is priced: capex amortized over a service life plus electricity at
+ * datacenter PUE, divided by the goodput the SLOs actually credit.
+ * This module is that last conversion step — deliberately tiny, so
+ * every bench prices fleets with identical arithmetic.
+ */
+
+#ifndef ACS_ECON_SERVING_COST_HH
+#define ACS_ECON_SERVING_COST_HH
+
+namespace acs {
+namespace econ {
+
+/** Ownership cost of one serving replica (all its devices). */
+struct AmortizedCost
+{
+    double capexUsd = 0.0;    //!< purchase price of the replica
+    double amortYears = 3.0;  //!< straight-line service life (> 0)
+    double powerW = 0.0;      //!< average wall power drawn (>= 0)
+    double usdPerKwh = 0.10;  //!< electricity price (>= 0)
+    double pue = 1.3;         //!< datacenter power overhead (>= 1)
+
+    /**
+     * Hourly ownership cost: straight-line capex amortization plus
+     * PUE-scaled electricity.
+     */
+    double hourlyUsd() const;
+
+    /** Fatal unless every parameter is in range. */
+    void validate() const;
+};
+
+/**
+ * Fleet cost per million tokens: @p fleet_hourly_usd of hardware
+ * producing @p tokens_per_s. +inf when throughput is zero — an
+ * infeasible fleet serves nothing at any price.
+ */
+double usdPerMillionTokens(double fleet_hourly_usd,
+                           double tokens_per_s);
+
+} // namespace econ
+} // namespace acs
+
+#endif // ACS_ECON_SERVING_COST_HH

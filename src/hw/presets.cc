@@ -1,5 +1,6 @@
 #include "presets.hh"
 
+#include "common/logging.hh"
 #include "common/units.hh"
 
 namespace acs {
@@ -72,6 +73,21 @@ modeledH20Style()
     cfg.memBandwidth = 4.0 * units::TBPS;
     cfg.devicePhyCount = 18; // 900 GB/s NVLink-class interconnect
     return cfg;
+}
+
+HardwareConfig
+presetByName(const std::string &name)
+{
+    if (name == "a100")
+        return modeledA100();
+    if (name == "a800")
+        return modeledA800();
+    if (name == "h100")
+        return modeledH100();
+    if (name == "h20")
+        return modeledH20Style();
+    fatal("presetByName: unknown preset '" + name +
+          "' (expected a100, a800, h100, or h20)");
 }
 
 } // namespace hw

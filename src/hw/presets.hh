@@ -42,6 +42,14 @@ HardwareConfig modeledH100();
  */
 HardwareConfig modeledH20Style();
 
+/**
+ * Look a preset up by its CLI spelling: "a100", "a800", "h100", or
+ * "h20" (case-sensitive). Fatal on unknown names, listing the valid
+ * ones — the single parser the acs CLI and the benches share, so
+ * fleet specs like "a100:4,h20:8" mean the same device everywhere.
+ */
+HardwareConfig presetByName(const std::string &name);
+
 } // namespace hw
 } // namespace acs
 

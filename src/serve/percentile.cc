@@ -60,5 +60,40 @@ planFleetPercentile(const sim::IterationCostModel &cost,
     return plan;
 }
 
+double
+DisaggPercentilePlan::deviceRatio() const
+{
+    if (!disagg.feasible || !monolithic.feasible ||
+        monolithic.devices <= 0)
+        return 0.0;
+    return static_cast<double>(disagg.devices) /
+           static_cast<double>(monolithic.devices);
+}
+
+DisaggPercentilePlan
+planDisaggFleetPercentile(const sim::DisaggPoolSpec &prefill,
+                          const sim::DisaggPoolSpec &decode,
+                          const sim::KvTransferConfig &kv,
+                          const sim::FleetDemand &demand,
+                          const PercentileSlo &slo, int max_replicas)
+{
+    const obs::TraceSpan span("serve.planDisaggFleetPercentile");
+    prefill.validate();
+    decode.validate();
+    demand.validate();
+    slo.validate();
+
+    DisaggPercentilePlan plan;
+    plan.monolithic =
+        sizeFleet(*prefill.cost, demand, prefill.scheduler,
+                  slo.targets(), max_replicas);
+    plan.disagg = sizeDisaggFleet(prefill, decode, kv, demand,
+                                  slo.targets(),
+                                  sim::RoutingPolicyKind::
+                                      JOIN_SHORTEST_QUEUE,
+                                  max_replicas);
+    return plan;
+}
+
 } // namespace serve
 } // namespace acs

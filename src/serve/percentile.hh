@@ -77,6 +77,45 @@ planFleetPercentile(const sim::IterationCostModel &cost,
                     const PercentileSlo &slo,
                     int max_replicas = 4096);
 
+/** Disaggregated plan next to its monolithic baseline. */
+struct DisaggPercentilePlan
+{
+    /** Two-pool plan from sim::sizeDisaggFleet. */
+    sim::DisaggFleetPlan disagg;
+
+    /**
+     * Monolithic baseline: the prefill-pool design bought for
+     * everything, sized by sim::sizeFleet under the same demand and
+     * objectives.
+     */
+    sim::FleetSizingResult monolithic;
+
+    /**
+     * Disaggregated over monolithic device count: < 1 when splitting
+     * the purchase saves silicon, 0 when either plan is infeasible.
+     */
+    double deviceRatio() const;
+};
+
+/**
+ * Plan a disaggregated fleet for @p demand and put the monolithic
+ * alternative beside it.
+ *
+ * The monolithic baseline buys @p prefill's design for both phases
+ * (the colocated status quo); the disaggregated plan sizes
+ * @p prefill and @p decode pools independently with @p kv charged
+ * between the phases. Comparing the two at identical demand and
+ * objectives is the bench-level "sanctions tax under disaggregated
+ * purchasing" table (bench/ext_disagg_tax.cpp).
+ */
+DisaggPercentilePlan
+planDisaggFleetPercentile(const sim::DisaggPoolSpec &prefill,
+                          const sim::DisaggPoolSpec &decode,
+                          const sim::KvTransferConfig &kv,
+                          const sim::FleetDemand &demand,
+                          const PercentileSlo &slo,
+                          int max_replicas = 4096);
+
 } // namespace serve
 } // namespace acs
 

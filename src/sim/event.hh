@@ -28,6 +28,7 @@ enum class EventKind
     ARRIVAL,     //!< a request joins the admission queue
     ITER_DONE,   //!< the in-flight scheduler iteration completes
     CLIENT_WAKE, //!< a closed-loop client finishes its think time
+    KV_DONE,     //!< a prefill->decode KV transfer completes (cluster)
 };
 
 /** One scheduled occurrence on the virtual timeline. */

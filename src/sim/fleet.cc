@@ -1,6 +1,8 @@
 #include "fleet.hh"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -72,15 +74,22 @@ sizeFleet(const IterationCostModel &cost, const FleetDemand &demand,
     FleetSizingResult result;
 
     // Probe one size, remembering the best (smallest) feasible
-    // aggregate seen so the chosen size never re-simulates.
+    // aggregate seen so the chosen size never re-simulates. The
+    // verdict memo guarantees every size simulates at most once no
+    // matter how the bracket and the binary search revisit it.
     int best = 0;
     ReplicaMetrics best_metrics;
+    std::map<int, bool> verdicts;
     const auto feasible = [&](int replicas) {
+        const auto seen = verdicts.find(replicas);
+        if (seen != verdicts.end())
+            return seen->second;
         ReplicaMetrics m =
             simulateFleet(cost, demand, sched, replicas, pool);
         ++result.probes;
         obs::counterAdd("sim.fleet.probes");
         const bool ok = m.meetsSlo(slo);
+        verdicts.emplace(replicas, ok);
         if (ok && (best == 0 || replicas < best)) {
             best = replicas;
             best_metrics = std::move(m);
@@ -113,6 +122,131 @@ sizeFleet(const IterationCostModel &cost, const FleetDemand &demand,
         static_cast<long>(best) * cost.system().tensorParallel;
     result.aggregate = std::move(best_metrics);
     return result;
+}
+
+void
+DisaggPoolSpec::validate() const
+{
+    fatalIf(cost == nullptr,
+            "DisaggPoolSpec: cost model must be set");
+    fatalIf(hourlyCostUsdPerReplica < 0.0,
+            "DisaggPoolSpec: hourlyCostUsdPerReplica must be >= 0");
+    scheduler.validate();
+}
+
+DisaggFleetPlan
+sizeDisaggFleet(const DisaggPoolSpec &prefill,
+                const DisaggPoolSpec &decode,
+                const KvTransferConfig &kv, const FleetDemand &demand,
+                const SloTargets &slo, RoutingPolicyKind routing,
+                int max_replicas)
+{
+    const obs::TraceSpan span("sim.sizeDisaggFleet");
+    prefill.validate();
+    decode.validate();
+    kv.validate();
+    demand.validate();
+    slo.validate();
+    fatalIf(max_replicas < 1,
+            "sizeDisaggFleet: max_replicas must be >= 1");
+
+    DisaggFleetPlan plan;
+
+    ClusterConfig base;
+    base.pools.resize(2);
+    base.pools[0].name = "prefill";
+    base.pools[0].role = PoolRole::PREFILL;
+    base.pools[0].cost = prefill.cost;
+    base.pools[0].scheduler = prefill.scheduler;
+    base.pools[0].hourlyCostUsdPerReplica =
+        prefill.hourlyCostUsdPerReplica;
+    base.pools[1].name = "decode";
+    base.pools[1].role = PoolRole::DECODE;
+    base.pools[1].cost = decode.cost;
+    base.pools[1].scheduler = decode.scheduler;
+    base.pools[1].hourlyCostUsdPerReplica =
+        decode.hourlyCostUsdPerReplica;
+    base.kvTransfer = kv;
+    base.routing = routing;
+    base.slo = slo;
+
+    // Every (P, D) pair simulates at most once, fed by a fresh
+    // Poisson trace from the same seed so probes are comparable.
+    std::map<std::pair<int, int>, ClusterMetrics> probes;
+    const auto probe = [&](int p, int d) -> const ClusterMetrics & {
+        const std::pair<int, int> key{p, d};
+        const auto it = probes.find(key);
+        if (it != probes.end())
+            return it->second;
+        ClusterConfig cfg = base;
+        cfg.pools[0].replicas = p;
+        cfg.pools[1].replicas = d;
+        const auto trace = TraceWorkload::poisson(
+            demand.ratePerS, demand.promptLen, demand.outputLen,
+            demand.horizonS, demand.seed);
+        ++plan.probes;
+        obs::counterAdd("sim.disagg.probes");
+        return probes
+            .emplace(key, simulateCluster(cfg, *trace))
+            .first->second;
+    };
+
+    // Phase 1: TTFT depends only on the prefill pool (decode never
+    // backpressures it), so size it alone with the decode pool
+    // pinned at one replica.
+    const auto ttft_ok = [&](int p) {
+        return probe(p, 1).ttftPercentileS(slo.percentile) <=
+               slo.ttftMaxS;
+    };
+    int lo = 1;
+    int hi = 1;
+    while (!ttft_ok(hi)) {
+        lo = hi + 1;
+        if (hi >= max_replicas)
+            return plan; // TTFT infeasible even at the ceiling
+        hi = std::min(max_replicas, hi * 2);
+    }
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (ttft_ok(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    const int best_prefill = hi;
+
+    // Phase 2: with the prefill pool fixed, the decode pool size
+    // only moves the TBT tail — the second monotone search.
+    const auto slo_ok = [&](int d) {
+        return probe(best_prefill, d).meetsSlo(slo);
+    };
+    lo = 1;
+    hi = 1;
+    while (!slo_ok(hi)) {
+        lo = hi + 1;
+        if (hi >= max_replicas)
+            return plan; // TBT infeasible even at the ceiling
+        hi = std::min(max_replicas, hi * 2);
+    }
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (slo_ok(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    const int best_decode = hi;
+
+    plan.feasible = true;
+    plan.prefillReplicas = best_prefill;
+    plan.decodeReplicas = best_decode;
+    plan.devices =
+        static_cast<long>(best_prefill) *
+            prefill.cost->system().tensorParallel +
+        static_cast<long>(best_decode) *
+            decode.cost->system().tensorParallel;
+    plan.aggregate = probe(best_prefill, best_decode);
+    return plan;
 }
 
 } // namespace sim

@@ -15,6 +15,7 @@
 #ifndef ACS_SIM_FLEET_HH
 #define ACS_SIM_FLEET_HH
 
+#include "sim/cluster.hh"
 #include "sim/cost_model.hh"
 #include "sim/metrics.hh"
 #include "sim/replica.hh"
@@ -97,6 +98,70 @@ ReplicaMetrics
 simulateFleet(const IterationCostModel &cost,
               const FleetDemand &demand, const SchedulerConfig &sched,
               int replicas, common::ThreadPool *pool = nullptr);
+
+/** One side (prefill or decode) of a disaggregated purchase. */
+struct DisaggPoolSpec
+{
+    /** Iteration oracle of the pool's design (not owned). */
+    const IterationCostModel *cost = nullptr;
+
+    SchedulerConfig scheduler;
+
+    /** Amortized capex + power of one replica, $/hour (>= 0). */
+    double hourlyCostUsdPerReplica = 0.0;
+
+    /** Fatal unless the spec is well-formed. */
+    void validate() const;
+};
+
+/** Outcome of a two-pool disaggregated sizing search. */
+struct DisaggFleetPlan
+{
+    bool feasible = false;   //!< an SLO-meeting sizing was found
+    int prefillReplicas = 0; //!< smallest TTFT-meeting prefill pool
+    int decodeReplicas = 0;  //!< smallest TBT-meeting decode pool
+    long devices = 0;        //!< sum of replicas x tensorParallel
+    int probes = 0;          //!< cluster simulations performed
+
+    /** Cluster metrics at the chosen (prefill, decode) sizes. */
+    ClusterMetrics aggregate;
+};
+
+/**
+ * Size a disaggregated two-pool fleet against @p slo at @p demand.
+ *
+ * Exploits the model's phase separability: prefill members are never
+ * blocked by decode members (handoff queues are unbounded and source
+ * KV frees at transfer completion), so the TTFT distribution depends
+ * only on the prefill pool size. The search therefore sizes the
+ * prefill pool first against the TTFT bound alone (decode pool
+ * pinned at 1), then sizes the decode pool against the full SLO with
+ * the prefill pool fixed — two independent monotone searches instead
+ * of a joint grid, each a geometric bracket + binary search with
+ * per-phase probe memoization (every (P, D) pair simulates at most
+ * once).
+ *
+ * Each probe replays a fresh Poisson trace built from @p demand
+ * (same seed, so probes are comparable and the search is
+ * deterministic). Workload shape beyond Poisson — diurnal traces,
+ * CSV replay — is sized by probing simulateCluster directly.
+ *
+ * @param prefill      Design and policy of the prefill pool.
+ * @param decode       Design and policy of the decode pool.
+ * @param kv           KV transfer cost between the pools.
+ * @param demand       Aggregate offered load.
+ * @param slo          Percentile objectives.
+ * @param routing      Routing policy used inside each probe.
+ * @param max_replicas Per-pool search ceiling.
+ */
+DisaggFleetPlan
+sizeDisaggFleet(const DisaggPoolSpec &prefill,
+                const DisaggPoolSpec &decode,
+                const KvTransferConfig &kv, const FleetDemand &demand,
+                const SloTargets &slo,
+                RoutingPolicyKind routing =
+                    RoutingPolicyKind::JOIN_SHORTEST_QUEUE,
+                int max_replicas = 4096);
 
 } // namespace sim
 } // namespace acs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -48,6 +49,94 @@ QueueDepthHistogram::merge(const QueueDepthHistogram &other)
         buckets[i] += other.buckets[i];
     maxDepth = std::max(maxDepth, other.maxDepth);
     samples += other.samples;
+}
+
+namespace {
+
+/**
+ * Bucket index of latency @p s: octaves are frexp exponents clamped
+ * to [-64, 64] (covering ~5e-20 s to ~1.8e19 s), each split into
+ * kSubBuckets linear slices of the mantissa range [0.5, 1). Bucket 0
+ * collects non-positive samples.
+ */
+std::size_t
+latencyBucket(double s)
+{
+    if (s <= 0.0)
+        return 0;
+    int exp = 0;
+    const double mantissa = std::frexp(s, &exp); // in [0.5, 1)
+    exp = std::clamp(exp, -64, 64);
+    const int sub = std::min(
+        LatencyHistogram::kSubBuckets - 1,
+        static_cast<int>((mantissa - 0.5) * 2.0 *
+                         LatencyHistogram::kSubBuckets));
+    return 1 +
+           static_cast<std::size_t>(exp + 64) *
+               LatencyHistogram::kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+/** Representative (midpoint) latency of bucket @p bucket. */
+double
+latencyBucketMidS(std::size_t bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    const std::size_t i = bucket - 1;
+    const int exp =
+        static_cast<int>(i / LatencyHistogram::kSubBuckets) - 64;
+    const int sub =
+        static_cast<int>(i % LatencyHistogram::kSubBuckets);
+    const double mantissa =
+        0.5 + (sub + 0.5) /
+                  (2.0 * LatencyHistogram::kSubBuckets);
+    return std::ldexp(mantissa, exp);
+}
+
+} // anonymous namespace
+
+void
+LatencyHistogram::record(double s)
+{
+    const std::size_t bucket = latencyBucket(s);
+    if (buckets.size() <= bucket)
+        buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+    ++count;
+    sumS += s;
+    maxS = std::max(maxS, s);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    count += other.count;
+    sumS += other.sumS;
+    maxS = std::max(maxS, other.maxS);
+}
+
+double
+LatencyHistogram::percentileS(double pct) const
+{
+    fatalIf(pct <= 0.0 || pct > 100.0,
+            "LatencyHistogram: percentile must be in (0, 100]");
+    if (count == 0)
+        return 0.0;
+    // Rank of the order statistic: the smallest bucket whose
+    // cumulative count covers pct% of the samples.
+    const double target = pct / 100.0 * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cum += buckets[i];
+        if (static_cast<double>(cum) >= target)
+            return std::min(latencyBucketMidS(i), maxS);
+    }
+    return maxS;
 }
 
 void

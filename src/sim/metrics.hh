@@ -80,6 +80,45 @@ struct QueueDepthHistogram
     void merge(const QueueDepthHistogram &other);
 };
 
+/**
+ * Streaming latency histogram with bounded relative error.
+ *
+ * HDR-style bucketing: each power-of-two octave of seconds splits
+ * into 32 linear sub-buckets, so any recorded value lands in a bucket
+ * whose representative midpoint is within ~1.6% of it. Memory is O(1)
+ * in the sample count — the trace-scale alternative to keeping every
+ * decode gap of a multi-million-request run in a vector — and merge
+ * is a commutative bucket-wise sum, preserving the index-order
+ * aggregation contract.
+ */
+struct LatencyHistogram
+{
+    /** Linear sub-buckets per power-of-two octave. */
+    static constexpr int kSubBuckets = 32;
+
+    std::vector<std::uint64_t> buckets; //!< grown on demand
+    std::uint64_t count = 0;            //!< total recorded samples
+    double sumS = 0.0;                  //!< sum of recorded values
+    double maxS = 0.0;                  //!< largest recorded value
+
+    /** Record one latency sample (seconds; <= 0 lands in bucket 0). */
+    void record(double s);
+
+    /** Fold another histogram in (commutative and associative). */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * Approximate percentile @p pct in (0, 100]: the representative
+     * midpoint of the bucket holding the rank, clamped to the
+     * recorded maximum (0 when empty). Within ~1.6% of the exact
+     * order statistic.
+     */
+    double percentileS(double pct) const;
+
+    /** Mean of recorded samples (0 when empty). */
+    double meanS() const { return count ? sumS / count : 0.0; }
+};
+
 /** Percentile latency objectives for a serving fleet. */
 struct SloTargets
 {

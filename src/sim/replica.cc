@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "obs/obs.hh"
 #include "sim/event.hh"
+#include "sim/trace.hh"
 
 namespace acs {
 namespace sim {
@@ -46,6 +47,19 @@ class ReplicaState
                     cfg.scheduler.kvMemoryFraction)
     {}
 
+    /**
+     * Trace-replay mode: arrivals and lengths come verbatim from
+     * @p trace; the WorkloadSpec (and its RNG streams) is unused.
+     */
+    ReplicaState(const IterationCostModel &cost,
+                 const ReplicaConfig &cfg, TraceWorkload &trace)
+        : cost_(cost), cfg_(cfg), trace_(&trace),
+          arrivalRng_(substreamSeed(cfg.workload.seed, 0)),
+          lengthRng_(substreamSeed(cfg.workload.seed, 1)),
+          kvBudget_(cost.kvBudgetBytes() *
+                    cfg.scheduler.kvMemoryFraction)
+    {}
+
     ReplicaMetrics run();
 
   private:
@@ -58,6 +72,8 @@ class ReplicaState
 
     const IterationCostModel &cost_;
     const ReplicaConfig &cfg_;
+    TraceWorkload *trace_ = nullptr; //!< non-null in replay mode
+    TraceRequest pendingTrace_;      //!< next record not yet arrived
     Rng arrivalRng_;
     Rng lengthRng_;
     const double kvBudget_;
@@ -77,6 +93,12 @@ class ReplicaState
 void
 ReplicaState::seedArrivals()
 {
+    if (trace_) {
+        if (trace_->next(pendingTrace_))
+            events_.push(pendingTrace_.arrivalS,
+                         EventKind::ARRIVAL);
+        return;
+    }
     const WorkloadSpec &w = cfg_.workload;
     if (w.openLoop()) {
         const double first =
@@ -98,8 +120,13 @@ ReplicaState::generateRequest(double now)
     InFlight r;
     r.rec.id = nextId_++;
     r.rec.arrivalS = now;
-    r.rec.promptLen = w.promptLen.sample(lengthRng_);
-    r.rec.outputLen = w.outputLen.sample(lengthRng_);
+    if (trace_) {
+        r.rec.promptLen = pendingTrace_.promptLen;
+        r.rec.outputLen = pendingTrace_.outputLen;
+    } else {
+        r.rec.promptLen = w.promptLen.sample(lengthRng_);
+        r.rec.outputLen = w.outputLen.sample(lengthRng_);
+    }
     r.kvBytes = cost_.kvBytesPerTokenPerDevice() *
                 (r.rec.promptLen + r.rec.outputLen);
     fatalIf(r.kvBytes > kvBudget_,
@@ -115,6 +142,12 @@ ReplicaState::generateRequest(double now)
 void
 ReplicaState::scheduleNextOpenLoopArrival(double now)
 {
+    if (trace_) {
+        if (trace_->next(pendingTrace_))
+            events_.push(pendingTrace_.arrivalS,
+                         EventKind::ARRIVAL);
+        return;
+    }
     const WorkloadSpec &w = cfg_.workload;
     const double next =
         now + sampleExponentialS(arrivalRng_, w.arrivalRatePerS);
@@ -254,6 +287,9 @@ ReplicaState::run()
             finishIteration(now);
             startIteration(now);
             break;
+          case EventKind::KV_DONE:
+            panic("simulateReplica: KV_DONE is a cluster-level "
+                  "event; replicas never schedule it");
         }
     }
     panicIf(!waiting_.empty() || !active_.empty() ||
@@ -282,6 +318,15 @@ simulateReplica(const IterationCostModel &cost,
                 const ReplicaConfig &cfg)
 {
     return ReplicaState(cost, cfg).run();
+}
+
+ReplicaMetrics
+simulateReplica(const IterationCostModel &cost,
+                const SchedulerConfig &sched, TraceWorkload &trace)
+{
+    ReplicaConfig cfg;
+    cfg.scheduler = sched;
+    return ReplicaState(cost, cfg, trace).run();
 }
 
 } // namespace sim

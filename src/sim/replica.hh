@@ -28,6 +28,8 @@
 namespace acs {
 namespace sim {
 
+class TraceWorkload;
+
 /** Continuous-batching policy knobs. */
 struct SchedulerConfig
 {
@@ -77,6 +79,19 @@ struct ReplicaConfig
  */
 ReplicaMetrics simulateReplica(const IterationCostModel &cost,
                                const ReplicaConfig &cfg);
+
+/**
+ * Simulate one replica replaying @p trace instead of sampling a
+ * WorkloadSpec: arrivals and lengths come verbatim from the trace
+ * (consumed single-pass), scheduling is identical to the
+ * WorkloadSpec overload. This is the monolithic reference the
+ * disaggregated cluster (sim/cluster.hh) is pinned against: a
+ * single-member cluster on the same trace reproduces this function's
+ * metrics bit-exactly (tests/test_cluster.cpp).
+ */
+ReplicaMetrics simulateReplica(const IterationCostModel &cost,
+                               const SchedulerConfig &sched,
+                               TraceWorkload &trace);
 
 } // namespace sim
 } // namespace acs

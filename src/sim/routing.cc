@@ -1,0 +1,172 @@
+#include "routing.hh"
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace sim {
+
+std::string
+toString(PoolRole role)
+{
+    switch (role) {
+      case PoolRole::MONOLITHIC:
+        return "monolithic";
+      case PoolRole::PREFILL:
+        return "prefill";
+      case PoolRole::DECODE:
+        return "decode";
+    }
+    panic("toString: unhandled PoolRole");
+}
+
+std::string
+toString(RoutingPolicyKind kind)
+{
+    switch (kind) {
+      case RoutingPolicyKind::JOIN_SHORTEST_QUEUE:
+        return "jsq";
+      case RoutingPolicyKind::PHASE_AFFINITY:
+        return "phase-affinity";
+      case RoutingPolicyKind::COST_WEIGHTED:
+        return "cost-weighted";
+    }
+    panic("toString: unhandled RoutingPolicyKind");
+}
+
+RoutingPolicyKind
+parseRoutingPolicy(const std::string &name)
+{
+    if (name == "jsq")
+        return RoutingPolicyKind::JOIN_SHORTEST_QUEUE;
+    if (name == "phase-affinity")
+        return RoutingPolicyKind::PHASE_AFFINITY;
+    if (name == "cost-weighted")
+        return RoutingPolicyKind::COST_WEIGHTED;
+    fatal("parseRoutingPolicy: unknown policy '" + name +
+          "' (expected jsq, phase-affinity, or cost-weighted)");
+}
+
+namespace {
+
+/**
+ * Shared argmin scaffold: score every candidate, keep the first
+ * strict improvement. Candidates arrive in ascending member index
+ * order, so "first wins" is the lowest-index tie-break every policy
+ * promises.
+ */
+template <typename Score>
+std::size_t
+argminScore(const std::vector<MemberView> &candidates,
+            const Score &score)
+{
+    panicIf(candidates.empty(),
+            "RoutingPolicy: pick called with no candidates");
+    std::size_t best = 0;
+    double best_score = score(candidates[0]);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double s = score(candidates[i]);
+        if (s < best_score) {
+            best = i;
+            best_score = s;
+        }
+    }
+    return best;
+}
+
+/** Classic join-shortest-queue over queued + in-flight requests. */
+class JsqPolicy final : public RoutingPolicy
+{
+  public:
+    std::string
+    name() const override
+    {
+        return toString(RoutingPolicyKind::JOIN_SHORTEST_QUEUE);
+    }
+
+    std::size_t
+    pick(RoutePhase, const RouteRequest &,
+         const std::vector<MemberView> &candidates) const override
+    {
+        return argminScore(candidates, [](const MemberView &m) {
+            return static_cast<double>(m.queued + m.inFlight);
+        });
+    }
+};
+
+/**
+ * Phase affinity: expected wait proxy (load + 1) / phase service
+ * rate, steering prompts toward compute-strong members and decode
+ * toward bandwidth-strong ones in a mixed fleet.
+ */
+class PhaseAffinityPolicy final : public RoutingPolicy
+{
+  public:
+    std::string
+    name() const override
+    {
+        return toString(RoutingPolicyKind::PHASE_AFFINITY);
+    }
+
+    std::size_t
+    pick(RoutePhase, const RouteRequest &,
+         const std::vector<MemberView> &candidates) const override
+    {
+        return argminScore(candidates, [](const MemberView &m) {
+            panicIf(m.phaseServiceRatePerS <= 0.0,
+                    "phase-affinity: member has no service rate");
+            return static_cast<double>(m.queued + m.inFlight + 1) /
+                   m.phaseServiceRatePerS;
+        });
+    }
+};
+
+/**
+ * Cost-weighted: the phase-affinity wait proxy scaled by the
+ * member's hourly cost, preferring the cheapest capable hardware and
+ * spilling to expensive members only under load.
+ */
+class CostWeightedPolicy final : public RoutingPolicy
+{
+  public:
+    std::string
+    name() const override
+    {
+        return toString(RoutingPolicyKind::COST_WEIGHTED);
+    }
+
+    std::size_t
+    pick(RoutePhase, const RouteRequest &,
+         const std::vector<MemberView> &candidates) const override
+    {
+        return argminScore(candidates, [](const MemberView &m) {
+            panicIf(m.phaseServiceRatePerS <= 0.0,
+                    "cost-weighted: member has no service rate");
+            panicIf(m.hourlyCostUsd < 0.0,
+                    "cost-weighted: member has negative cost");
+            return static_cast<double>(m.queued + m.inFlight + 1) *
+                   m.hourlyCostUsd / m.phaseServiceRatePerS;
+        });
+    }
+};
+
+} // anonymous namespace
+
+const RoutingPolicy *
+routingPolicy(RoutingPolicyKind kind)
+{
+    static const JsqPolicy jsq;
+    static const PhaseAffinityPolicy affinity;
+    static const CostWeightedPolicy cost;
+    switch (kind) {
+      case RoutingPolicyKind::JOIN_SHORTEST_QUEUE:
+        return &jsq;
+      case RoutingPolicyKind::PHASE_AFFINITY:
+        return &affinity;
+      case RoutingPolicyKind::COST_WEIGHTED:
+        return &cost;
+    }
+    panic("routingPolicy: unhandled RoutingPolicyKind");
+}
+
+} // namespace sim
+} // namespace acs

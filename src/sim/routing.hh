@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pluggable request-routing policies for heterogeneous serving
+ * clusters.
+ *
+ * A cluster (sim/cluster.hh) holds pools of replicas built from
+ * different hw presets; every request (and, under disaggregation,
+ * every phase of it) must be assigned to one member. The policy sees
+ * a deterministic snapshot of each eligible member — queue depth,
+ * in-flight count, single-request phase service rate, hourly cost —
+ * and picks one. All built-in policies break ties on the lowest
+ * member index, so a routing decision is a pure function of the
+ * snapshot and the cluster's byte-reproducibility contract carries
+ * through mixed fleets.
+ */
+
+#ifndef ACS_SIM_ROUTING_HH
+#define ACS_SIM_ROUTING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acs {
+namespace sim {
+
+/** What a pool's members do in the disaggregated split. */
+enum class PoolRole
+{
+    MONOLITHIC, //!< runs both phases (classic colocated serving)
+    PREFILL,    //!< prompt processing only; KV ships out afterwards
+    DECODE,     //!< token generation from shipped-in KV
+};
+
+/** Readable name of @p role ("monolithic" / "prefill" / "decode"). */
+std::string toString(PoolRole role);
+
+/** Which phase of a request is being placed. */
+enum class RoutePhase
+{
+    PREFILL, //!< initial placement at arrival
+    DECODE,  //!< placement of the decode phase after KV transfer
+};
+
+/** Built-in routing policies. */
+enum class RoutingPolicyKind
+{
+    JOIN_SHORTEST_QUEUE, //!< fewest queued + in-flight requests
+    PHASE_AFFINITY,      //!< least load per unit phase service rate
+    COST_WEIGHTED,       //!< least load-weighted $/unit service rate
+};
+
+/** Readable name of @p kind ("jsq" / "phase-affinity" / ...). */
+std::string toString(RoutingPolicyKind kind);
+
+/** Inverse of toString (fatal on unknown names). */
+RoutingPolicyKind parseRoutingPolicy(const std::string &name);
+
+/** Deterministic snapshot of one eligible member at decision time. */
+struct MemberView
+{
+    int pool = 0;   //!< pool index within the cluster
+    int member = 0; //!< flattened member index (global, unique)
+    PoolRole role = PoolRole::MONOLITHIC;
+
+    std::uint64_t queued = 0;   //!< requests waiting for admission
+    std::uint64_t inFlight = 0; //!< admitted, not yet phase-complete
+
+    /**
+     * Single-request service rate of the phase being routed
+     * (1 / prefillS(1, promptLen) or 1 / decodeStepS(1)); a
+     * batch-free measure of how fast this hardware runs this phase.
+     */
+    double phaseServiceRatePerS = 0.0;
+
+    /** Amortized capex + power of one replica ($/hour). */
+    double hourlyCostUsd = 0.0;
+};
+
+/** The request being placed (lengths known at arrival). */
+struct RouteRequest
+{
+    std::uint64_t id = 0;
+    int promptLen = 1;
+    int outputLen = 1;
+};
+
+/**
+ * A routing decision rule. Implementations must be stateless (the
+ * built-ins are shared const singletons) and must pick purely from
+ * the arguments so runs stay deterministic.
+ */
+class RoutingPolicy
+{
+  public:
+    virtual ~RoutingPolicy() = default;
+
+    /** Policy name for logs and CSV columns. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Choose one of @p candidates (non-empty, in ascending member
+     * index order) for @p phase of @p req. Returns an index into
+     * @p candidates.
+     */
+    virtual std::size_t
+    pick(RoutePhase phase, const RouteRequest &req,
+         const std::vector<MemberView> &candidates) const = 0;
+};
+
+/** Shared singleton of the built-in policy @p kind (never null). */
+const RoutingPolicy *routingPolicy(RoutingPolicyKind kind);
+
+} // namespace sim
+} // namespace acs
+
+#endif // ACS_SIM_ROUTING_HH

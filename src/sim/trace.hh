@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Streaming trace-replay workloads for the datacenter simulator.
+ *
+ * A TraceWorkload is a single-pass, pull-based request source: the
+ * cluster event loop (sim/cluster.hh) keeps exactly one pending
+ * arrival in flight and asks for the next record only after the
+ * previous one entered the system, so a trace of millions of requests
+ * is never materialized — memory stays O(in-flight requests), not
+ * O(trace length).
+ *
+ * Three sources cover the operating regimes:
+ *
+ *  - Poisson: the open-loop stream the single-replica simulator uses,
+ *    exposed as a trace so monolithic and disaggregated runs consume
+ *    byte-identical arrival sequences;
+ *  - diurnal/bursty synthetic generator: a sinusoidal day/night rate
+ *    envelope with a two-state (calm/burst) Markov modulation, drawn
+ *    by thinning a homogeneous Poisson stream over common/rng.hh
+ *    substreams, so a trace is byte-reproducible from its seed;
+ *  - CSV replay: `arrival_s,prompt_len,output_len` rows streamed from
+ *    a file or any std::istream.
+ *
+ * All sources yield arrivals in non-decreasing time order (fatal
+ * otherwise, checked by the consumer-facing next()).
+ */
+
+#ifndef ACS_SIM_TRACE_HH
+#define ACS_SIM_TRACE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace acs {
+namespace sim {
+
+/** One request of a replayed or generated trace. */
+struct TraceRequest
+{
+    double arrivalS = 0.0; //!< arrival time (virtual seconds, >= 0)
+    int promptLen = 1;     //!< prompt tokens (>= 1)
+    int outputLen = 1;     //!< output tokens (>= 1)
+};
+
+/**
+ * Synthetic diurnal/bursty trace parameters.
+ *
+ * The instantaneous arrival rate is a sinusoidal envelope around
+ * @c baseRatePerS whose peak:trough ratio is @c peakToTrough over one
+ * @c periodS cycle, multiplied by @c burstMultiplier whenever the
+ * two-state Markov modulation is in its burst state (exponential
+ * dwell times @c burstMeanS / @c calmMeanS). The mean envelope rate
+ * equals @c baseRatePerS, so fleet-sizing comparisons against a plain
+ * Poisson stream at the same rate isolate the *shape* of the traffic.
+ */
+struct DiurnalTraceSpec
+{
+    double baseRatePerS = 1.0;   //!< mean arrival rate (> 0)
+    double peakToTrough = 3.0;   //!< peak:trough rate ratio (>= 1)
+    double periodS = 3600.0;     //!< one diurnal cycle (> 0)
+
+    double burstMultiplier = 1.0; //!< rate multiplier in bursts (>= 1)
+    double burstMeanS = 30.0;     //!< mean burst dwell (> 0)
+    double calmMeanS = 300.0;     //!< mean calm dwell (> 0)
+
+    LengthDistribution promptLen = LengthDistribution::fixed(512);
+    LengthDistribution outputLen = LengthDistribution::fixed(128);
+
+    double horizonS = 600.0;  //!< no arrivals at or after this time
+    std::uint64_t seed = 1;   //!< master seed (substreams derive)
+
+    /** Instantaneous rate at time @p t in the given burst state. */
+    double rateAt(double t, bool in_burst) const;
+
+    /** Fatal unless every parameter is in range. */
+    void validate() const;
+};
+
+/**
+ * Single-pass streaming request source.
+ *
+ * Implementations yield requests one at a time in non-decreasing
+ * arrival order and are exhausted once next() returns false. They are
+ * deliberately not resettable: re-running a study builds a fresh
+ * source from the same spec/seed (byte-identical by construction).
+ */
+class TraceWorkload
+{
+  public:
+    virtual ~TraceWorkload() = default;
+
+    /**
+     * Produce the next request into @p out.
+     *
+     * @return false when the trace is exhausted (out untouched).
+     *         Fatal if a source yields decreasing arrival times or
+     *         non-positive lengths.
+     */
+    bool next(TraceRequest &out);
+
+    /** Requests yielded so far. */
+    std::uint64_t produced() const { return produced_; }
+
+    /**
+     * Open-loop Poisson stream at @p rate_per_s until @p horizon_s:
+     * the same arrival process WorkloadSpec's open loop uses, in
+     * streaming form.
+     */
+    static std::unique_ptr<TraceWorkload>
+    poisson(double rate_per_s, const LengthDistribution &prompt,
+            const LengthDistribution &output, double horizon_s,
+            std::uint64_t seed);
+
+    /** Diurnal/bursty synthetic generator (spec validated). */
+    static std::unique_ptr<TraceWorkload>
+    diurnal(const DiurnalTraceSpec &spec);
+
+    /**
+     * Replay a CSV file of `arrival_s,prompt_len,output_len` rows
+     * (header row and blank lines skipped; fatal on unreadable paths
+     * or malformed rows). Lengths are rounded up to a multiple of
+     * @p length_quantum, which bounds the iteration-cost memo key
+     * space exactly like LengthDistribution::quantum does.
+     */
+    static std::unique_ptr<TraceWorkload>
+    fromCsvFile(const std::string &path, int length_quantum = 16);
+
+    /** CSV replay from an owned stream (@p label names it in errors). */
+    static std::unique_ptr<TraceWorkload>
+    fromCsv(std::unique_ptr<std::istream> in, const std::string &label,
+            int length_quantum = 16);
+
+    /**
+     * Replay a fixed in-memory schedule (sorted by arrival; fatal
+     * otherwise). For tests and sanity constructions, not scale.
+     */
+    static std::unique_ptr<TraceWorkload>
+    fixedSchedule(std::vector<TraceRequest> requests);
+
+  protected:
+    /** Implementation hook: yield the next raw record. */
+    virtual bool produce(TraceRequest &out) = 0;
+
+  private:
+    std::uint64_t produced_ = 0;
+    double lastArrivalS_ = 0.0;
+};
+
+} // namespace sim
+} // namespace acs
+
+#endif // ACS_SIM_TRACE_HH

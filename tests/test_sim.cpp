@@ -589,6 +589,33 @@ TEST(Fleet, InfeasibleSloReported)
     EXPECT_EQ(r.replicas, 0);
 }
 
+TEST(Fleet, SizingReturnsCachedProbeIdenticalToResimulation)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel cost = testCost(w);
+    FleetDemand demand;
+    demand.ratePerS = 3.0;
+    demand.promptLen = LengthDistribution::uniform(256, 768, 64);
+    demand.outputLen = LengthDistribution::uniform(32, 96, 16);
+    demand.horizonS = 150.0;
+    demand.seed = 13;
+
+    SloTargets slo;
+    slo.ttftMaxS = 5.0;
+    slo.tbtMaxS = 0.200;
+    const SchedulerConfig sched;
+    const FleetSizingResult r =
+        sizeFleet(cost, demand, sched, slo, 64);
+    ASSERT_TRUE(r.feasible);
+
+    // The search memoizes per-size verdicts, so the aggregate it
+    // hands back must be the probe's own result — byte-identical to
+    // simulating the chosen size from scratch.
+    EXPECT_EQ(fingerprint(r.aggregate),
+              fingerprint(
+                  simulateFleet(cost, demand, sched, r.replicas)));
+}
+
 // ---- study curve -----------------------------------------------------------
 
 TEST(ServingStudy, CurveShowsSaturation)

@@ -27,8 +27,10 @@
  * byte-identical either way (docs/PERF.md).
  */
 
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,11 +59,23 @@ usage()
         "            [--rate=r1,r2,...] [--seed=<n>]\n"
         "            [--slo-p99=<ttft_s>,<tbt_s>] [--demand=<req/s>]\n"
         "            [--prompt=<len>] [--output=<len>] [--horizon=<s>]\n"
+        "            [--fleet=dev:count,...] [--disagg]\n"
+        "            [--routing=jsq|phase-affinity|cost-weighted]\n"
+        "            [--trace=<requests.csv>]\n"
+        "            [--diurnal=<peak_trough>,<period_s>]\n"
         "    [device] is a100|a800|h100|h20 or a config.kv path\n"
         "    (default a100). --rate sets per-replica offered loads for\n"
         "    the latency-vs-load curve; --demand adds percentile-aware\n"
         "    fleet sizing for that aggregate rate with the closed-form\n"
         "    cross-check (docs/SERVING.md).\n"
+        "    --fleet switches to cluster mode (docs/DATACENTER.md):\n"
+        "    each dev:count entry is a pool of identical replicas, all\n"
+        "    serving one stream under the --routing policy. --disagg\n"
+        "    makes the first pool prefill-only and the second\n"
+        "    decode-only with KV transfer charged between them.\n"
+        "    Arrivals come from --trace (arrival_s,prompt,output CSV\n"
+        "    rows), the --diurnal generator, or a Poisson stream at\n"
+        "    --demand req/s.\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
         "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
@@ -237,15 +251,153 @@ parseDoubleList(const std::string &text)
 hw::HardwareConfig
 deviceByName(const std::string &name)
 {
-    if (name == "a100")
-        return hw::modeledA100();
-    if (name == "a800")
-        return hw::modeledA800();
-    if (name == "h100")
-        return hw::modeledH100();
-    if (name == "h20")
-        return hw::modeledH20Style();
+    if (name == "a100" || name == "a800" || name == "h100" ||
+        name == "h20")
+        return hw::presetByName(name);
     return loadConfig(name);
+}
+
+/** One --fleet entry: a device preset/path and a replica count. */
+struct FleetEntry
+{
+    std::string device;
+    int replicas = 1;
+};
+
+/** Parse "a100:4,h20:8" into fleet entries. */
+std::vector<FleetEntry>
+parseFleetSpec(const std::string &text)
+{
+    std::vector<FleetEntry> entries;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size())
+            fatal("--fleet entries must look like dev:count, got '" +
+                  item + "'");
+        FleetEntry e;
+        e.device = item.substr(0, colon);
+        e.replicas = std::stoi(item.substr(colon + 1));
+        fatalIf(e.replicas < 1,
+                "--fleet replica counts must be >= 1");
+        entries.push_back(std::move(e));
+    }
+    fatalIf(entries.empty(), "--fleet needs at least one dev:count");
+    return entries;
+}
+
+/** Cluster-mode options gathered from the serve-sim argument list. */
+struct ClusterCliOptions
+{
+    std::vector<FleetEntry> fleet;
+    bool disagg = false;
+    sim::RoutingPolicyKind routing =
+        sim::RoutingPolicyKind::JOIN_SHORTEST_QUEUE;
+    std::string traceFile;
+    bool diurnal = false;
+    double peakToTrough = 3.0;
+    double periodS = 3600.0;
+};
+
+/** Run serve-sim's cluster mode and print the report. */
+int
+runClusterSim(const core::Workload &workload,
+              const core::ServingStudyConfig &scfg,
+              const ClusterCliOptions &opts)
+{
+    const core::SanctionsStudy study(g_perf_params);
+
+    // One cost oracle per fleet entry, kept alive for the whole run.
+    std::deque<sim::IterationCostModel> oracles;
+    sim::ClusterConfig cluster;
+    for (std::size_t i = 0; i < opts.fleet.size(); ++i) {
+        const FleetEntry &e = opts.fleet[i];
+        const hw::HardwareConfig device = deviceByName(e.device);
+        oracles.emplace_back(device, workload.model,
+                             workload.setting, workload.system,
+                             study.params());
+        sim::PoolConfig pool;
+        pool.name = e.device;
+        pool.cost = &oracles.back();
+        pool.replicas = e.replicas;
+        pool.scheduler = scfg.scheduler;
+        if (opts.disagg) {
+            fatalIf(opts.fleet.size() != 2,
+                    "--disagg expects exactly two --fleet entries "
+                    "(prefill pool, decode pool)");
+            pool.role = i == 0 ? sim::PoolRole::PREFILL
+                               : sim::PoolRole::DECODE;
+        }
+        cluster.pools.push_back(pool);
+    }
+    cluster.routing = opts.routing;
+    cluster.slo = scfg.slo.targets();
+
+    std::unique_ptr<sim::TraceWorkload> trace;
+    if (!opts.traceFile.empty()) {
+        trace = sim::TraceWorkload::fromCsvFile(opts.traceFile);
+    } else if (opts.diurnal) {
+        fatalIf(scfg.fleetRatePerS <= 0.0,
+                "--diurnal needs --demand=<req/s> as the mean rate");
+        sim::DiurnalTraceSpec spec;
+        spec.baseRatePerS = scfg.fleetRatePerS;
+        spec.peakToTrough = opts.peakToTrough;
+        spec.periodS = opts.periodS;
+        spec.promptLen = scfg.promptLen;
+        spec.outputLen = scfg.outputLen;
+        spec.horizonS = scfg.horizonS;
+        spec.seed = scfg.seed;
+        trace = sim::TraceWorkload::diurnal(spec);
+    } else {
+        fatalIf(scfg.fleetRatePerS <= 0.0,
+                "cluster mode needs --trace, --diurnal, or "
+                "--demand=<req/s>");
+        trace = sim::TraceWorkload::poisson(
+            scfg.fleetRatePerS, scfg.promptLen, scfg.outputLen,
+            scfg.horizonS, scfg.seed);
+    }
+
+    const sim::ClusterMetrics m =
+        simulateCluster(cluster, *trace);
+
+    std::cout << "cluster of " << cluster.pools.size()
+              << " pool(s), routing "
+              << sim::toString(opts.routing) << ", "
+              << trace->produced() << " requests\n";
+    Table pools({"pool", "role", "replicas", "prefills", "decodes",
+                 "tokens"});
+    for (const sim::PoolUsage &u : m.pools) {
+        pools.addRow({u.name, sim::toString(u.role),
+                      std::to_string(u.replicas),
+                      std::to_string(u.routedPrefill),
+                      std::to_string(u.routedDecode),
+                      std::to_string(u.generatedTokens)});
+    }
+    pools.print(std::cout);
+
+    Table t({"metric", "value"});
+    t.addRow({"completed", std::to_string(m.completedRequests)});
+    t.addRow({"TTFT p50 (s)", fmt(m.ttftPercentileS(50.0), 3)});
+    t.addRow({"TTFT p99 (s)", fmt(m.ttftPercentileS(99.0), 3)});
+    t.addRow({"TBT p50 (ms)",
+              fmt(units::toMs(m.tbtPercentileS(50.0)), 2)});
+    t.addRow({"TBT p99 (ms)",
+              fmt(units::toMs(m.tbtPercentileS(99.0)), 2)});
+    t.addRow({"attainment", fmt(100.0 * m.attainment(), 1) + "%"});
+    t.addRow({"goodput tok/s", fmt(m.goodputTokensPerS(), 0)});
+    if (m.kvTransfers > 0) {
+        t.addRow({"KV transfers", std::to_string(m.kvTransfers)});
+        t.addRow({"KV shipped (GB)",
+                  fmt(m.kvBytesTransferred / 1e9, 2)});
+        t.addRow({"KV mean transfer (ms)",
+                  fmt(units::toMs(m.kvTransferTotalS /
+                                  m.kvTransfers),
+                      2)});
+    }
+    t.print(std::cout);
+    return 0;
 }
 
 int
@@ -256,10 +408,30 @@ cmdServeSim(const std::vector<std::string> &args)
     const core::Workload workload = core::workloadByName(args[0]);
     hw::HardwareConfig cfg = hw::modeledA100();
     core::ServingStudyConfig scfg;
+    ClusterCliOptions copts;
 
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg.rfind("--rate=", 0) == 0) {
+        if (arg.rfind("--fleet=", 0) == 0) {
+            copts.fleet = parseFleetSpec(arg.substr(8));
+        } else if (arg == "--disagg") {
+            copts.disagg = true;
+        } else if (arg.rfind("--routing=", 0) == 0) {
+            copts.routing =
+                sim::parseRoutingPolicy(arg.substr(10));
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            copts.traceFile = arg.substr(8);
+        } else if (arg.rfind("--diurnal=", 0) == 0) {
+            const auto parts = parseDoubleList(arg.substr(10));
+            if (parts.size() != 2) {
+                std::cerr
+                    << "--diurnal expects <peak_trough>,<period_s>\n";
+                return usage();
+            }
+            copts.diurnal = true;
+            copts.peakToTrough = parts[0];
+            copts.periodS = parts[1];
+        } else if (arg.rfind("--rate=", 0) == 0) {
             scfg.ratesPerS = parseDoubleList(arg.substr(7));
         } else if (arg.rfind("--seed=", 0) == 0) {
             scfg.seed = std::stoull(arg.substr(7));
@@ -288,6 +460,12 @@ cmdServeSim(const std::vector<std::string> &args)
             cfg = deviceByName(arg);
         }
     }
+
+    if (!copts.fleet.empty())
+        return runClusterSim(workload, scfg, copts);
+    fatalIf(copts.disagg || !copts.traceFile.empty() ||
+                copts.diurnal,
+            "--disagg/--trace/--diurnal require --fleet=dev:count,...");
 
     const core::SanctionsStudy study(g_perf_params);
     const core::ServingStudyResult result =
