@@ -4,7 +4,8 @@
  * design evaluation, a full Table-3 sweep, and rule classification —
  * plus a sweep-throughput section (--dse / --dse-only) comparing the
  * legacy per-batch-thread pipeline against the shared-pool and
- * streaming paths, emitting results/BENCH_dse.json, and a GEMM-mode
+ * streaming paths and the adaptive coarse-to-fine engine, emitting
+ * results/BENCH_dse.json, and a GEMM-mode
  * section (--gemm / --gemm-only) comparing TILE_SIM sweep evaluation
  * under the aggregated fast path vs the legacy per-tile wave walk,
  * emitting results/BENCH_gemm.json.
@@ -235,6 +236,21 @@ runDseThroughput(int reps)
         evaluator.evaluateStream(space, nullptr, nullptr, THREADS);
     });
 
+    // Adaptive coarse-to-fine search (docs/DSE.md) over the fine
+    // space: the rate is EFFECTIVE designs/second — space covered per
+    // wall-clock second — because the engine prunes instead of
+    // evaluating every point. fractionEvaluated reports how much it
+    // actually computed.
+    const dse::SweepSpace fine = dse::fineSpace();
+    dse::AdaptiveConfig acfg;
+    acfg.threads = THREADS;
+    dse::AdaptiveResult adaptive_res;
+    const double adaptive =
+        bestThroughput(dse::SweepPlan(fine).pointCount(), reps, [&] {
+            dse::AdaptiveSearch search(evaluator, fine, acfg);
+            adaptive_res = search.run();
+        });
+
     const auto row = [](const char *name, double v, double base) {
         std::cout << "  " << name << ": " << static_cast<long>(v)
                   << " designs/s (" << v / base << "x legacy)\n";
@@ -243,6 +259,11 @@ runDseThroughput(int reps)
     row("serial   ", serial, legacy);
     row("pooled   ", pooled, legacy);
     row("streaming", streaming, legacy);
+    std::cout << "  adaptive : " << static_cast<long>(adaptive)
+              << " effective designs/s ("
+              << adaptive / streaming << "x streaming; fine space, "
+              << adaptive_res.evaluated << " of "
+              << adaptive_res.spacePoints << " evaluated)\n";
 
     std::error_code ec;
     std::filesystem::create_directories("results", ec);
@@ -259,7 +280,19 @@ runDseThroughput(int reps)
         << "  \"pooled_speedup_vs_legacy\": " << pooled / legacy
         << ",\n"
         << "  \"streaming_speedup_vs_legacy\": " << streaming / legacy
-        << "\n"
+        << ",\n"
+        << "  \"adaptive_space\": \"fine\",\n"
+        << "  \"adaptive_space_designs\": "
+        << adaptive_res.spacePoints << ",\n"
+        << "  \"adaptive_evaluated\": " << adaptive_res.evaluated
+        << ",\n"
+        << "  \"fraction_evaluated\": "
+        << adaptive_res.fractionEvaluated << ",\n"
+        << "  \"frontier_size\": " << adaptive_res.frontier.size()
+        << ",\n"
+        << "  \"adaptive_designs_per_s\": " << adaptive << ",\n"
+        << "  \"adaptive_speedup_vs_streaming\": "
+        << adaptive / streaming << "\n"
         << "}\n";
     std::cout << "[json] results/BENCH_dse.json\n";
 }

@@ -36,6 +36,7 @@ SUITES = {
         "serial_designs_per_s",
         "pooled_designs_per_s",
         "streaming_designs_per_s",
+        "adaptive_designs_per_s",
     ],
 }
 
@@ -51,6 +52,19 @@ BARS = {
     "BENCH_dse": [
         ("streaming_speedup_vs_legacy", 2.0,
          "streaming vs legacy"),
+        ("adaptive_speedup_vs_streaming", 10.0,
+         "adaptive (effective) vs streaming"),
+    ],
+}
+
+# Ceilings: (metric, max, label) — lower is better. Warn-only, like
+# the speedup bars; today only the adaptive engine's evaluated
+# fraction (its exactness tests assert < 0.30 on the Table 3 spaces,
+# and the fine space should prune far harder).
+CEILINGS = {
+    "BENCH_gemm": [],
+    "BENCH_dse": [
+        ("fraction_evaluated", 0.30, "adaptive fraction evaluated"),
     ],
 }
 
@@ -104,6 +118,20 @@ def compare_pair(baseline_path, measured_path):
             print(f"::warning::{line} (expected >= {floor:g}x)")
         else:
             print(line)
+
+    for key, ceiling, label in CEILINGS[suite]:
+        value = measured.get(key)
+        if value is None:
+            continue
+        line = f"{label}: {value:.4f}"
+        if value > ceiling:
+            print(f"::warning::{line} (expected <= {ceiling:g})")
+        else:
+            print(line)
+
+    size = measured.get("frontier_size")
+    if size is not None:
+        print(f"adaptive frontier size: {size}")
 
 
 def main(argv):

@@ -102,6 +102,26 @@ SanctionsStudy::runSweep(const dse::SweepSpace &space,
     return evaluator.evaluateAllParallel(space.generate());
 }
 
+dse::AdaptiveResult
+SanctionsStudy::runAdaptiveSweep(const dse::SweepSpace &space,
+                                 const Workload &workload,
+                                 dse::AdaptiveConfig cfg) const
+{
+    const obs::TraceSpan span("core.runAdaptiveSweep");
+    if (cfg.workloadTag.empty()) {
+        cfg.workloadTag =
+            workload.model.name + "-b" +
+            std::to_string(workload.setting.batch) + "-i" +
+            std::to_string(workload.setting.inputLen) + "-o" +
+            std::to_string(workload.setting.outputLen) + "-tp" +
+            std::to_string(workload.system.tensorParallel);
+    }
+    const dse::DesignEvaluator evaluator(workload.model, workload.setting,
+                                         workload.system, params_);
+    dse::AdaptiveSearch search(evaluator, space, std::move(cfg));
+    return search.run();
+}
+
 ServingStudyResult
 SanctionsStudy::runServingStudy(const hw::HardwareConfig &cfg,
                                 const Workload &workload,

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "dse/adaptive.hh"
 #include "dse/analysis.hh"
 #include "dse/evaluate.hh"
 #include "devices/database.hh"
@@ -151,6 +152,21 @@ class SanctionsStudy
     std::vector<dse::EvaluatedDesign>
     runSweep(const dse::SweepSpace &space, const Workload &workload)
         const;
+
+    /**
+     * Adaptive coarse-to-fine search of @p space on @p workload
+     * (dse::AdaptiveSearch): prunes the space instead of enumerating
+     * it, supports sharding and checkpoint/resume via @p cfg, and on
+     * the exactness-tested spaces returns the same argmin designs as
+     * runSweep + minTtft/minTbt while evaluating a fraction of the
+     * points. An empty cfg.workloadTag is filled in from the workload
+     * (model name, setting, TP degree) so checkpoints are guarded
+     * against resuming under a different workload.
+     */
+    dse::AdaptiveResult
+    runAdaptiveSweep(const dse::SweepSpace &space,
+                     const Workload &workload,
+                     dse::AdaptiveConfig cfg = {}) const;
 
     /** Classify a design under all rule generations. */
     RuleOutcomes classify(const dse::EvaluatedDesign &design) const;

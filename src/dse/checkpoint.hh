@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sharded checkpoint/resume for adaptive DSE sweeps (docs/DSE.md).
+ *
+ * A billion-design sweep does not fit one sitting: it is split into
+ * shards (contiguous outer-cell ranges of one SweepPlan, so no
+ * compute-class run or refinement neighborhood ever crosses a shard)
+ * and each shard periodically snapshots every point it has evaluated.
+ * A snapshot is enough to resume, because the adaptive engine is a
+ * deterministic replay machine: re-running the search from round 0
+ * with the snapshot preloaded as an evaluation cache walks the exact
+ * same wave sequence, hitting the cache for work already done — the
+ * resumed run's final state is byte-identical to an uninterrupted one.
+ *
+ * The on-disk format is versioned line-oriented text. Doubles are
+ * stored as IEEE-754 bit patterns in hex, never as decimal, so a
+ * write/read round trip is bit-exact by construction and merged
+ * frontiers compare byte-identical across machines. A fingerprint of
+ * the search inputs (space, perf params, workload, adaptive knobs —
+ * everything except the shard assignment) guards against resuming a
+ * checkpoint into a different search.
+ */
+
+#ifndef ACS_DSE_CHECKPOINT_HH
+#define ACS_DSE_CHECKPOINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acs {
+namespace dse {
+
+/** Checkpoint file format version (first line of every file). */
+constexpr std::uint32_t CHECKPOINT_VERSION = 1;
+
+/**
+ * One shard of a sweep: shard @p index of @p count. Shard i owns the
+ * contiguous outer-cell range [i*O/n, (i+1)*O/n) of the plan's O
+ * outer cells (shardOuterRange), i.e. a contiguous flat-index range —
+ * the adaptive engine's refinement moves never leave it.
+ */
+struct ShardSpec
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+
+    bool operator==(const ShardSpec &o) const
+    {
+        return index == o.index && count == o.count;
+    }
+};
+
+/** Parse "i/n" (e.g. "2/8"); fatal on malformed input or i >= n. */
+ShardSpec parseShardSpec(const std::string &text);
+
+/**
+ * Outer-cell range [first, last) owned by @p shard over a plan with
+ * @p outer_count outer cells. Ranges of shards 0..n-1 partition
+ * [0, outer_count) contiguously; earlier shards get the remainder
+ * cells. Fatal when count == 0 or index >= count.
+ */
+std::pair<std::size_t, std::size_t>
+shardOuterRange(const ShardSpec &shard, std::size_t outer_count);
+
+/** CheckpointPoint::flags bits. */
+constexpr std::uint32_t POINT_KEPT = 1u;          //!< passed predicate
+constexpr std::uint32_t POINT_UNDER_RETICLE = 2u; //!< area <= reticle
+constexpr std::uint32_t POINT_UNREGULATED = 4u;   //!< Oct-2023 N/A
+
+/** One evaluated design point: flat plan index, metrics, flags. */
+struct CheckpointPoint
+{
+    std::size_t index = 0;
+    double ttftS = 0.0;
+    double tbtS = 0.0;
+    std::uint32_t flags = 0;
+};
+
+/** A shard's snapshot: search identity + every evaluated point. */
+struct Checkpoint
+{
+    std::uint32_t version = CHECKPOINT_VERSION;
+
+    /** Search-input fingerprint (AdaptiveSearch::searchFingerprint). */
+    std::uint64_t fingerprint = 0;
+
+    ShardSpec shard;
+
+    /** Feasible point count of the full space (merge sanity check). */
+    std::size_t spacePoints = 0;
+
+    /** True once the shard's search ran to convergence. */
+    bool complete = false;
+
+    /** Evaluation waves replayed to produce this state. */
+    std::size_t waves = 0;
+
+    /** Every evaluated point, ascending by index (writer sorts). */
+    std::vector<CheckpointPoint> points;
+};
+
+/**
+ * Write @p ck to @p path atomically: the bytes go to "<path>.tmp"
+ * which is renamed over @p path only after a successful close, so a
+ * preemption mid-write never corrupts the previous snapshot. Fatal on
+ * I/O errors.
+ */
+void writeCheckpoint(const std::string &path, const Checkpoint &ck);
+
+/**
+ * Read a checkpoint. Returns false when @p path does not exist (a
+ * fresh start); fatal on a malformed file or a version the reader
+ * does not understand. Fingerprint validation is the caller's job
+ * (the reader cannot know the intended search).
+ */
+bool readCheckpoint(const std::string &path, Checkpoint *out);
+
+/**
+ * Canonical per-shard file name under directory @p dir:
+ * "<dir>/shard-<index>-of-<count>.ckpt".
+ */
+std::string checkpointShardFile(const std::string &dir,
+                                const ShardSpec &shard);
+
+/**
+ * Deterministically merge completed shard checkpoints into one.
+ *
+ * Validates that every shard is present exactly once (0..n-1 of the
+ * same count), complete, and agrees on fingerprint and spacePoints —
+ * fatal otherwise. Points concatenate in ascending shard order (shard
+ * flat-index ranges are disjoint and ordered, so the result is
+ * ascending by index) and the merged checkpoint covers the whole
+ * space (shard 0/1). Input order does not matter.
+ */
+Checkpoint
+mergeShardCheckpoints(const std::vector<Checkpoint> &shards);
+
+} // namespace dse
+} // namespace acs
+
+#endif // ACS_DSE_CHECKPOINT_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "common/units.hh"
 #include "model/ops.hh"
 #include "obs/obs.hh"
+#include "perf/batch_eval.hh"
 #include "perf/gemm_cache.hh"
 
 namespace acs {
@@ -105,22 +107,34 @@ DesignEvaluator::evaluate(const hw::HardwareConfig &cfg) const
     return evaluateWith(cfg, params_);
 }
 
+void
+DesignEvaluator::fillStaticFields(const hw::HardwareConfig &cfg,
+                                  EvaluatedDesign *d) const
+{
+    d->config = cfg;
+    d->tpp = cfg.tpp();
+    d->dieAreaMm2 = areaModel_.dieArea(cfg);
+    d->perfDensity = areaModel_.perfDensity(cfg, d->dieAreaMm2);
+    d->underReticle = d->dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
+    // Assign unconditionally: the batched chunk path reuses one
+    // EvaluatedDesign across designs, so stale costs must never leak
+    // from a previous (wafer-fitting) design into an oversized one.
+    d->dieCostUsd = 0.0;
+    d->goodDieCostUsd = 0.0;
+    if (costModel_.diesPerWafer(d->dieAreaMm2) > 0) {
+        d->dieCostUsd = costModel_.dieCostUsd(d->dieAreaMm2, cfg.process);
+        d->goodDieCostUsd =
+            costModel_.goodDieCostUsd(d->dieAreaMm2, cfg.process);
+    }
+}
+
 EvaluatedDesign
 DesignEvaluator::evaluateWith(const hw::HardwareConfig &cfg,
                               const perf::PerfParams &params) const
 {
     const obs::ScopedTimer timer("dse.evaluate");
     EvaluatedDesign d;
-    d.config = cfg;
-    d.tpp = cfg.tpp();
-    d.dieAreaMm2 = areaModel_.dieArea(cfg);
-    d.perfDensity = areaModel_.perfDensity(cfg, d.dieAreaMm2);
-    d.underReticle = d.dieAreaMm2 <= area::RETICLE_LIMIT_MM2;
-    if (costModel_.diesPerWafer(d.dieAreaMm2) > 0) {
-        d.dieCostUsd = costModel_.dieCostUsd(d.dieAreaMm2, cfg.process);
-        d.goodDieCostUsd =
-            costModel_.goodDieCostUsd(d.dieAreaMm2, cfg.process);
-    }
+    fillStaticFields(cfg, &d);
 
     const perf::InferenceSimulator sim(cfg, params);
     const perf::InferenceResult result =
@@ -128,6 +142,76 @@ DesignEvaluator::evaluateWith(const hw::HardwareConfig &cfg,
     d.ttftS = result.ttftS;
     d.tbtS = result.tbtS;
     return d;
+}
+
+/**
+ * Per-worker chunk evaluation buffers: the materialized configs (name
+ * buffers reused across chunks), the SoA view, the per-phase latency
+ * accumulators, and the batch evaluator holding the op-shape memo.
+ */
+struct DesignEvaluator::ChunkScratch
+{
+    std::vector<hw::HardwareConfig> cfgs;
+    perf::DesignBatch batch;
+    std::vector<double> prefillS;
+    std::vector<double> decodeS;
+    std::unique_ptr<perf::BatchEvaluator> batchEval;
+    hw::HardwareConfig cfg; //!< scalar-path scratch config
+    EvaluatedDesign design; //!< batched-path scratch design
+};
+
+void
+DesignEvaluator::evaluateChunk(const SweepPlan &plan, std::size_t base,
+                               std::size_t count,
+                               const std::size_t *indices,
+                               const perf::PerfParams &params,
+                               ChunkScratch &scratch,
+                               const ChunkSink &sink) const
+{
+    const auto planIndex = [&](std::size_t j) {
+        return indices ? indices[base + j] : base + j;
+    };
+    if (perf::batchEvalEligible(params) && count >= 2) {
+        if (!scratch.batchEval) {
+            scratch.batchEval =
+                std::make_unique<perf::BatchEvaluator>(params);
+        }
+        if (scratch.cfgs.size() < count)
+            scratch.cfgs.resize(count);
+        scratch.batch.clear();
+        scratch.batch.reserve(count);
+        for (std::size_t j = 0; j < count; ++j) {
+            plan.point(planIndex(j), &scratch.cfgs[j]);
+            scratch.batch.push(scratch.cfgs[j]);
+        }
+        // One SoA pass per op per phase; the memo spans both phases
+        // like the scalar per-run OpShapeMemo.
+        scratch.prefillS.assign(count, 0.0);
+        scratch.decodeS.assign(count, 0.0);
+        scratch.batchEval->reset();
+        scratch.batchEval->layerLatency(prefill_, sys_.tensorParallel,
+                                        scratch.batch,
+                                        scratch.prefillS.data());
+        scratch.batchEval->layerLatency(decode_, sys_.tensorParallel,
+                                        scratch.batch,
+                                        scratch.decodeS.data());
+        if (obs::enabled()) {
+            obs::counterAdd("dse.batch.designs", count);
+            obs::counterAdd("dse.batch.chunks");
+        }
+        for (std::size_t j = 0; j < count; ++j) {
+            fillStaticFields(scratch.cfgs[j], &scratch.design);
+            scratch.design.ttftS = scratch.prefillS[j];
+            scratch.design.tbtS = scratch.decodeS[j];
+            sink(scratch.design, planIndex(j), base + j);
+        }
+    } else {
+        for (std::size_t j = 0; j < count; ++j) {
+            plan.point(planIndex(j), &scratch.cfg);
+            sink(evaluateWith(scratch.cfg, params), planIndex(j),
+                 base + j);
+        }
+    }
 }
 
 std::vector<EvaluatedDesign>
@@ -309,25 +393,27 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
         threads,
         [&](std::size_t task) {
             StreamStats &local = partials[task].stats;
-            // One scratch config per worker: in-place point() reuses
-            // its name buffer, keeping the per-design build off the
-            // allocator (which serializes across workers).
-            hw::HardwareConfig cfg;
+            // Per-worker scratch buffers: in-place point() reuses
+            // name buffers, keeping the per-design build off the
+            // allocator (which serializes across workers). ANALYTIC
+            // chunks route through the SoA batch kernel inside
+            // evaluateChunk; results are bit-identical either way.
+            ChunkScratch scratch;
+            const ChunkSink sink = [&](const EvaluatedDesign &d,
+                                       std::size_t i, std::size_t) {
+                const bool keep = !predicate || predicate(d);
+                local.absorb(d, i, keep);
+                if (keep && visitor)
+                    visitor(d, i);
+                obs::counterAdd("dse.worker.designs");
+            };
             for (;;) {
                 const std::size_t start = next.fetch_add(chunk);
                 if (start >= n)
                     break;
                 const std::size_t end = std::min(start + chunk, n);
-                for (std::size_t i = start; i < end; ++i) {
-                    plan.point(i, &cfg);
-                    const EvaluatedDesign d =
-                        evaluateWith(cfg, scope.params);
-                    const bool keep = !predicate || predicate(d);
-                    local.absorb(d, i, keep);
-                    if (keep && visitor)
-                        visitor(d, i);
-                    obs::counterAdd("dse.worker.designs");
-                }
+                evaluateChunk(plan, start, end - start, nullptr,
+                              scope.params, scratch, sink);
             }
         },
         1);
@@ -346,6 +432,61 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
         obs::counterAdd("dse.stream.kept", out.kept);
     }
     return out;
+}
+
+void
+DesignEvaluator::evaluatePlanIndices(const SweepPlan &plan,
+                                     const std::size_t *indices,
+                                     std::size_t count,
+                                     const StreamPredicate &predicate,
+                                     PointSample *out,
+                                     unsigned threads) const
+{
+    if (count == 0)
+        return;
+    common::ThreadPool &pool = common::ThreadPool::shared();
+    if (threads == 0)
+        threads = pool.concurrency();
+    threads = std::min<unsigned>(threads, count);
+    threads = std::max(threads, 1u);
+
+    obs::counterAdd("dse.designs.evaluated", count);
+
+    // Same scaffolding as evaluateStream, but positions map through
+    // the caller's index array and results land in out[pos] — each
+    // slot written by exactly one worker, so no reduction is needed
+    // and the output is scheduling-independent.
+    SweepCacheScope scope(params_);
+    std::atomic<std::size_t> next{0};
+    const std::size_t chunk = std::clamp<std::size_t>(
+        count / (static_cast<std::size_t>(threads) * 4), 1, 64);
+    pool.parallelFor(
+        threads,
+        [&](std::size_t) {
+            ChunkScratch scratch;
+            const ChunkSink sink = [&](const EvaluatedDesign &d,
+                                       std::size_t, std::size_t pos) {
+                PointSample &s = out[pos];
+                s.ttftS = d.ttftS;
+                s.tbtS = d.tbtS;
+                s.kept = !predicate || predicate(d);
+                s.underReticle = d.underReticle;
+                s.oct2023Unregulated =
+                    policy::Oct2023Rule::classify(d.toSpec()) ==
+                    policy::Classification::NOT_APPLICABLE;
+                obs::counterAdd("dse.worker.designs");
+            };
+            for (;;) {
+                const std::size_t start = next.fetch_add(chunk);
+                if (start >= count)
+                    break;
+                const std::size_t end = std::min(start + chunk, count);
+                evaluateChunk(plan, start, end - start, indices,
+                              scope.params, scratch, sink);
+            }
+        },
+        1);
+    scope.report();
 }
 
 std::vector<EvaluatedDesign>

@@ -49,6 +49,23 @@ struct EvaluatedDesign
 };
 
 /**
+ * Light per-point record produced by
+ * DesignEvaluator::evaluatePlanIndices: the metrics and flags the
+ * adaptive search engine (dse/adaptive.hh) needs per evaluated point,
+ * without carrying a full EvaluatedDesign (whose config name alone
+ * dominates the record). kept applies the caller's predicate;
+ * underReticle / oct2023Unregulated mirror the StreamStats tallies.
+ */
+struct PointSample
+{
+    double ttftS = 0.0;
+    double tbtS = 0.0;
+    bool kept = false;
+    bool underReticle = false;
+    bool oct2023Unregulated = false;
+};
+
+/**
  * Running reduction over a streamed sweep (dse::evaluateStream).
  *
  * Tracks what the materializing pipeline computes with full design
@@ -178,9 +195,41 @@ class DesignEvaluator
                    const StreamVisitor &visitor = nullptr,
                    unsigned threads = 0) const;
 
+    /**
+     * Evaluate an explicit set of plan indices in parallel, writing a
+     * PointSample per position: out[pos] describes plan point
+     * indices[pos]. This is the adaptive engine's evaluation wave —
+     * the indices are whatever the coarse-to-fine planner asks for,
+     * generally non-contiguous.
+     *
+     * Shares the streaming pipeline's machinery: designs build via
+     * plan.point into per-worker scratch, ANALYTIC-mode designs
+     * evaluate through the SoA batch kernel
+     * (PerfParams::batchAnalyticEval), TILE_SIM designs get a
+     * call-scoped GemmCache hoist. Deterministic: out[pos] depends
+     * only on indices[pos], never on scheduling.
+     *
+     * @param plan      Compiled space (must outlive the call).
+     * @param indices   Plan indices to evaluate (any order; repeats
+     *                  allowed and evaluated repeatedly).
+     * @param count     Number of indices.
+     * @param predicate Keep-filter recorded in PointSample::kept.
+     * @param out       Caller-allocated array of @p count samples.
+     * @param threads   Worker cap; 0 uses the pool's concurrency.
+     */
+    void evaluatePlanIndices(const SweepPlan &plan,
+                             const std::size_t *indices,
+                             std::size_t count,
+                             const StreamPredicate &predicate,
+                             PointSample *out,
+                             unsigned threads = 0) const;
+
     /** The prebuilt per-layer graphs (hardware independent). */
     const model::LayerGraph &prefillGraph() const { return prefill_; }
     const model::LayerGraph &decodeGraph() const { return decode_; }
+
+    /** The evaluator's perf-model constants (fingerprinting). */
+    const perf::PerfParams &params() const { return params_; }
 
   private:
     /**
@@ -192,6 +241,34 @@ class DesignEvaluator
      */
     EvaluatedDesign evaluateWith(const hw::HardwareConfig &cfg,
                                  const perf::PerfParams &params) const;
+
+    /** The non-timing fields of evaluate(): area, cost, reticle. */
+    void fillStaticFields(const hw::HardwareConfig &cfg,
+                          EvaluatedDesign *d) const;
+
+    struct ChunkScratch; // per-worker buffers (evaluate.cc)
+
+    /**
+     * Per-design completion hook of evaluateChunk: (design, plan
+     * index, position). Position is base + offset — the slot in the
+     * caller's index/output arrays.
+     */
+    using ChunkSink = std::function<void(
+        const EvaluatedDesign &, std::size_t, std::size_t)>;
+
+    /**
+     * Evaluate one worker-claimed chunk: positions [base, base+count)
+     * mapping to plan indices indices[pos] (or pos itself when
+     * indices is null — the streaming pipeline's contiguous claim).
+     * Routes through the SoA batch kernel when the params allow
+     * (perf::batchEvalEligible), the scalar evaluateWith otherwise;
+     * both deliver identical designs to @p sink in position order.
+     */
+    void evaluateChunk(const SweepPlan &plan, std::size_t base,
+                       std::size_t count, const std::size_t *indices,
+                       const perf::PerfParams &params,
+                       ChunkScratch &scratch,
+                       const ChunkSink &sink) const;
 
     model::TransformerConfig modelCfg_;
     model::InferenceSetting setting_;

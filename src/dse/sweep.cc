@@ -21,10 +21,73 @@ SweepSpace::size() const
            deviceBandwidths.size() * diesPerPackage.size();
 }
 
+namespace {
+
+/** FNV-1a over raw bytes (fingerprints below; not cryptographic). */
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+template <typename T>
+std::uint64_t
+fnvValue(const T &v, std::uint64_t h)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
+template <typename T>
+std::uint64_t
+fnvList(const std::vector<T> &values, std::uint64_t h)
+{
+    const std::size_t n = values.size();
+    h = fnvValue(n, h);
+    for (const T &v : values)
+        h = fnvValue(v, h);
+    return h;
+}
+
+/**
+ * Fingerprint of every field feasibleSize() depends on: the parameter
+ * lists (their sizes fix the product; dims/lanes/dies also gate
+ * feasibility), the TPP target, and the base clock/bitwidth that
+ * enter coresForTpp.
+ */
+std::uint64_t
+feasibilityFingerprint(const SweepSpace &space)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = fnvValue(space.tppTarget, h);
+    h = fnvValue(space.base.clockHz, h);
+    h = fnvValue(space.base.opBitwidth, h);
+    h = fnvList(space.systolicDims, h);
+    h = fnvList(space.lanesPerCore, h);
+    h = fnvList(space.l1BytesPerCore, h);
+    h = fnvList(space.l2Bytes, h);
+    h = fnvList(space.memBandwidths, h);
+    h = fnvList(space.deviceBandwidths, h);
+    h = fnvList(space.diesPerPackage, h);
+    return h;
+}
+
+} // anonymous namespace
+
 std::size_t
 SweepSpace::feasibleSize() const
 {
-    return SweepPlan(*this).pointCount();
+    const std::uint64_t fp = feasibilityFingerprint(*this);
+    if (feasibleCached_ && feasibleFp_ == fp)
+        return feasibleCount_;
+    feasibleCount_ = SweepPlan(*this).pointCount();
+    feasibleFp_ = fp;
+    feasibleCached_ = true;
+    return feasibleCount_;
 }
 
 std::vector<SweepAxis>
@@ -157,9 +220,11 @@ SweepPlan::SweepPlan(const SweepSpace &space)
                   space.deviceBandwidths.size();
     pointCount_ = outers_.size() * innerBlock_;
 
-    // Compile the inner name tails once: point() then only splices
-    // three precomputed strings instead of formatting four floats per
-    // design (see the innerSuffixes_ member note).
+    // Compile the per-axis name fragments once: every inner tail is
+    // "<l1>K-L2.<l2>M-hbm<mem>T-dev<dev>G", so four small fragment
+    // tables cover any inner-block size with zero per-point number
+    // formatting (glibc's float printf serializes across sweep
+    // workers).
     //
     // Axis order inside the inner block is l1 -> l2 -> mem -> dev
     // with dev varying fastest: the one comm-only axis
@@ -168,28 +233,64 @@ SweepPlan::SweepPlan(const SweepSpace &space)
     // commOnlyRunLength() indices. Sweep evaluators lean on that
     // adjacency — a cross-design GEMM cache warms on the first design
     // of each run and hits for the rest of it.
-    innerSuffixes_.resize(innerBlock_);
-    for (std::size_t rem = 0; rem < innerBlock_; ++rem) {
-        std::size_t r = rem;
-        const std::size_t n_dev = space.deviceBandwidths.size();
-        const std::size_t n_mem = space.memBandwidths.size();
-        const std::size_t n_l2 = space.l2Bytes.size();
-        const double dev_bw = space.deviceBandwidths[r % n_dev];
-        r /= n_dev;
-        const double mem_bw = space.memBandwidths[r % n_mem];
-        r /= n_mem;
-        const double l2 = space.l2Bytes[r % n_l2];
-        r /= n_l2;
-        const double l1 = space.l1BytesPerCore[r];
-        std::string &tail = innerSuffixes_[rem];
-        appendNum(tail, l1 / units::KIB);
-        tail += "K-L2.";
-        appendNum(tail, l2 / units::MIB);
-        tail += "M-hbm";
-        appendNum(tail, mem_bw / units::TBPS);
-        tail += "T-dev";
-        appendNum(tail, dev_bw / units::GBPS);
-        tail += 'G';
+    l1Frags_.reserve(space.l1BytesPerCore.size());
+    for (const double l1 : space.l1BytesPerCore) {
+        std::string f;
+        appendNum(f, l1 / units::KIB);
+        f += "K-L2.";
+        l1Frags_.push_back(std::move(f));
+    }
+    l2Frags_.reserve(space.l2Bytes.size());
+    for (const double l2 : space.l2Bytes) {
+        std::string f;
+        appendNum(f, l2 / units::MIB);
+        f += "M-hbm";
+        l2Frags_.push_back(std::move(f));
+    }
+    memFrags_.reserve(space.memBandwidths.size());
+    for (const double mem_bw : space.memBandwidths) {
+        std::string f;
+        appendNum(f, mem_bw / units::TBPS);
+        f += "T-dev";
+        memFrags_.push_back(std::move(f));
+    }
+    devFrags_.reserve(space.deviceBandwidths.size());
+    for (const double dev_bw : space.deviceBandwidths) {
+        std::string f;
+        appendNum(f, dev_bw / units::GBPS);
+        f += 'G';
+        devFrags_.push_back(std::move(f));
+    }
+
+    // Whole-tail table on top of the fragments for exhaustive-scale
+    // spaces only: splicing one precompiled tail beats three extra
+    // appends per point, but the table is O(innerBlock_) strings —
+    // prohibitive for fine-grained adaptive spaces (dse::fineSpace has
+    // ~1.5M inner points per outer cell), which sample the block too
+    // sparsely to amortize it anyway. Names are byte-identical either
+    // way; tests/test_dse.cpp pins both paths against a stream-built
+    // reference.
+    if (innerBlock_ <= 65536) {
+        innerSuffixes_.resize(innerBlock_);
+        for (std::size_t rem = 0; rem < innerBlock_; ++rem) {
+            std::size_t r = rem;
+            const std::size_t n_dev = space.deviceBandwidths.size();
+            const std::size_t n_mem = space.memBandwidths.size();
+            const std::size_t n_l2 = space.l2Bytes.size();
+            const std::size_t dev = r % n_dev;
+            r /= n_dev;
+            const std::size_t mem = r % n_mem;
+            r /= n_mem;
+            const std::size_t l2 = r % n_l2;
+            r /= n_l2;
+            std::string &tail = innerSuffixes_[rem];
+            tail.reserve(l1Frags_[r].size() + l2Frags_[l2].size() +
+                         memFrags_[mem].size() + devFrags_[dev].size());
+            tail.append(l1Frags_[r]);
+            tail.append(l2Frags_[l2]);
+            tail.append(memFrags_[mem]);
+            tail.append(devFrags_[dev]);
+        }
     }
 }
 
@@ -211,19 +312,28 @@ SweepPlan::point(std::size_t index, hw::HardwareConfig *out) const
     const std::size_t n_dev = space_.deviceBandwidths.size();
     const std::size_t n_mem = space_.memBandwidths.size();
     const std::size_t n_l2 = space_.l2Bytes.size();
-    const double dev_bw = space_.deviceBandwidths[rem % n_dev];
+    const std::size_t dev = rem % n_dev;
     rem /= n_dev;
-    const double mem_bw = space_.memBandwidths[rem % n_mem];
+    const std::size_t mem = rem % n_mem;
     rem /= n_mem;
-    const double l2 = space_.l2Bytes[rem % n_l2];
+    const std::size_t l2 = rem % n_l2;
     rem /= n_l2;
-    const double l1 = space_.l1BytesPerCore[rem];
-    fillFields(space_, o.dies, o.dim, o.lanes, o.cores, l1, l2, mem_bw,
-               dev_bw, out);
+    const std::size_t l1 = rem;
+    fillFields(space_, o.dies, o.dim, o.lanes, o.cores,
+               space_.l1BytesPerCore[l1], space_.l2Bytes[l2],
+               space_.memBandwidths[mem], space_.deviceBandwidths[dev],
+               out);
     // Assemble the name from the precompiled fragments, reusing the
     // caller's string storage (no allocation once warm).
     out->name.assign(o.namePrefix);
-    out->name.append(innerSuffixes_[inner]);
+    if (!innerSuffixes_.empty()) {
+        out->name.append(innerSuffixes_[inner]);
+    } else {
+        out->name.append(l1Frags_[l1]);
+        out->name.append(l2Frags_[l2]);
+        out->name.append(memFrags_[mem]);
+        out->name.append(devFrags_[dev]);
+    }
     out->name.append(o.diesSuffix);
     out->validate();
 }
@@ -287,6 +397,32 @@ table5Space()
                            1.6 * units::TBPS, 2.0 * units::TBPS};
     space.deviceBandwidths = {400.0 * units::GBPS, 500.0 * units::GBPS,
                               600.0 * units::GBPS};
+    return space;
+}
+
+SweepSpace
+fineSpace(double tpp_target)
+{
+    SweepSpace space;
+    space.base = hw::modeledA100();
+    space.tppTarget = tpp_target;
+    // Outer axes: Table 3 densified. 7 dims x 8 lane counts x 2
+    // chiplet counts = 112 outer combinations.
+    space.systolicDims = {8, 12, 16, 20, 24, 28, 32};
+    space.lanesPerCore = {1, 2, 3, 4, 5, 6, 7, 8};
+    space.diesPerPackage = {1, 2};
+    // Inner axes: dense uniform grids spanning (and exceeding) the
+    // Table 3 ranges. 29 x 41 x 35 x 37 = ~1.5M inner points per
+    // outer cell, ~1.7e8 designs total.
+    for (int i = 0; i < 29; ++i)
+        space.l1BytesPerCore.push_back((192.0 + 32.0 * i) * units::KIB);
+    for (int i = 0; i < 41; ++i)
+        space.l2Bytes.push_back((16.0 + 2.0 * i) * units::MIB);
+    for (int i = 0; i < 35; ++i)
+        space.memBandwidths.push_back((1.5 + 0.05 * i) * units::TBPS);
+    for (int i = 0; i < 37; ++i)
+        space.deviceBandwidths.push_back((100.0 + 25.0 * i) *
+                                         units::GBPS);
     return space;
 }
 

@@ -11,6 +11,7 @@
 #define ACS_DSE_SWEEP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -77,10 +78,24 @@ struct SweepSpace
     /**
      * The number of design points the space actually enumerates:
      * size() minus the points of infeasible (dies, dim, lanes) outer
-     * combinations. Exactly generate().size(); costs one SweepPlan
-     * compilation (and emits its one-per-combination skip warnings).
+     * combinations. Exactly generate().size().
+     *
+     * Memoized: the first call compiles a SweepPlan (emitting its
+     * one-per-combination skip warnings); repeat calls pay only a
+     * fingerprint of the parameter lists, recomputed so mutating any
+     * swept field (or tppTarget / the base clock) invalidates the
+     * cached count automatically.
      */
     std::size_t feasibleSize() const;
+
+    /**
+     * feasibleSize() memo (fingerprint of the fields the count
+     * depends on, plus the cached value). Mutable bookkeeping only —
+     * public because SweepSpace is an aggregate; not part of the API.
+     */
+    mutable std::uint64_t feasibleFp_ = 0;
+    mutable std::size_t feasibleCount_ = 0;
+    mutable bool feasibleCached_ = false;
 
     /**
      * The sweep axes in enumeration order, outermost first, each
@@ -137,6 +152,18 @@ class SweepPlan
     /** Design points the plan enumerates (== generate().size()). */
     std::size_t pointCount() const { return pointCount_; }
 
+    /** Feasible (dies, dim, lanes, cores) outer combinations. */
+    std::size_t outerCount() const { return outers_.size(); }
+
+    /**
+     * Points per outer combination: |l1| x |l2| x |memBw| x |devBw|.
+     * Outer cell o spans flat indices [o * innerBlockSize(), (o + 1) *
+     * innerBlockSize()) — the natural shard boundary (dse::ShardSpec):
+     * no compute-class run, and no inner-axis refinement neighborhood,
+     * ever crosses an outer cell.
+     */
+    std::size_t innerBlockSize() const { return innerBlock_; }
+
     /**
      * Build the design point at flat index @p index (bounds-checked;
      * identical to generate()[index]).
@@ -191,8 +218,20 @@ class SweepPlan
      * every design name is namePrefix + innerSuffix + diesSuffix, so
      * compiling the fragments here keeps all number formatting out of
      * point() (glibc's float printf serializes across sweep workers).
+     *
+     * Only built while innerBlock_ stays small (the paper's Table 3/5
+     * spaces): a fine-grained adaptive space (dse::fineSpace) has
+     * millions of inner points per outer cell, where a full suffix
+     * table would cost hundreds of megabytes to enumerate a space the
+     * adaptive engine then samples sparsely. Above the threshold
+     * point() splices four per-axis fragments instead — byte-identical
+     * names (same fragments, same order), one extra append per axis.
      */
     std::vector<std::string> innerSuffixes_;
+    std::vector<std::string> l1Frags_;  //!< "<l1>K-L2."
+    std::vector<std::string> l2Frags_;  //!< "<l2>M-hbm"
+    std::vector<std::string> memFrags_; //!< "<mem>T-dev"
+    std::vector<std::string> devFrags_; //!< "<dev>G"
     std::size_t innerBlock_ = 0; //!< points per OuterPoint
     std::size_t pointCount_ = 0;
 };
@@ -214,6 +253,18 @@ SweepSpace table3Space(double tpp_target,
  * below the modeled A100; 2304 points).
  */
 SweepSpace table5Space();
+
+/**
+ * A fine-grained Table-3-style space for the adaptive DSE engine
+ * (docs/DSE.md): the Table 3 outer axes densified (systolic dims in
+ * steps of 4, all lane counts, 1- and 2-die packages) and dense inner
+ * grids — L1 in 32 KiB steps, L2 in 2 MiB steps, HBM bandwidth in
+ * 0.05 TB/s steps, device bandwidth in 25 GB/s steps. ~1.7 x 10^8
+ * feasible designs: three-plus orders of magnitude finer than Table 3,
+ * sized for AdaptiveSearch (exhaustive enumeration at the streaming
+ * rate would take most of an hour; see results/BENCH_dse.json).
+ */
+SweepSpace fineSpace(double tpp_target = 4800.0);
 
 } // namespace dse
 } // namespace acs

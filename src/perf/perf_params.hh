@@ -173,6 +173,21 @@ struct PerfParams
     GemmCache *gemmCache = nullptr;
 
     /**
+     * Let sweep drivers (dse::DesignEvaluator::evaluateStream and
+     * evaluatePlanIndices) evaluate ANALYTIC-mode designs through the
+     * SoA batch kernel (perf/batch_eval.hh): one structure-of-arrays
+     * pass per operator over a whole chunk of designs, with
+     * auto-vectorizable inner loops, instead of one InferenceSimulator
+     * per design. Bit-identical to the scalar path — the kernel
+     * mirrors MatmulModel/VectorModel/CommModel expression for
+     * expression (tests/test_batch_eval.cpp pins this) — so the
+     * switch exists for A/B benchmarking only. The batched path skips
+     * per-op trace spans and bound tallies; use the scalar path (or
+     * runSweep) when per-op observability matters.
+     */
+    bool batchAnalyticEval = true;
+
+    /**
      * Let sweep drivers (dse::DesignEvaluator's evaluateAll,
      * evaluateAllParallel, and evaluateStream) hoist a sweep-scoped
      * GemmCache automatically

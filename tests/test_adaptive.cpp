@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Property tests of the adaptive DSE engine (dse/adaptive.hh) and its
+ * checkpoint/shard machinery (dse/checkpoint.hh):
+ *
+ *  - Exactness: on the paper's fig06 (Table 3) and fig07 spaces the
+ *    adaptive search returns bit-identical argmin designs — config,
+ *    metrics, and enumeration-index tie-break — to the exhaustive
+ *    stream, while evaluating under 30% of the space. A randomized
+ *    space generator fuzzes the same property.
+ *  - Checkpoint/resume: a run killed mid-search (maxEvaluations)
+ *    resumes from its snapshot to a final checkpoint byte-identical
+ *    to an uninterrupted run's.
+ *  - Shard merge: independent shard runs merge deterministically and
+ *    recover the global argmin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/study.hh"
+#include "dse/adaptive.hh"
+#include "dse/checkpoint.hh"
+#include "dse/evaluate.hh"
+#include "dse/sweep.hh"
+
+namespace acs {
+namespace dse {
+namespace {
+
+core::Workload
+cheapWorkload(int tensor_parallel)
+{
+    core::Workload w = core::llamaWorkload();
+    w.system.tensorParallel = tensor_parallel;
+    return w;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Adaptive argmins must equal the exhaustive stream's bit-for-bit. */
+void
+expectMatchesExhaustive(const SweepSpace &space, const core::Workload &w,
+                        double max_fraction)
+{
+    const DesignEvaluator evaluator(w.model, w.setting, w.system);
+    const StreamStats exhaustive = evaluator.evaluateStream(space);
+
+    AdaptiveSearch search(evaluator, space);
+    const AdaptiveResult res = search.run();
+
+    ASSERT_TRUE(exhaustive.bestTtft.has_value());
+    ASSERT_TRUE(res.bestTtft.has_value());
+    ASSERT_TRUE(res.bestTbt.has_value());
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(res.bestTtftIndex, exhaustive.bestTtftIndex);
+    EXPECT_EQ(res.bestTbtIndex, exhaustive.bestTbtIndex);
+    EXPECT_EQ(res.bestTtft->ttftS, exhaustive.bestTtft->ttftS);
+    EXPECT_EQ(res.bestTtft->tbtS, exhaustive.bestTtft->tbtS);
+    EXPECT_EQ(res.bestTbt->ttftS, exhaustive.bestTbt->ttftS);
+    EXPECT_EQ(res.bestTbt->tbtS, exhaustive.bestTbt->tbtS);
+    EXPECT_EQ(res.bestTtft->config.name,
+              exhaustive.bestTtft->config.name);
+    EXPECT_EQ(res.bestTbt->config.name, exhaustive.bestTbt->config.name);
+    EXPECT_EQ(res.spacePoints, space.feasibleSize());
+    EXPECT_LE(res.evaluated, res.shardPoints);
+    if (max_fraction < 1.0)
+        EXPECT_LT(res.fractionEvaluated, max_fraction);
+}
+
+// ---- exactness on the paper's spaces ---------------------------------------
+
+TEST(AdaptiveSearch, MatchesExhaustiveOnFig06Space)
+{
+    expectMatchesExhaustive(
+        table3Space(4800.0, {600.0 * units::GBPS}), cheapWorkload(4),
+        0.30);
+}
+
+TEST(AdaptiveSearch, MatchesExhaustiveOnFig06SpaceSingleDevice)
+{
+    // TP=1 zeroes every allreduce: the whole dev axis ties, the
+    // hardest case for the first-wins index tie-break.
+    expectMatchesExhaustive(
+        table3Space(4800.0, {600.0 * units::GBPS}), cheapWorkload(1),
+        0.30);
+}
+
+TEST(AdaptiveSearch, MatchesExhaustiveOnFig07Spaces)
+{
+    const std::vector<double> dev = {500.0 * units::GBPS,
+                                     700.0 * units::GBPS,
+                                     900.0 * units::GBPS};
+    for (double tpp : {1600.0, 2400.0, 4800.0}) {
+        SCOPED_TRACE(tpp);
+        expectMatchesExhaustive(table3Space(tpp, dev), cheapWorkload(4),
+                                0.30);
+    }
+}
+
+TEST(AdaptiveSearch, MatchesExhaustiveOnTable5Space)
+{
+    expectMatchesExhaustive(table5Space(), cheapWorkload(4), 1.0);
+}
+
+// ---- randomized spaces -----------------------------------------------------
+
+TEST(AdaptiveSearch, MatchesExhaustiveOnRandomizedSpaces)
+{
+    std::mt19937 rng(20250809u);
+    const auto axis = [&](double lo, double hi, std::size_t max_n) {
+        std::uniform_int_distribution<std::size_t> count(1, max_n);
+        std::uniform_real_distribution<double> value(lo, hi);
+        const std::size_t n = count(rng);
+        std::vector<double> v(n);
+        for (double &x : v)
+            x = value(rng);
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        return v;
+    };
+    for (int trial = 0; trial < 6; ++trial) {
+        SCOPED_TRACE(trial);
+        SweepSpace space = table3Space(4800.0, {});
+        space.l1BytesPerCore =
+            axis(128.0 * units::KIB, 1024.0 * units::KIB, 6);
+        space.l2Bytes = axis(16.0 * units::MIB, 96.0 * units::MIB, 6);
+        space.memBandwidths =
+            axis(1.0 * units::TBPS, 3.2 * units::TBPS, 6);
+        space.deviceBandwidths =
+            axis(200.0 * units::GBPS, 900.0 * units::GBPS, 5);
+        // Small spaces refine into full coverage; exactness is the
+        // property under test here, not the pruning ratio.
+        expectMatchesExhaustive(space, cheapWorkload(4), 1.0);
+    }
+}
+
+// ---- checkpoint/resume -----------------------------------------------------
+
+TEST(AdaptiveCheckpoint, KillResumeIsByteIdenticalToStraightRun)
+{
+    const SweepSpace space = table3Space(4800.0, {600.0 * units::GBPS});
+    const core::Workload w = cheapWorkload(1);
+    const DesignEvaluator evaluator(w.model, w.setting, w.system);
+
+    const std::string full_path =
+        testing::TempDir() + "acs-adaptive-full.ckpt";
+    const std::string kill_path =
+        testing::TempDir() + "acs-adaptive-kill.ckpt";
+    std::remove(full_path.c_str());
+    std::remove(kill_path.c_str());
+
+    AdaptiveConfig cfg;
+    cfg.checkpointPath = full_path;
+    const AdaptiveResult straight =
+        AdaptiveSearch(evaluator, space, cfg).run();
+    EXPECT_TRUE(straight.complete);
+
+    // Kill: the budget stops the search wave-aligned after the coarse
+    // round; the final (incomplete) snapshot still lands on disk.
+    AdaptiveConfig kill = cfg;
+    kill.checkpointPath = kill_path;
+    kill.maxEvaluations = 70;
+    const AdaptiveResult killed =
+        AdaptiveSearch(evaluator, space, kill).run();
+    EXPECT_FALSE(killed.complete);
+    EXPECT_LE(killed.evaluated, 70u);
+
+    {
+        Checkpoint ck;
+        ASSERT_TRUE(readCheckpoint(kill_path, &ck));
+        EXPECT_FALSE(ck.complete);
+        EXPECT_EQ(ck.points.size(), killed.evaluated);
+    }
+
+    // Resume without a budget: replays the trajectory with cache hits
+    // and runs to convergence.
+    AdaptiveConfig resume = cfg;
+    resume.checkpointPath = kill_path;
+    const AdaptiveResult resumed =
+        AdaptiveSearch(evaluator, space, resume).run();
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.evaluated, straight.evaluated);
+    EXPECT_EQ(resumed.waves, straight.waves);
+    EXPECT_EQ(resumed.bestTtftIndex, straight.bestTtftIndex);
+    EXPECT_EQ(resumed.bestTbtIndex, straight.bestTbtIndex);
+    ASSERT_EQ(resumed.frontier.size(), straight.frontier.size());
+    for (std::size_t i = 0; i < resumed.frontier.size(); ++i) {
+        EXPECT_EQ(resumed.frontier[i].index, straight.frontier[i].index);
+        EXPECT_EQ(resumed.frontier[i].ttftS, straight.frontier[i].ttftS);
+        EXPECT_EQ(resumed.frontier[i].tbtS, straight.frontier[i].tbtS);
+    }
+
+    // The resumed final checkpoint is byte-identical to the straight
+    // run's — the whole file, frontier included by construction.
+    EXPECT_EQ(slurp(kill_path), slurp(full_path));
+
+    std::remove(full_path.c_str());
+    std::remove(kill_path.c_str());
+}
+
+TEST(AdaptiveCheckpoint, WriteReadRoundTripIsExact)
+{
+    Checkpoint ck;
+    ck.fingerprint = 0xdeadbeefcafef00dull;
+    ck.shard = ShardSpec{2, 8};
+    ck.spacePoints = 123456789;
+    ck.complete = false;
+    ck.waves = 17;
+    // Awkward doubles: subnormal, negative zero, huge, tiny.
+    ck.points.push_back({0, 5e-324, -0.0, POINT_KEPT});
+    ck.points.push_back({41, 1.0 / 3.0, 2.0 / 3.0,
+                         POINT_KEPT | POINT_UNDER_RETICLE});
+    ck.points.push_back({999999999999ull, 1e308, 2.5e-308,
+                         POINT_UNREGULATED});
+
+    const std::string path =
+        testing::TempDir() + "acs-ckpt-roundtrip.ckpt";
+    writeCheckpoint(path, ck);
+    Checkpoint back;
+    ASSERT_TRUE(readCheckpoint(path, &back));
+    EXPECT_EQ(back.version, CHECKPOINT_VERSION);
+    EXPECT_EQ(back.fingerprint, ck.fingerprint);
+    EXPECT_TRUE(back.shard == ck.shard);
+    EXPECT_EQ(back.spacePoints, ck.spacePoints);
+    EXPECT_EQ(back.complete, ck.complete);
+    EXPECT_EQ(back.waves, ck.waves);
+    ASSERT_EQ(back.points.size(), ck.points.size());
+    for (std::size_t i = 0; i < ck.points.size(); ++i) {
+        EXPECT_EQ(back.points[i].index, ck.points[i].index);
+        // Bit-level comparison (EXPECT_EQ on -0.0 would pass vs 0.0).
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(back.points[i].ttftS),
+                  std::bit_cast<std::uint64_t>(ck.points[i].ttftS));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(back.points[i].tbtS),
+                  std::bit_cast<std::uint64_t>(ck.points[i].tbtS));
+        EXPECT_EQ(back.points[i].flags, ck.points[i].flags);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(AdaptiveCheckpoint, MissingFileReadsFalse)
+{
+    Checkpoint ck;
+    EXPECT_FALSE(
+        readCheckpoint(testing::TempDir() + "acs-no-such.ckpt", &ck));
+}
+
+// ---- sharding --------------------------------------------------------------
+
+TEST(ShardSpec, ParseAndRange)
+{
+    const ShardSpec s = parseShardSpec("2/8");
+    EXPECT_EQ(s.index, 2u);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_THROW(parseShardSpec("8/8"), FatalError);
+    EXPECT_THROW(parseShardSpec("nope"), FatalError);
+
+    // Ranges partition [0, outers) contiguously, remainder up front.
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto [first, last] = shardOuterRange({i, 3}, 8);
+        EXPECT_EQ(first, prev_end);
+        prev_end = last;
+        covered += last - first;
+    }
+    EXPECT_EQ(prev_end, 8u);
+    EXPECT_EQ(covered, 8u);
+}
+
+TEST(AdaptiveShards, MergedShardsRecoverGlobalArgmin)
+{
+    const SweepSpace space = table3Space(
+        2400.0, {500.0 * units::GBPS, 700.0 * units::GBPS,
+                 900.0 * units::GBPS});
+    const core::Workload w = cheapWorkload(4);
+    const DesignEvaluator evaluator(w.model, w.setting, w.system);
+    const StreamStats exhaustive = evaluator.evaluateStream(space);
+
+    std::vector<Checkpoint> shards;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const std::string path = testing::TempDir() + "acs-shard-" +
+                                 std::to_string(i) + ".ckpt";
+        std::remove(path.c_str());
+        AdaptiveConfig cfg;
+        cfg.shard = ShardSpec{i, 2};
+        cfg.checkpointPath = path;
+        const AdaptiveResult res =
+            AdaptiveSearch(evaluator, space, cfg).run();
+        EXPECT_TRUE(res.complete);
+        Checkpoint ck;
+        ASSERT_TRUE(readCheckpoint(path, &ck));
+        EXPECT_TRUE(ck.complete);
+        shards.push_back(std::move(ck));
+        std::remove(path.c_str());
+    }
+
+    // Merge validates coverage and keeps points sorted by index.
+    const Checkpoint merged = mergeShardCheckpoints(shards);
+    EXPECT_TRUE(merged.complete);
+    EXPECT_EQ(merged.shard.count, 1u);
+    for (std::size_t i = 1; i < merged.points.size(); ++i)
+        EXPECT_LT(merged.points[i - 1].index, merged.points[i].index);
+
+    // The global argmin is the min over shard-local argmins, each of
+    // which the per-shard search found exactly.
+    bool have = false;
+    double best = 0.0;
+    std::size_t best_index = 0;
+    for (const CheckpointPoint &p : merged.points) {
+        if (!(p.flags & POINT_KEPT))
+            continue;
+        if (!have || p.ttftS < best) {
+            best = p.ttftS;
+            best_index = p.index;
+            have = true;
+        }
+    }
+    ASSERT_TRUE(have && exhaustive.bestTtft.has_value());
+    EXPECT_EQ(best_index, exhaustive.bestTtftIndex);
+    EXPECT_EQ(best, exhaustive.bestTtft->ttftS);
+
+    // Frontier of the merged set: strictly tradeoff-ordered.
+    const std::vector<FrontierPoint> frontier =
+        frontierOfPoints(merged.points);
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GT(frontier[i].ttftS, frontier[i - 1].ttftS);
+        EXPECT_LT(frontier[i].tbtS, frontier[i - 1].tbtS);
+    }
+    EXPECT_EQ(frontier.front().ttftS, exhaustive.bestTtft->ttftS);
+
+    // Mismatched fingerprints must refuse to merge.
+    std::vector<Checkpoint> bad = shards;
+    bad[1].fingerprint ^= 1;
+    EXPECT_THROW(mergeShardCheckpoints(bad), FatalError);
+}
+
+} // namespace
+} // namespace dse
+} // namespace acs

@@ -651,6 +651,20 @@ TEST(SweepSpace, FeasibleSizeMatchesGenerateUnderSkips)
     EXPECT_EQ(full.feasibleSize(), full.size());
 }
 
+TEST(SweepSpace, FineSpaceIsAdaptiveScale)
+{
+    // The adaptive engine's target space: >= 10^8 feasible designs,
+    // dense inner axes, the comm-only device axis innermost. The
+    // memoized feasibleSize() makes this cheap — nothing here may
+    // materialize the space.
+    const SweepSpace fine = fineSpace();
+    EXPECT_GE(fine.feasibleSize(), std::size_t{100'000'000});
+    EXPECT_EQ(fine.feasibleSize(), SweepPlan(fine).pointCount());
+    const auto axes = fine.axes();
+    EXPECT_STREQ(axes.back().name, "deviceBandwidths");
+    EXPECT_EQ(axes.back().effect, AxisEffect::COMM_ONLY);
+}
+
 TEST(SweepPlan, CommOnlyRunsShareComputeProjection)
 {
     // Designs within one commOnlyRunLength() run must differ only in

@@ -11,6 +11,10 @@
  *       Evaluate a design file on a workload vs the A100 baseline.
  *   sweep <workload> <tpp>
  *       Run the Table-3 sweep and print compliant optima.
+ *   dse <workload> [--space=...] [--shard=i/n] [--checkpoint=dir]
+ *       Adaptive coarse-to-fine search (docs/DSE.md) over the Table 3,
+ *       Table 5, or fine-grained space, with sharding, checkpoint/
+ *       resume, and deterministic shard merge (--merge).
  *   metrics <config.kv>
  *       CTP / APP / TPP for a design file.
  *   serve-sim <workload> [device] [--rate=...] [--seed=N] ...
@@ -54,6 +58,9 @@ usage()
         "  db [data-center|consumer|workstation]\n"
         "  evaluate <config.kv> <gpt3|llama|llama70b|mixtral>\n"
         "  sweep <gpt3|llama|llama70b|mixtral> <tpp>\n"
+        "  dse <gpt3|llama|llama70b|mixtral> [--space=table3|table5|fine]\n"
+        "      [--tpp=<n>] [--shard=<i>/<n>] [--checkpoint=<dir>]\n"
+        "      [--ckpt-every=<points>] [--max-evals=<points>] [--merge]\n"
         "  metrics <config.kv>\n"
         "  serve-sim <gpt3|llama|llama70b|mixtral> [device]\n"
         "            [--rate=r1,r2,...] [--seed=<n>]\n"
@@ -76,6 +83,17 @@ usage()
         "    Arrivals come from --trace (arrival_s,prompt,output CSV\n"
         "    rows), the --diurnal generator, or a Poisson stream at\n"
         "    --demand req/s.\n"
+        "dse runs the adaptive coarse-to-fine engine (docs/DSE.md):\n"
+        "    --space picks the design space (default table3 at --tpp,\n"
+        "    fine is the ~1.7e8-point space), --shard=<i>/<n> restricts\n"
+        "    this process to shard i of n (outer-cell ranges),\n"
+        "    --checkpoint=<dir> enables snapshot/resume (the canonical\n"
+        "    shard-<i>-of-<n>.ckpt file; an existing file is resumed),\n"
+        "    --ckpt-every sets the snapshot cadence in evaluated\n"
+        "    points, --max-evals stops early (wave-aligned; resume\n"
+        "    continues), and --merge merges all <n> completed shard\n"
+        "    checkpoints and reports the global optima instead of\n"
+        "    searching.\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
         "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
@@ -217,6 +235,151 @@ cmdSweep(const std::vector<std::string> &args)
               << " ms ("
               << fmtPercent(decode.tbtS / baseline.tbtS - 1.0)
               << " vs A100) [" << decode.config.name << "]\n";
+    return 0;
+}
+
+/** Resolve a dse --space= name (fatal on an unknown one). */
+dse::SweepSpace
+dseSpaceByName(const std::string &name, double tpp)
+{
+    if (name == "table3") {
+        return dse::table3Space(tpp, {500.0 * units::GBPS,
+                                      700.0 * units::GBPS,
+                                      900.0 * units::GBPS});
+    }
+    if (name == "table5")
+        return dse::table5Space();
+    if (name == "fine")
+        return dse::fineSpace(tpp);
+    fatal("unknown --space '" + name + "' (table3|table5|fine)");
+}
+
+/** Merge completed shard checkpoints and report the global optima. */
+int
+runDseMerge(const core::Workload &workload, const dse::SweepSpace &space,
+            const dse::AdaptiveConfig &acfg, const std::string &dir)
+{
+    const core::SanctionsStudy study(g_perf_params);
+    const dse::DesignEvaluator evaluator(
+        workload.model, workload.setting, workload.system,
+        study.params());
+    const dse::AdaptiveSearch search(evaluator, space, acfg);
+
+    std::vector<dse::Checkpoint> shards;
+    for (std::size_t i = 0; i < acfg.shard.count; ++i) {
+        dse::ShardSpec s;
+        s.index = i;
+        s.count = acfg.shard.count;
+        const std::string path = dse::checkpointShardFile(dir, s);
+        dse::Checkpoint ck;
+        fatalIf(!dse::readCheckpoint(path, &ck),
+                "missing shard checkpoint " + path);
+        shards.push_back(std::move(ck));
+    }
+    const dse::Checkpoint merged = dse::mergeShardCheckpoints(shards);
+
+    // First-wins argmins over the kept set (points are index-sorted,
+    // so strict < reproduces the exhaustive tie-break).
+    const dse::CheckpointPoint *best_t = nullptr;
+    const dse::CheckpointPoint *best_b = nullptr;
+    std::size_t kept = 0;
+    for (const dse::CheckpointPoint &p : merged.points) {
+        if (!(p.flags & dse::POINT_KEPT))
+            continue;
+        ++kept;
+        if (!best_t || p.ttftS < best_t->ttftS)
+            best_t = &p;
+        if (!best_b || p.tbtS < best_b->tbtS)
+            best_b = &p;
+    }
+    const auto frontier = dse::frontierOfPoints(merged.points);
+
+    std::cout << merged.points.size() << " points across "
+              << acfg.shard.count << " shard(s), " << kept
+              << " kept, frontier " << frontier.size() << "\n";
+    if (best_t) {
+        std::cout << "best TTFT: "
+                  << fmt(units::toMs(best_t->ttftS), 3) << " ms ["
+                  << search.plan().point(best_t->index).name << "]\n";
+    }
+    if (best_b) {
+        std::cout << "best TBT:  "
+                  << fmt(units::toMs(best_b->tbtS), 4) << " ms ["
+                  << search.plan().point(best_b->index).name << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdDse(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const core::Workload workload = core::workloadByName(args[0]);
+
+    std::string space_name = "table3";
+    double tpp = 4800.0;
+    std::string ckpt_dir;
+    bool merge = false;
+    dse::AdaptiveConfig acfg;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--space=", 0) == 0) {
+            space_name = arg.substr(8);
+        } else if (arg.rfind("--tpp=", 0) == 0) {
+            tpp = std::stod(arg.substr(6));
+        } else if (arg.rfind("--shard=", 0) == 0) {
+            acfg.shard = dse::parseShardSpec(arg.substr(8));
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            ckpt_dir = arg.substr(13);
+        } else if (arg.rfind("--ckpt-every=", 0) == 0) {
+            acfg.checkpointEveryPoints = std::stoull(arg.substr(13));
+        } else if (arg.rfind("--max-evals=", 0) == 0) {
+            acfg.maxEvaluations = std::stoull(arg.substr(12));
+        } else if (arg == "--merge") {
+            merge = true;
+        } else {
+            std::cerr << "unknown dse option '" << arg << "'\n";
+            return usage();
+        }
+    }
+
+    const dse::SweepSpace space = dseSpaceByName(space_name, tpp);
+    if (merge) {
+        fatalIf(ckpt_dir.empty(), "--merge needs --checkpoint=<dir>");
+        return runDseMerge(workload, space, acfg, ckpt_dir);
+    }
+    if (!ckpt_dir.empty())
+        acfg.checkpointPath = dse::checkpointShardFile(ckpt_dir,
+                                                       acfg.shard);
+
+    const core::SanctionsStudy study(g_perf_params);
+    const dse::AdaptiveResult res =
+        study.runAdaptiveSweep(space, workload, acfg);
+
+    Table t({"metric", "value"});
+    t.addRow({"space points", std::to_string(res.spacePoints)});
+    t.addRow({"shard",
+              std::to_string(acfg.shard.index) + "/" +
+                  std::to_string(acfg.shard.count) + " (" +
+                  std::to_string(res.shardPoints) + " points)"});
+    t.addRow({"evaluated", std::to_string(res.evaluated)});
+    t.addRow({"fraction", fmtPercent(res.fractionEvaluated)});
+    t.addRow({"kept", std::to_string(res.kept)});
+    t.addRow({"waves", std::to_string(res.waves)});
+    t.addRow({"frontier", std::to_string(res.frontier.size())});
+    t.addRow({"complete", res.complete ? "yes" : "no (resumable)"});
+    t.print(std::cout);
+    if (res.bestTtft) {
+        std::cout << "best TTFT: "
+                  << fmt(units::toMs(res.bestTtft->ttftS), 3)
+                  << " ms [" << res.bestTtft->config.name << "]\n";
+    }
+    if (res.bestTbt) {
+        std::cout << "best TBT:  "
+                  << fmt(units::toMs(res.bestTbt->tbtS), 4)
+                  << " ms [" << res.bestTbt->config.name << "]\n";
+    }
     return 0;
 }
 
@@ -525,6 +688,8 @@ runCommand(const std::string &cmd, const std::vector<std::string> &args)
         return cmdEvaluate(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "dse")
+        return cmdDse(args);
     if (cmd == "metrics")
         return cmdMetrics(args);
     if (cmd == "serve-sim")
