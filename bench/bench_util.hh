@@ -112,6 +112,28 @@ perfParamsFromArgs(int argc, char **argv)
     return params;
 }
 
+/** Whether @p flag appears verbatim among the bench arguments. */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/**
+ * Whether `--legacy-sim` was passed: run the serving benches on the
+ * reference simulation path (binary-heap event queue, mutex+map cost
+ * memos) instead of the calendar-queue/flat-memo fast path. Both
+ * paths write byte-identical CSVs — CI diffs them to prove it.
+ */
+inline bool
+legacySim(int argc, char **argv)
+{
+    return hasFlag(argc, argv, "--legacy-sim");
+}
+
 /**
  * Write a table as results/<name>.csv so the figures can be re-plotted
  * with external tooling; prints the path on success.

@@ -26,10 +26,17 @@
  * bit-exact against the monolithic replica — the structural identity
  * tests/test_cluster.cpp asserts, kept visible in the CSV.
  *
- * Deterministic: re-running writes byte-identical CSV.
+ * Deterministic: re-running writes byte-identical CSV. The three
+ * fleet sizings are independent, so they fan out over
+ * common::ThreadPool into index-addressed row slots emitted in fleet
+ * order — byte-identical for every ACS_THREADS value. `--legacy-sim`
+ * reruns everything on the reference heap-queue/map-memo simulation
+ * path (same bytes; CI diffs the two).
  */
 
 #include "bench_util.hh"
+
+#include "common/thread_pool.hh"
 
 using namespace acs;
 
@@ -89,12 +96,16 @@ main(int argc, char **argv)
             "no Oct-2023-compliant 2400 TPP design found");
     const dse::EvaluatedDesign compliant = dse::minTbt(compliant_set);
 
+    const bool legacy = bench::legacySim(argc, argv);
+    const sim::MemoEngine memo = legacy
+                                     ? sim::MemoEngine::LEGACY_MAP
+                                     : sim::MemoEngine::FLAT;
     const sim::IterationCostModel a100_cost =
-        study.makeCostModel(a100.config, workload);
+        study.makeCostModel(a100.config, workload, memo);
     const sim::IterationCostModel h20_cost =
-        study.makeCostModel(h20.config, workload);
+        study.makeCostModel(h20.config, workload, memo);
     const sim::IterationCostModel compliant_cost =
-        study.makeCostModel(compliant.config, workload);
+        study.makeCostModel(compliant.config, workload, memo);
 
     sim::FleetDemand demand;
     demand.ratePerS = 4.0;
@@ -130,45 +141,63 @@ main(int argc, char **argv)
              "disagg_devices", "device_ratio", "disagg_usd_per_mtok",
              "disagg_ttft_p99_s", "disagg_tbt_p99_ms", "note"});
 
-    for (const Fleet &f : fleets) {
-        sim::DisaggPoolSpec prefill;
-        prefill.cost = f.prefill;
-        prefill.hourlyCostUsdPerReplica = f.prefillHourly;
-        sim::DisaggPoolSpec decode;
-        decode.cost = f.decode;
-        decode.hourlyCostUsdPerReplica = f.decodeHourly;
+    // Each fleet sizing is an independent pair of searches; run them
+    // concurrently into index-addressed row slots and emit the rows
+    // in fleet order, so the table (and CSV) bytes never depend on
+    // scheduling.
+    std::vector<std::vector<std::string>> rows(fleets.size());
+    common::ThreadPool::shared().parallelFor(
+        fleets.size(),
+        [&](std::size_t i) {
+            const Fleet &f = fleets[i];
+            sim::DisaggPoolSpec prefill;
+            prefill.cost = f.prefill;
+            prefill.hourlyCostUsdPerReplica = f.prefillHourly;
+            sim::DisaggPoolSpec decode;
+            decode.cost = f.decode;
+            decode.hourlyCostUsdPerReplica = f.decodeHourly;
+            if (legacy) {
+                prefill.scheduler.queueEngine =
+                    sim::QueueEngine::LEGACY_HEAP;
+                decode.scheduler.queueEngine =
+                    sim::QueueEngine::LEGACY_HEAP;
+            }
 
-        const serve::DisaggPercentilePlan plan =
-            serve::planDisaggFleetPercentile(
-                prefill, decode, sim::KvTransferConfig{}, demand, slo,
-                512);
+            const serve::DisaggPercentilePlan plan =
+                serve::planDisaggFleetPercentile(
+                    prefill, decode, sim::KvTransferConfig{}, demand,
+                    slo, 512);
 
-        const double mono_usd = econ::usdPerMillionTokens(
-            plan.monolithic.replicas * f.prefillHourly,
-            plan.monolithic.aggregate.goodputTokensPerS(
-                slo.targets()));
-        const auto &agg = plan.disagg.aggregate;
-        t.addRow(
-            {f.label,
-             plan.monolithic.feasible
-                 ? std::to_string(plan.monolithic.replicas)
-                 : "infeasible",
-             std::to_string(plan.monolithic.devices),
-             plan.monolithic.feasible ? fmt(mono_usd, 2) : "-",
-             plan.disagg.feasible
-                 ? std::to_string(plan.disagg.prefillReplicas)
-                 : "infeasible",
-             std::to_string(plan.disagg.decodeReplicas),
-             std::to_string(plan.disagg.devices),
-             plan.deviceRatio() > 0.0 ? fmt(plan.deviceRatio(), 2)
-                                      : "-",
-             plan.disagg.feasible
-                 ? fmt(agg.usdPerMillionGoodTokens(), 2)
-                 : "-",
-             fmt(agg.ttftPercentileS(slo.percentile), 4),
-             fmt(units::toMs(agg.tbtPercentileS(slo.percentile)), 2),
-             ""});
-    }
+            const double mono_usd = econ::usdPerMillionTokens(
+                plan.monolithic.replicas * f.prefillHourly,
+                plan.monolithic.aggregate.goodputTokensPerS(
+                    slo.targets()));
+            const auto &agg = plan.disagg.aggregate;
+            rows[i] =
+                {f.label,
+                 plan.monolithic.feasible
+                     ? std::to_string(plan.monolithic.replicas)
+                     : "infeasible",
+                 std::to_string(plan.monolithic.devices),
+                 plan.monolithic.feasible ? fmt(mono_usd, 2) : "-",
+                 plan.disagg.feasible
+                     ? std::to_string(plan.disagg.prefillReplicas)
+                     : "infeasible",
+                 std::to_string(plan.disagg.decodeReplicas),
+                 std::to_string(plan.disagg.devices),
+                 plan.deviceRatio() > 0.0 ? fmt(plan.deviceRatio(), 2)
+                                          : "-",
+                 plan.disagg.feasible
+                     ? fmt(agg.usdPerMillionGoodTokens(), 2)
+                     : "-",
+                 fmt(agg.ttftPercentileS(slo.percentile), 4),
+                 fmt(units::toMs(agg.tbtPercentileS(slo.percentile)),
+                     2),
+                 ""};
+        },
+        1);
+    for (const auto &row : rows)
+        t.addRow(row);
 
     // -- built-in sanity row -------------------------------------------
     // A batch-1 schedule (requests spaced far beyond their service
@@ -178,7 +207,9 @@ main(int argc, char **argv)
     // 0.0 seconds, and the per-member arithmetic is the replica's.
     const std::vector<sim::TraceRequest> schedule = {
         {0.0, 512, 32}, {1000.0, 512, 32}, {2000.0, 512, 32}};
-    const sim::SchedulerConfig sched;
+    sim::SchedulerConfig sched;
+    if (legacy)
+        sched.queueEngine = sim::QueueEngine::LEGACY_HEAP;
 
     const auto mono_trace =
         sim::TraceWorkload::fixedSchedule(schedule);
@@ -194,6 +225,8 @@ main(int argc, char **argv)
     ccfg.pools[1].role = sim::PoolRole::DECODE;
     ccfg.pools[1].cost = &a100_cost;
     ccfg.kvTransfer = sim::KvTransferConfig::free();
+    if (legacy)
+        ccfg.queueEngine = sim::QueueEngine::LEGACY_HEAP;
     const auto disagg_trace =
         sim::TraceWorkload::fixedSchedule(schedule);
     const sim::ClusterMetrics disagg =

@@ -10,9 +10,21 @@
  * TTFT/TBT percentiles, SLO attainment, and goodput — the
  * latency-vs-load curves steady-state throughput numbers cannot
  * produce. Deterministic: re-running writes byte-identical CSV.
+ *
+ * The candidate x rate grid fans out over common::ThreadPool — every
+ * cell is an independent core::servingPointAt call against its
+ * candidate's shared cost model — and rows are emitted in flattened
+ * index order, so the CSV is byte-identical for every ACS_THREADS
+ * value and to the pre-parallel serial loop. `--legacy-sim` reruns
+ * the grid on the reference heap-queue/map-memo path (same bytes;
+ * CI diffs the two).
  */
 
 #include "bench_util.hh"
+
+#include <memory>
+
+#include "common/thread_pool.hh"
 
 using namespace acs;
 
@@ -62,25 +74,52 @@ main(int argc, char **argv)
     scfg.slo.ttftP99MaxS = 5.0;
     scfg.slo.tbtP99MaxS = 0.300;
 
+    const bool legacy = bench::legacySim(argc, argv);
+    if (legacy)
+        scfg.scheduler.queueEngine = sim::QueueEngine::LEGACY_HEAP;
+    const sim::MemoEngine memo = legacy
+                                     ? sim::MemoEngine::LEGACY_MAP
+                                     : sim::MemoEngine::FLAT;
+
+    // One shared cost model per candidate: every cell of its row
+    // block hits the same read-mostly memo. Heap-held because the
+    // model is neither copyable nor movable (it owns a mutex).
+    std::vector<std::unique_ptr<sim::IterationCostModel>> costs;
+    costs.reserve(candidates.size());
+    for (const auto &c : candidates)
+        costs.emplace_back(new sim::IterationCostModel(
+            study.makeCostModel(c.config, workload, memo)));
+
+    // Flatten the candidate x rate grid into index-addressed cells;
+    // collecting them in flattened order below keeps the CSV
+    // byte-identical regardless of which worker ran which cell.
+    const std::size_t rates = scfg.ratesPerS.size();
+    std::vector<core::ServingStudyPoint> cells(candidates.size() *
+                                               rates);
+    common::ThreadPool::shared().parallelFor(
+        cells.size(),
+        [&](std::size_t i) {
+            cells[i] = core::servingPointAt(
+                *costs[i / rates], scfg, scfg.ratesPerS[i % rates]);
+        },
+        1);
+
     Table t({"device", "rate_per_s", "completed", "ttft_p50_s",
              "ttft_p95_s", "ttft_p99_s", "tbt_p50_ms", "tbt_p95_ms",
              "tbt_p99_ms", "attainment", "goodput_tok_s",
              "max_queue_depth"});
-    for (const auto &c : candidates) {
-        const core::ServingStudyResult result =
-            study.runServingStudy(c.config, workload, scfg);
-        for (const auto &p : result.curve) {
-            t.addRow({c.label, fmt(p.ratePerS, 2),
-                      std::to_string(p.completed),
-                      fmt(p.ttft.p50S, 4), fmt(p.ttft.p95S, 4),
-                      fmt(p.ttft.p99S, 4),
-                      fmt(units::toMs(p.tbt.p50S), 3),
-                      fmt(units::toMs(p.tbt.p95S), 3),
-                      fmt(units::toMs(p.tbt.p99S), 3),
-                      fmt(p.attainment, 4),
-                      fmt(p.goodputTokensPerS, 1),
-                      std::to_string(p.maxQueueDepth)});
-        }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const core::ServingStudyPoint &p = cells[i];
+        t.addRow({candidates[i / rates].label, fmt(p.ratePerS, 2),
+                  std::to_string(p.completed),
+                  fmt(p.ttft.p50S, 4), fmt(p.ttft.p95S, 4),
+                  fmt(p.ttft.p99S, 4),
+                  fmt(units::toMs(p.tbt.p50S), 3),
+                  fmt(units::toMs(p.tbt.p95S), 3),
+                  fmt(units::toMs(p.tbt.p99S), 3),
+                  fmt(p.attainment, 4),
+                  fmt(p.goodputTokensPerS, 1),
+                  std::to_string(p.maxQueueDepth)});
     }
     t.print(std::cout);
     bench::writeCsv("ext_serving_sim", t);

@@ -8,7 +8,11 @@
  * results/BENCH_dse.json, and a GEMM-mode
  * section (--gemm / --gemm-only) comparing TILE_SIM sweep evaluation
  * under the aggregated fast path vs the legacy per-tile wave walk,
- * emitting results/BENCH_gemm.json.
+ * emitting results/BENCH_gemm.json, and a serving-simulator section
+ * (--sim / --sim-only) replaying a trace-scale diurnal request stream
+ * through the fast path (calendar queue, flat memos, streaming
+ * histograms) vs the legacy path (binary heap, map memos, sort-based
+ * rollups), emitting results/BENCH_sim.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,7 +24,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -407,6 +413,227 @@ runGemmThroughput(int reps)
     std::cout << "[json] results/BENCH_gemm.json\n";
 }
 
+// ---- Serving-simulator trace-scale throughput ------------------------------
+
+/**
+ * Engine-independent digest of one replica run: the counters and
+ * streaming histograms simulateReplica populates regardless of the
+ * record switches, printed with full double precision. The fast row
+ * (calendar queue, flat memos, recording off) and the legacy row
+ * (binary heap, mutex+map memos, recording on) must produce the same
+ * string — that is the fingerprint_match gate in BENCH_sim.json.
+ */
+std::string
+replicaFingerprint(const sim::ReplicaMetrics &m)
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << m.arrivals << ' ' << m.completed << ' '
+        << m.prefillIterations << ' ' << m.decodeIterations << ' '
+        << m.generatedTokens << ' ' << m.lastEventS;
+    out << " ttft " << m.ttftHist.count << ' ' << m.ttftHist.sumS
+        << ' ' << m.ttftHist.maxS;
+    for (std::uint64_t b : m.ttftHist.buckets)
+        out << ' ' << b;
+    out << " tbt " << m.tbtHist.count << ' ' << m.tbtHist.sumS << ' '
+        << m.tbtHist.maxS;
+    for (std::uint64_t b : m.tbtHist.buckets)
+        out << ' ' << b;
+    out << " depth " << m.queueDepth.maxDepth << ' '
+        << m.queueDepth.samples;
+    for (std::uint64_t b : m.queueDepth.buckets)
+        out << ' ' << b;
+    return out.str();
+}
+
+/**
+ * Requests/second through one replica replaying a diurnal trace of
+ * roughly @p requests requests, legacy path vs fast path.
+ *
+ * The legacy row reproduces the seed configuration end to end:
+ * binary-heap event queue, mutex-protected map memos, every request
+ * record and decode gap kept, and percentiles extracted by the
+ * sort-based LatencyRollup — at a million requests that is ~10^8
+ * stored gaps, gigabyte-scale vector growth, and an O(n log n) sort
+ * per rollup. The fast row is the trace-scale path: calendar queue,
+ * lock-free flat memos, recording off (O(1) memory), streaming
+ * histogram percentiles. Both rows must agree on the engine-
+ * independent fingerprint above; the speedup is the headline number
+ * scripts/compare_bench.py gates (>= 10x).
+ */
+void
+runSimThroughput(int reps, long requests)
+{
+    const core::SanctionsStudy study;
+    // Same workload/device as the serving benches: Llama-3 70B at
+    // TP=4 on the modeled A100.
+    core::Workload workload = core::workloadByName("llama70b");
+    workload.setting.batch = 32;
+    const sim::IterationCostModel fast_cost =
+        study.makeCostModel(hw::modeledA100(), workload);
+    const sim::IterationCostModel legacy_cost = study.makeCostModel(
+        hw::modeledA100(), workload, sim::MemoEngine::LEGACY_MAP);
+
+    // Offer ~55% of the replica's decode-bound capacity on average:
+    // prefill interference eats part of that bound, so the diurnal
+    // peaks and bursts transiently oversubscribe the replica (queues
+    // build and drain) while the mean keeps the run stable.
+    const double capacity =
+        32.0 / fast_cost.decodeStepS(32) / 128.0; // 128 = mean output
+    sim::DiurnalTraceSpec spec;
+    spec.baseRatePerS = 0.55 * capacity;
+    spec.peakToTrough = 3.0;
+    spec.burstMultiplier = 2.0;
+    spec.burstMeanS = 30.0;
+    spec.calmMeanS = 300.0;
+    spec.promptLen = sim::LengthDistribution::fixed(512);
+    spec.outputLen = sim::LengthDistribution::uniform(64, 192, 32);
+    spec.horizonS = static_cast<double>(requests) / spec.baseRatePerS;
+    spec.periodS = spec.horizonS / 4.0; // four diurnal cycles
+    spec.seed = 2026;
+
+    struct SimRow
+    {
+        double simS = 0.0;     //!< event-loop wall time
+        double extractS = 0.0; //!< percentile-extraction wall time
+        double ttftP99S = 0.0;
+        double tbtP99S = 0.0;
+        std::string fingerprint;
+        sim::ReplicaMetrics metrics;
+    };
+    const auto run_once = [&](const sim::IterationCostModel &cost,
+                              sim::QueueEngine engine, bool record) {
+        SimRow row;
+        auto trace = sim::TraceWorkload::diurnal(spec);
+        sim::ReplicaConfig rc;
+        rc.scheduler.queueEngine = engine;
+        rc.recordRequests = record;
+        rc.recordTbtGaps = record;
+        auto start = std::chrono::steady_clock::now();
+        row.metrics = sim::simulateReplica(cost, rc, *trace);
+        row.simS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+        start = std::chrono::steady_clock::now();
+        if (record) {
+            // The seed's extraction: sort-based order statistics over
+            // every request / gap.
+            row.ttftP99S = row.metrics.ttft().p99S;
+            row.tbtP99S = row.metrics.tbt().p99S;
+        } else {
+            row.ttftP99S = row.metrics.ttftHist.percentileS(99.0);
+            row.tbtP99S = row.metrics.tbtHist.percentileS(99.0);
+        }
+        row.extractS = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        row.fingerprint = replicaFingerprint(row.metrics);
+        return row;
+    };
+
+    std::cout << "\nServing-simulator throughput (diurnal trace, ~"
+              << requests << " requests, best of " << reps << ")\n";
+
+    SimRow legacy;
+    SimRow fast;
+    double legacy_rate = 0.0;
+    double fast_rate = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        SimRow l = run_once(legacy_cost,
+                            sim::QueueEngine::LEGACY_HEAP, true);
+        SimRow f =
+            run_once(fast_cost, sim::QueueEngine::CALENDAR, false);
+        fatalIf(l.fingerprint != f.fingerprint,
+                "fast-path replica metrics diverged from the legacy "
+                "path (fingerprint mismatch)");
+        const double lr = static_cast<double>(l.metrics.completed) /
+                          (l.simS + l.extractS);
+        const double fr = static_cast<double>(f.metrics.completed) /
+                          (f.simS + f.extractS);
+        if (lr > legacy_rate) {
+            legacy_rate = lr;
+            legacy = std::move(l);
+        }
+        if (fr > fast_rate) {
+            fast_rate = fr;
+            fast = std::move(f);
+        }
+    }
+    const double speedup = fast_rate / legacy_rate;
+    const double events =
+        static_cast<double>(fast.metrics.arrivals) +
+        static_cast<double>(fast.metrics.prefillIterations) +
+        static_cast<double>(fast.metrics.decodeIterations);
+    const double events_per_s =
+        events / (fast.simS + fast.extractS);
+    const double tokens_per_s =
+        static_cast<double>(fast.metrics.generatedTokens) /
+        (fast.simS + fast.extractS);
+
+    std::cout << "  legacy (heap+map, recording, sort rollups): "
+              << static_cast<long>(legacy_rate) << " requests/s ("
+              << legacy.simS + legacy.extractS << " s)\n"
+              << "  fast (calendar+flat, histograms)          : "
+              << static_cast<long>(fast_rate) << " requests/s ("
+              << fast.simS + fast.extractS << " s, " << speedup
+              << "x legacy)\n"
+              << "  fast event rate: "
+              << static_cast<long>(events_per_s) << " events/s, "
+              << static_cast<long>(tokens_per_s) << " tokens/s\n"
+              << "  p99 ttft " << fast.ttftP99S << " s (legacy "
+              << legacy.ttftP99S << "), p99 tbt " << fast.tbtP99S
+              << " s (legacy " << legacy.tbtP99S << ")\n";
+
+    // Fleet sizing on the shared flat memo: the searches' replicas
+    // all hit one read-mostly table, so the whole plan costs a
+    // handful of cold lattice evaluations.
+    sim::FleetDemand demand;
+    demand.ratePerS = 4.0;
+    demand.promptLen = sim::LengthDistribution::fixed(512);
+    demand.outputLen = sim::LengthDistribution::fixed(128);
+    demand.horizonS = 180.0;
+    demand.seed = 2026;
+    sim::SloTargets targets;
+    targets.ttftMaxS = 5.0;
+    targets.tbtMaxS = 0.200;
+    const auto size_start = std::chrono::steady_clock::now();
+    const sim::FleetSizingResult sized = sim::sizeFleet(
+        fast_cost, demand, sim::SchedulerConfig{}, targets, 512);
+    const double size_wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - size_start)
+            .count();
+    std::cout << "  sizeFleet: " << sized.replicas << " replicas in "
+              << size_wall << " s (" << sized.probes << " probes)\n";
+
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    std::ofstream out("results/BENCH_sim.json");
+    out << "{\n"
+        << "  \"workload\": \"llama70b-tp4 on modeled A100\",\n"
+        << "  \"trace\": \"diurnal\",\n"
+        << "  \"trace_requests\": " << fast.metrics.completed
+        << ",\n"
+        << "  \"trace_tokens\": " << fast.metrics.generatedTokens
+        << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"legacy_requests_per_s\": " << legacy_rate << ",\n"
+        << "  \"fast_requests_per_s\": " << fast_rate << ",\n"
+        << "  \"fast_speedup_vs_legacy\": " << speedup << ",\n"
+        << "  \"fast_events_per_s\": " << events_per_s << ",\n"
+        << "  \"fast_tokens_per_s\": " << tokens_per_s << ",\n"
+        << "  \"legacy_wall_s\": " << legacy.simS + legacy.extractS
+        << ",\n"
+        << "  \"fast_wall_s\": " << fast.simS + fast.extractS
+        << ",\n"
+        << "  \"size_fleet_wall_s\": " << size_wall << ",\n"
+        << "  \"size_fleet_replicas\": " << sized.replicas << ",\n"
+        << "  \"size_fleet_probes\": " << sized.probes << ",\n"
+        << "  \"fingerprint_match\": 1\n"
+        << "}\n";
+    std::cout << "[json] results/BENCH_sim.json\n";
+}
+
 } // anonymous namespace
 
 int
@@ -414,8 +641,10 @@ main(int argc, char **argv)
 {
     bool dse = false;
     bool gemm = false;
+    bool sim = false;
     bool skip_micro = false;
     int reps = 3;
+    long sim_requests = 1'000'000;
     std::vector<char *> bench_argv{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dse") == 0) {
@@ -426,6 +655,12 @@ main(int argc, char **argv)
             gemm = true;
         } else if (std::strcmp(argv[i], "--gemm-only") == 0) {
             gemm = skip_micro = true;
+        } else if (std::strcmp(argv[i], "--sim") == 0) {
+            sim = true;
+        } else if (std::strcmp(argv[i], "--sim-only") == 0) {
+            sim = skip_micro = true;
+        } else if (std::strncmp(argv[i], "--sim-requests=", 15) == 0) {
+            sim_requests = std::max(1000L, std::atol(argv[i] + 15));
         } else if (std::strncmp(argv[i], "--dse-reps=", 11) == 0) {
             reps = std::max(1, std::atoi(argv[i] + 11));
         } else {
@@ -445,5 +680,7 @@ main(int argc, char **argv)
         runDseThroughput(reps);
     if (gemm)
         runGemmThroughput(reps);
+    if (sim)
+        runSimThroughput(reps, sim_requests);
     return 0;
 }

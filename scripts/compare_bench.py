@@ -8,9 +8,10 @@ bar. Always exits 0: CI runners are shared and noisy, so throughput
 deltas are advisory — the artifact and the log line are the signal,
 the committed baseline the record.
 
-Covers both bench suites emitted by bench/microbench:
+Covers the bench suites emitted by bench/microbench:
   BENCH_gemm.json (--gemm-only)  GEMM-mode sweep throughput
   BENCH_dse.json  (--dse-only)   DSE pipeline sweep throughput
+  BENCH_sim.json  (--sim-only)   serving-simulator trace throughput
 The suite is picked per file pair from the metrics present, so the
 caller just passes matching (baseline, measured) pairs:
 
@@ -38,6 +39,11 @@ SUITES = {
         "streaming_designs_per_s",
         "adaptive_designs_per_s",
     ],
+    "BENCH_sim": [
+        "legacy_requests_per_s",
+        "fast_requests_per_s",
+        "fast_events_per_s",
+    ],
 }
 
 # Speedup acceptance bars: (metric, floor, label). Measured-side only;
@@ -55,6 +61,10 @@ BARS = {
         ("adaptive_speedup_vs_streaming", 10.0,
          "adaptive (effective) vs streaming"),
     ],
+    "BENCH_sim": [
+        ("fast_speedup_vs_legacy", 10.0,
+         "fast sim path vs legacy heap+map"),
+    ],
 }
 
 # Ceilings: (metric, max, label) — lower is better. Warn-only, like
@@ -63,6 +73,7 @@ BARS = {
 # and the fine space should prune far harder).
 CEILINGS = {
     "BENCH_gemm": [],
+    "BENCH_sim": [],
     "BENCH_dse": [
         ("fraction_evaluated", 0.30, "adaptive fraction evaluated"),
     ],

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fixed-capacity, lock-free, insert-only memo from a non-zero 64-bit
+ * key to a double value.
+ *
+ * The serving simulator's hot loop consults its iteration-cost memo
+ * once per scheduler iteration — millions of times per trace-scale
+ * run — so the memo must cost a couple of cache hits, not a mutex
+ * plus a red-black-tree walk. This table is open addressing with
+ * linear probing over (atomic key, atomic value-bits) slots:
+ *
+ *  - find() is entirely lock-free: one hash, a short probe of
+ *    acquire-loads, done. No reader ever blocks a writer.
+ *  - insert() claims a slot by CASing the key from 0, then publishes
+ *    the value bits with a release store. A reader that races the
+ *    publication sees the kPending sentinel and treats the probe as a
+ *    miss — it recomputes and stores the *identical* bits (the
+ *    caller's contract: values are pure functions of the key), so
+ *    there is no torn or wrong value to observe, and ThreadSanitizer
+ *    sees only atomics.
+ *  - capacity is fixed at construction (the table never rehashes, so
+ *    readers never chase a resize). When the table fills up, insert()
+ *    returns false and tallies an overflow; callers layer an
+ *    unbounded fallback (e.g. common::ShardedCache) behind it.
+ *
+ * Key 0 marks an empty slot, so callers must map their key space onto
+ * non-zero values (a tag bit does it).
+ */
+
+#ifndef ACS_COMMON_FLAT_MEMO_HH
+#define ACS_COMMON_FLAT_MEMO_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace common {
+
+class AtomicFlatMemo
+{
+  public:
+    /** Capacity is rounded up to a power of two (>= 64). */
+    explicit AtomicFlatMemo(std::size_t capacity = 1 << 12)
+        : slots_(std::bit_ceil(capacity < 64 ? std::size_t{64}
+                                             : capacity)),
+          mask_(slots_.size() - 1)
+    {}
+
+    /**
+     * Look @p key up; true stores the memoized value in @p out.
+     * Lock-free. A concurrently inserting key whose value bits are
+     * not yet published reads as a miss.
+     */
+    bool
+    find(std::uint64_t key, double *out) const
+    {
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            const Slot &s = slots_[probe(key, i)];
+            const std::uint64_t k =
+                s.key.load(std::memory_order_acquire);
+            if (k == 0)
+                return false;
+            if (k == key) {
+                const std::uint64_t bits =
+                    s.bits.load(std::memory_order_acquire);
+                if (bits == kPending)
+                    return false;
+                *out = std::bit_cast<double>(bits);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Memoize @p value under @p key (non-zero; @p value must be a
+     * pure function of @p key and must not be a NaN — NaN bit
+     * patterns are reserved for the pending sentinel). Returns false
+     * when the table is full and the pair was dropped.
+     */
+    bool
+    insert(std::uint64_t key, double value)
+    {
+        if (key == 0)
+            panic("AtomicFlatMemo: key 0 is reserved");
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+        if (bits == kPending)
+            panic("AtomicFlatMemo: value collides with the pending "
+                  "sentinel");
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            Slot &s = slots_[probe(key, i)];
+            std::uint64_t k = s.key.load(std::memory_order_acquire);
+            if (k == 0 &&
+                s.key.compare_exchange_strong(
+                    k, key, std::memory_order_acq_rel)) {
+                s.bits.store(bits, std::memory_order_release);
+                entries_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+            if (k == key) {
+                // A racing compute of the same key: identical bits by
+                // contract, so this store is idempotent (and also
+                // completes a publication the claimer has not
+                // finished yet).
+                s.bits.store(bits, std::memory_order_release);
+                return true;
+            }
+        }
+        overflows_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Distinct keys successfully claimed so far. */
+    std::size_t
+    entries() const
+    {
+        return entries_.load(std::memory_order_relaxed);
+    }
+
+    /** Inserts dropped because every probe slot was taken. */
+    std::size_t
+    overflows() const
+    {
+        return overflows_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> key{0};
+        std::atomic<std::uint64_t> bits{kPending};
+    };
+
+    /** Quiet-NaN payload no finite latency value can alias. */
+    static constexpr std::uint64_t kPending = 0x7ff8dead'beefdeadULL;
+
+    /** SplitMix64-style mix, then linear probe offset @p i. */
+    std::size_t
+    probe(std::uint64_t key, std::size_t i) const
+    {
+        std::uint64_t h = key;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return (static_cast<std::size_t>(h) + i) & mask_;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    std::atomic<std::size_t> entries_{0};
+    std::atomic<std::size_t> overflows_{0};
+};
+
+} // namespace common
+} // namespace acs
+
+#endif // ACS_COMMON_FLAT_MEMO_HH

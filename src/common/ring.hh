@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A FIFO queue over a power-of-two ring buffer.
+ *
+ * std::deque reaches steady state still allocating: libstdc++ slides
+ * a map of ~512-byte nodes, so every few push/pop pairs hit the heap.
+ * The serving simulator's admission queues push and pop millions of
+ * times per trace-scale run, and the fast-path contract is zero
+ * steady-state allocations — a ring buffer only ever allocates when
+ * the high-water mark grows, after which push_back/pop_front are an
+ * index increment each.
+ *
+ * Only the operations the simulator needs: FIFO push/pop, front,
+ * size, and a reserve() warm-up hook. Not thread-safe.
+ */
+
+#ifndef ACS_COMMON_RING_HH
+#define ACS_COMMON_RING_HH
+
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace common {
+
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T &
+    front()
+    {
+        if (count_ == 0)
+            panic("RingQueue: front on empty queue");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        if (count_ == 0)
+            panic("RingQueue: front on empty queue");
+        return buf_[head_];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (count_ == buf_.size())
+            grow(count_ ? count_ * 2 : kMinCapacity);
+        buf_[(head_ + count_) & (buf_.size() - 1)] =
+            std::move(value);
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        if (count_ == 0)
+            panic("RingQueue: pop_front on empty queue");
+        buf_[head_] = T{}; // release resources held by the slot
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+    /** Pre-size the ring so pushes up to @p n never allocate. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf_.size())
+            grow(n);
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+
+    /** Re-seat the live range contiguously at the front. */
+    void
+    grow(std::size_t at_least)
+    {
+        std::vector<T> next(std::bit_ceil(
+            at_least < kMinCapacity ? kMinCapacity : at_least));
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] =
+                std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace common
+} // namespace acs
+
+#endif // ACS_COMMON_RING_HH

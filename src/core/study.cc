@@ -1,6 +1,7 @@
 #include "study.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "obs/obs.hh"
 #include "policy/device_spec.hh"
 #include "policy/marketing.hh"
@@ -122,6 +123,31 @@ SanctionsStudy::runAdaptiveSweep(const dse::SweepSpace &space,
     return search.run();
 }
 
+ServingStudyPoint
+servingPointAt(const sim::IterationCostModel &cost,
+               const ServingStudyConfig &config, double ratePerS)
+{
+    sim::ReplicaConfig rc;
+    rc.scheduler = config.scheduler;
+    rc.workload.arrivalRatePerS = ratePerS;
+    rc.workload.promptLen = config.promptLen;
+    rc.workload.outputLen = config.outputLen;
+    rc.workload.horizonS = config.horizonS;
+    rc.workload.seed = config.seed;
+    const sim::ReplicaMetrics m = sim::simulateReplica(cost, rc);
+
+    const sim::SloTargets targets = config.slo.targets();
+    ServingStudyPoint point;
+    point.ratePerS = ratePerS;
+    point.ttft = m.ttft();
+    point.tbt = m.tbt();
+    point.attainment = m.attainment(targets);
+    point.goodputTokensPerS = m.goodputTokensPerS(targets);
+    point.completed = m.requests.size();
+    point.maxQueueDepth = m.queueDepth.maxDepth;
+    return point;
+}
+
 ServingStudyResult
 SanctionsStudy::runServingStudy(const hw::HardwareConfig &cfg,
                                 const Workload &workload,
@@ -134,28 +160,17 @@ SanctionsStudy::runServingStudy(const hw::HardwareConfig &cfg,
     const sim::IterationCostModel cost = makeCostModel(cfg, workload);
 
     ServingStudyResult result;
-    result.curve.reserve(config.ratesPerS.size());
-    const sim::SloTargets targets = config.slo.targets();
-    for (double rate : config.ratesPerS) {
-        sim::ReplicaConfig rc;
-        rc.scheduler = config.scheduler;
-        rc.workload.arrivalRatePerS = rate;
-        rc.workload.promptLen = config.promptLen;
-        rc.workload.outputLen = config.outputLen;
-        rc.workload.horizonS = config.horizonS;
-        rc.workload.seed = config.seed;
-        const sim::ReplicaMetrics m = sim::simulateReplica(cost, rc);
-
-        ServingStudyPoint point;
-        point.ratePerS = rate;
-        point.ttft = m.ttft();
-        point.tbt = m.tbt();
-        point.attainment = m.attainment(targets);
-        point.goodputTokensPerS = m.goodputTokensPerS(targets);
-        point.completed = m.requests.size();
-        point.maxQueueDepth = m.queueDepth.maxDepth;
-        result.curve.push_back(point);
-    }
+    // Rates are independent single-replica simulations sharing the
+    // read-mostly cost-model memo; index-addressed slots make the
+    // curve byte-identical for every ACS_THREADS value.
+    result.curve.resize(config.ratesPerS.size());
+    common::ThreadPool::shared().parallelFor(
+        config.ratesPerS.size(),
+        [&](std::size_t i) {
+            result.curve[i] =
+                servingPointAt(cost, config, config.ratesPerS[i]);
+        },
+        1);
 
     if (config.fleetRatePerS > 0.0) {
         sim::FleetDemand demand;
@@ -208,11 +223,12 @@ SanctionsStudy::classifyDatabase(const devices::Database &db)
 
 sim::IterationCostModel
 SanctionsStudy::makeCostModel(const hw::HardwareConfig &cfg,
-                              const Workload &workload) const
+                              const Workload &workload,
+                              sim::MemoEngine memo) const
 {
     return sim::IterationCostModel(cfg, workload.model,
                                    workload.setting, workload.system,
-                                   params_);
+                                   params_, memo);
 }
 
 } // namespace core

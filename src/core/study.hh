@@ -106,6 +106,20 @@ struct ServingStudyResult
     serve::PercentileFleetPlan fleet;
 };
 
+/**
+ * One point of the latency-vs-load curve: simulate a single replica
+ * of @p cost at per-replica offered load @p ratePerS under
+ * @p config's workload shape and roll the metrics up.
+ *
+ * This is the unit both SanctionsStudy::runServingStudy and the
+ * scenario-grid benchmarks fan out over: a pure function of its
+ * arguments, so any scheduling of calls that collects results in
+ * input order reproduces the serial curve byte-identically.
+ */
+ServingStudyPoint servingPointAt(const sim::IterationCostModel &cost,
+                                 const ServingStudyConfig &config,
+                                 double ratePerS);
+
 /** Rule outcomes for one design evaluated as a data-center product. */
 struct RuleOutcomes
 {
@@ -192,11 +206,14 @@ class SanctionsStudy
      * fleet, heterogeneous cluster pool). Callers keep it alive for
      * the lifetime of any simulation using it; one oracle per
      * (device, workload) pair can be shared across pools and
-     * searches, compounding the memoization.
+     * searches, compounding the memoization. @p memo selects the
+     * memo structure (sim::MemoEngine::LEGACY_MAP is the mutex+map
+     * reference path; results are identical either way).
      */
     sim::IterationCostModel
     makeCostModel(const hw::HardwareConfig &cfg,
-                  const Workload &workload) const;
+                  const Workload &workload,
+                  sim::MemoEngine memo = sim::MemoEngine::FLAT) const;
 
     /** Per-rule regulated counts over a device catalogue. */
     struct DatabaseSummary

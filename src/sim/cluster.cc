@@ -1,13 +1,12 @@
 #include "cluster.hh"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <map>
 #include <string>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "hw/config.hh"
 #include "obs/obs.hh"
@@ -142,7 +141,12 @@ struct ClusterRequest
     double kvBytes = 0.0;    //!< KV reserved on the current member
 };
 
-/** A KV migration in flight between two members. */
+/**
+ * A KV migration in flight between two members. Lives in a slot-map
+ * (vector + free list) keyed by slot index — the KV_DONE event's
+ * payload — so the steady-state event loop reuses slots instead of
+ * allocating and freeing tree nodes per transfer.
+ */
 struct PendingTransfer
 {
     ClusterRequest req;
@@ -151,6 +155,7 @@ struct PendingTransfer
     double srcKvBytes = 0.0; //!< held on the source until KV_DONE
     double bytes = 0.0;      //!< shipped over the interconnect
     double durationS = 0.0;
+    bool active = false;     //!< slot occupancy (false = on free list)
 };
 
 /** One replica-equivalent member of a pool. */
@@ -161,8 +166,8 @@ struct Member
     const PoolConfig *cfg = nullptr;
     double kvBudget = 0.0;
 
-    std::deque<ClusterRequest> waiting;       //!< prompt admission
-    std::deque<ClusterRequest> decodeWaiting; //!< KV handoff queue
+    common::RingQueue<ClusterRequest> waiting;       //!< prompt admission
+    common::RingQueue<ClusterRequest> decodeWaiting; //!< KV handoffs
     std::vector<ClusterRequest> prefilling;
     std::vector<ClusterRequest> active;
     double kvUsed = 0.0;
@@ -185,7 +190,8 @@ class ClusterState
     ClusterState(const ClusterConfig &cfg, TraceWorkload &trace)
         : cfg_(cfg), trace_(trace),
           policy_(cfg.customPolicy ? cfg.customPolicy
-                                   : routingPolicy(cfg.routing))
+                                   : routingPolicy(cfg.routing)),
+          events_(cfg.queueEngine)
     {
         cfg_.validate();
         for (std::size_t p = 0; p < cfg_.pools.size(); ++p) {
@@ -202,9 +208,19 @@ class ClusterState
                 m.index = static_cast<int>(members_.size());
                 m.cfg = &pool;
                 m.kvBudget = budget;
+                // Batch vectors never exceed the scheduler caps:
+                // reserving them here keeps the event loop free of
+                // vector growth.
+                m.prefilling.reserve(static_cast<std::size_t>(
+                    pool.scheduler.maxPrefillBatch));
+                m.active.reserve(static_cast<std::size_t>(
+                    pool.scheduler.maxBatch));
                 members_.push_back(std::move(m));
             }
         }
+        // Steady state holds at most one ITER_DONE per member, one
+        // pending ARRIVAL, and some KV_DONEs.
+        events_.reserve(2 * members_.size() + 8);
     }
 
     ClusterMetrics run();
@@ -225,8 +241,15 @@ class ClusterState
     std::vector<Member> members_;
     EventQueue events_;
     TraceRequest pendingArrival_;
-    std::map<std::uint64_t, PendingTransfer> transfers_;
-    std::uint64_t nextTransferId_ = 0;
+
+    /**
+     * Slot-map of in-flight transfers: KV_DONE payloads index
+     * directly into @c transfers_, retired slots go on the free list
+     * for reuse. @c activeTransfers_ backs the drain assertion.
+     */
+    std::vector<PendingTransfer> transfers_;
+    std::vector<std::uint64_t> freeTransferSlots_;
+    std::uint64_t activeTransfers_ = 0;
     std::uint64_t nextRequestId_ = 0;
 
     ClusterMetrics result_;
@@ -266,16 +289,16 @@ ClusterState::routePhase(RoutePhase phase, const ClusterRequest &r)
         views.push_back(v);
         indices.push_back(static_cast<std::size_t>(m.index));
     }
-    panicIf(views.empty(),
-            "simulateCluster: no eligible member for a phase "
-            "(validated away, so this is a bug)");
+    if (views.empty())
+        panic("simulateCluster: no eligible member for a phase "
+              "(validated away, so this is a bug)");
     RouteRequest req;
     req.id = r.rec.id;
     req.promptLen = r.rec.promptLen;
     req.outputLen = r.rec.outputLen;
     const std::size_t pick = policy_->pick(phase, req, views);
-    panicIf(pick >= views.size(),
-            "RoutingPolicy: pick returned an out-of-range index");
+    if (pick >= views.size())
+        panic("RoutingPolicy: pick returned an out-of-range index");
     return indices[pick];
 }
 
@@ -298,13 +321,15 @@ ClusterState::handleArrival(double now)
     r.kvBytes = m.cfg->role == PoolRole::PREFILL
                     ? per_tok * r.rec.promptLen
                     : per_tok * (r.rec.promptLen + r.rec.outputLen);
-    fatalIf(r.kvBytes > m.kvBudget,
-            "simulateCluster: a single request's KV footprint (" +
-                std::to_string(r.kvBytes) +
-                " B/device) exceeds member " +
-                std::to_string(m.index) + "'s KV budget (" +
-                std::to_string(m.kvBudget) +
-                " B/device); the workload cannot be served");
+    // Branch-then-throw: fatalIf would build this multi-part
+    // message on every arrival.
+    if (r.kvBytes > m.kvBudget) {
+        fatal("simulateCluster: a single request's KV footprint (" +
+              std::to_string(r.kvBytes) + " B/device) exceeds member " +
+              std::to_string(m.index) + "'s KV budget (" +
+              std::to_string(m.kvBudget) +
+              " B/device); the workload cannot be served");
+    }
 
     ++result_.pools[static_cast<std::size_t>(m.pool)].routedPrefill;
     m.waiting.push_back(std::move(r));
@@ -333,10 +358,10 @@ ClusterState::startIteration(Member &m, double now)
                static_cast<int>(m.active.size()) < s.maxBatch) {
             ClusterRequest &head = m.decodeWaiting.front();
             if (m.kvUsed + head.kvBytes > m.kvBudget) {
-                fatalIf(m.active.empty(),
-                        "simulateCluster: a transferred request's KV "
-                        "footprint exceeds the decode member's "
-                        "budget; the workload cannot be served");
+                if (m.active.empty())
+                    fatal("simulateCluster: a transferred request's "
+                          "KV footprint exceeds the decode member's "
+                          "budget; the workload cannot be served");
                 break;
             }
             m.kvUsed += head.kvBytes;
@@ -403,6 +428,8 @@ ClusterState::retire(Member &m, ClusterRequest &r, double now)
 {
     r.rec.finishS = now;
     m.kvUsed -= r.kvBytes;
+    ++m.metrics.completed;
+    m.metrics.ttftHist.record(r.rec.ttftS());
     result_.ttftHist.record(r.rec.ttftS());
     ++result_.completedRequests;
     const bool ttft_ok = r.rec.ttftS() <= cfg_.slo.ttftMaxS;
@@ -450,19 +477,34 @@ ClusterState::beginTransfer(Member &src, ClusterRequest &&r,
     t.req = std::move(r);
 
     ++dst.pendingIncoming;
-    const std::uint64_t id = nextTransferId_++;
-    events_.push(now + t.durationS, EventKind::KV_DONE, id);
-    transfers_.emplace(id, std::move(t));
+    t.active = true;
+    std::uint64_t id = 0;
+    if (!freeTransferSlots_.empty()) {
+        id = freeTransferSlots_.back();
+        freeTransferSlots_.pop_back();
+        transfers_[static_cast<std::size_t>(id)] = std::move(t);
+    } else {
+        id = transfers_.size();
+        transfers_.push_back(std::move(t));
+    }
+    ++activeTransfers_;
+    events_.push(
+        now + transfers_[static_cast<std::size_t>(id)].durationS,
+        EventKind::KV_DONE, id);
 }
 
 void
 ClusterState::handleKvDone(std::uint64_t id, double now)
 {
-    const auto it = transfers_.find(id);
-    panicIf(it == transfers_.end(),
-            "simulateCluster: KV_DONE for an unknown transfer");
-    PendingTransfer t = std::move(it->second);
-    transfers_.erase(it);
+    if (id >= transfers_.size() ||
+        !transfers_[static_cast<std::size_t>(id)].active)
+        panic("simulateCluster: KV_DONE for an unknown transfer");
+    PendingTransfer t =
+        std::move(transfers_[static_cast<std::size_t>(id)]);
+    // Reset the slot (releasing the moved-out request) and recycle it.
+    transfers_[static_cast<std::size_t>(id)] = PendingTransfer{};
+    freeTransferSlots_.push_back(id);
+    --activeTransfers_;
 
     // The source's prompt KV is only now reclaimable (it backed the
     // transfer), so release it here, not at prefill completion.
@@ -515,6 +557,7 @@ ClusterState::finishIteration(Member &m, double now)
     for (std::size_t i = 0; i < m.active.size(); ++i) {
         ClusterRequest &r = m.active[i];
         const double gap = now - r.lastTokenS;
+        m.metrics.tbtHist.record(gap);
         if (cfg_.recordTbtGaps)
             m.metrics.tbtGapsS.push_back(gap);
         result_.tbtHist.record(gap);
@@ -581,7 +624,7 @@ ClusterState::run()
                     !m.prefilling.empty() || !m.active.empty(),
                 "simulateCluster: event queue drained with requests "
                 "still in flight");
-    panicIf(!transfers_.empty(),
+    panicIf(activeTransfers_ != 0,
             "simulateCluster: event queue drained with KV transfers "
             "still in flight");
 

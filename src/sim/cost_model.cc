@@ -9,13 +9,38 @@
 namespace acs {
 namespace sim {
 
+namespace {
+
+/**
+ * Non-zero packed keys for the flat tables: tag bit 62 for prefill
+ * (batch in the high word, length in the low), bit 63 for decode.
+ * batch and prompt_len are positive ints, so they fit and the spaces
+ * never collide.
+ */
+std::uint64_t
+prefillKey(int batch, int prompt_len)
+{
+    return (1ULL << 62) |
+           (static_cast<std::uint64_t>(batch) << 32) |
+           static_cast<std::uint64_t>(prompt_len);
+}
+
+std::uint64_t
+decodeKey(int batch)
+{
+    return (1ULL << 63) | static_cast<std::uint64_t>(batch);
+}
+
+} // anonymous namespace
+
 IterationCostModel::IterationCostModel(
     const hw::HardwareConfig &cfg,
     const model::TransformerConfig &model_cfg,
     const model::InferenceSetting &reference,
-    const perf::SystemConfig &sys, const perf::PerfParams &params)
+    const perf::SystemConfig &sys, const perf::PerfParams &params,
+    MemoEngine memo)
     : sim_(cfg, params), modelCfg_(model_cfg), ref_(reference),
-      sys_(sys)
+      sys_(sys), memo_(memo)
 {
     modelCfg_.validate();
     ref_.validate();
@@ -38,10 +63,61 @@ IterationCostModel::IterationCostModel(
 }
 
 double
+IterationCostModel::computePrefillS(int batch, int prompt_len) const
+{
+    // Same computation as InferenceSimulator::run's TTFT: one layer's
+    // prefill latency times the layer count (bit-exact; the pinning
+    // test in tests/test_sim.cpp relies on it).
+    model::InferenceSetting setting = ref_;
+    setting.batch = batch;
+    setting.inputLen = prompt_len;
+    const model::LayerGraph graph = model::buildPrefillGraph(
+        modelCfg_, setting, sys_.tensorParallel);
+    return sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
+           modelCfg_.numLayers;
+}
+
+double
+IterationCostModel::computeDecodeStepS(int batch) const
+{
+    // Mirrors InferenceSimulator::run's TBT: the decode graph at the
+    // reference setting's representative context length.
+    model::InferenceSetting setting = ref_;
+    setting.batch = batch;
+    const model::LayerGraph graph = model::buildDecodeGraph(
+        modelCfg_, setting, sys_.tensorParallel);
+    return sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
+           modelCfg_.numLayers;
+}
+
+double
 IterationCostModel::prefillS(int batch, int prompt_len) const
 {
-    fatalIf(batch < 1, "prefillS: batch must be >= 1");
-    fatalIf(prompt_len < 1, "prefillS: prompt_len must be >= 1");
+    // Branch-then-throw: fatalIf would build its message string on
+    // every lookup, and this runs once per scheduler iteration.
+    if (batch < 1)
+        fatal("prefillS: batch must be >= 1");
+    if (prompt_len < 1)
+        fatal("prefillS: prompt_len must be >= 1");
+
+    if (memo_ == MemoEngine::FLAT) {
+        const std::uint64_t key = prefillKey(batch, prompt_len);
+        double value = 0.0;
+        if (prefillFlat_.find(key, &value)) {
+            obs::counterAdd("sim.cost.prefill_hits");
+            return value;
+        }
+        if (prefillFlat_.overflows() > 0 &&
+            overflow_.find(key, &value)) {
+            obs::counterAdd("sim.cost.prefill_hits");
+            return value;
+        }
+        value = computePrefillS(batch, prompt_len);
+        obs::counterAdd("sim.cost.prefill_misses");
+        if (!prefillFlat_.insert(key, value))
+            overflow_.insert(key, value);
+        return value;
+    }
 
     const std::pair<int, int> key{batch, prompt_len};
     {
@@ -52,19 +128,7 @@ IterationCostModel::prefillS(int batch, int prompt_len) const
             return it->second;
         }
     }
-
-    // Same computation as InferenceSimulator::run's TTFT: one layer's
-    // prefill latency times the layer count (bit-exact; the pinning
-    // test in tests/test_sim.cpp relies on it).
-    model::InferenceSetting setting = ref_;
-    setting.batch = batch;
-    setting.inputLen = prompt_len;
-    const model::LayerGraph graph = model::buildPrefillGraph(
-        modelCfg_, setting, sys_.tensorParallel);
-    const double latency =
-        sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
-        modelCfg_.numLayers;
-
+    const double latency = computePrefillS(batch, prompt_len);
     obs::counterAdd("sim.cost.prefill_misses");
     std::lock_guard<std::mutex> lock(mu_);
     prefillMemo_.emplace(key, latency);
@@ -74,7 +138,27 @@ IterationCostModel::prefillS(int batch, int prompt_len) const
 double
 IterationCostModel::decodeStepS(int batch) const
 {
-    fatalIf(batch < 1, "decodeStepS: batch must be >= 1");
+    if (batch < 1)
+        fatal("decodeStepS: batch must be >= 1");
+
+    if (memo_ == MemoEngine::FLAT) {
+        const std::uint64_t key = decodeKey(batch);
+        double value = 0.0;
+        if (decodeFlat_.find(key, &value)) {
+            obs::counterAdd("sim.cost.decode_hits");
+            return value;
+        }
+        if (decodeFlat_.overflows() > 0 &&
+            overflow_.find(key, &value)) {
+            obs::counterAdd("sim.cost.decode_hits");
+            return value;
+        }
+        value = computeDecodeStepS(batch);
+        obs::counterAdd("sim.cost.decode_misses");
+        if (!decodeFlat_.insert(key, value))
+            overflow_.insert(key, value);
+        return value;
+    }
 
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -84,17 +168,7 @@ IterationCostModel::decodeStepS(int batch) const
             return it->second;
         }
     }
-
-    // Mirrors InferenceSimulator::run's TBT: the decode graph at the
-    // reference setting's representative context length.
-    model::InferenceSetting setting = ref_;
-    setting.batch = batch;
-    const model::LayerGraph graph = model::buildDecodeGraph(
-        modelCfg_, setting, sys_.tensorParallel);
-    const double latency =
-        sim_.simulateLayer(graph, sys_.tensorParallel).latencyS *
-        modelCfg_.numLayers;
-
+    const double latency = computeDecodeStepS(batch);
     obs::counterAdd("sim.cost.decode_misses");
     std::lock_guard<std::mutex> lock(mu_);
     decodeMemo_.emplace(batch, latency);
@@ -104,6 +178,9 @@ IterationCostModel::decodeStepS(int batch) const
 std::size_t
 IterationCostModel::memoMisses() const
 {
+    if (memo_ == MemoEngine::FLAT)
+        return prefillFlat_.entries() + decodeFlat_.entries() +
+               overflow_.stats().entries;
     std::lock_guard<std::mutex> lock(mu_);
     return prefillMemo_.size() + decodeMemo_.size();
 }

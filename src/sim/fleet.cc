@@ -1,7 +1,8 @@
 #include "fleet.hh"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,20 +77,25 @@ sizeFleet(const IterationCostModel &cost, const FleetDemand &demand,
     // Probe one size, remembering the best (smallest) feasible
     // aggregate seen so the chosen size never re-simulates. The
     // verdict memo guarantees every size simulates at most once no
-    // matter how the bracket and the binary search revisit it.
+    // matter how the bracket and the binary search revisit it. It is
+    // a flat array indexed by replica count — the domain is exactly
+    // [1, max_replicas], so a byte per size beats a node-allocating
+    // tree: 0 = unknown, 1 = feasible, 2 = infeasible.
     int best = 0;
     ReplicaMetrics best_metrics;
-    std::map<int, bool> verdicts;
+    std::vector<signed char> verdicts(
+        static_cast<std::size_t>(max_replicas) + 1, 0);
     const auto feasible = [&](int replicas) {
-        const auto seen = verdicts.find(replicas);
-        if (seen != verdicts.end())
-            return seen->second;
+        signed char &seen =
+            verdicts[static_cast<std::size_t>(replicas)];
+        if (seen != 0)
+            return seen == 1;
         ReplicaMetrics m =
             simulateFleet(cost, demand, sched, replicas, pool);
         ++result.probes;
         obs::counterAdd("sim.fleet.probes");
         const bool ok = m.meetsSlo(slo);
-        verdicts.emplace(replicas, ok);
+        seen = ok ? 1 : 2;
         if (ok && (best == 0 || replicas < best)) {
             best = replicas;
             best_metrics = std::move(m);
@@ -169,12 +175,22 @@ sizeDisaggFleet(const DisaggPoolSpec &prefill,
     base.kvTransfer = kv;
     base.routing = routing;
     base.slo = slo;
+    // The cluster's shared event queue inherits the prefill pool's
+    // engine choice, so a LEGACY_HEAP caller gets the reference path
+    // end to end.
+    base.queueEngine = prefill.scheduler.queueEngine;
 
     // Every (P, D) pair simulates at most once, fed by a fresh
     // Poisson trace from the same seed so probes are comparable.
-    std::map<std::pair<int, int>, ClusterMetrics> probes;
+    // Flat-hashed on the packed (P, D) key: both searches revisit
+    // pairs a handful of times, and reserving up front keeps the
+    // memo rehash-free.
+    std::unordered_map<std::uint64_t, ClusterMetrics> probes;
+    probes.reserve(64);
     const auto probe = [&](int p, int d) -> const ClusterMetrics & {
-        const std::pair<int, int> key{p, d};
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(p) << 32) |
+            static_cast<std::uint64_t>(d);
         const auto it = probes.find(key);
         if (it != probes.end())
             return it->second;

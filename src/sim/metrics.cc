@@ -99,7 +99,13 @@ latencyBucketMidS(std::size_t bucket)
 void
 LatencyHistogram::record(double s)
 {
-    const std::size_t bucket = latencyBucket(s);
+    // The memo's initial state is consistent: -1.0 is non-positive,
+    // so it maps to bucket 0 like every s <= 0.
+    if (s != lastS) {
+        lastS = s;
+        lastBucket = latencyBucket(s);
+    }
+    const std::size_t bucket = lastBucket;
     if (buckets.size() <= bucket)
         buckets.resize(bucket + 1, 0);
     ++buckets[bucket];
@@ -221,11 +227,14 @@ ReplicaMetrics::merge(const ReplicaMetrics &other)
                     other.requests.end());
     tbtGapsS.insert(tbtGapsS.end(), other.tbtGapsS.begin(),
                     other.tbtGapsS.end());
+    ttftHist.merge(other.ttftHist);
+    tbtHist.merge(other.tbtHist);
     queueDepth.merge(other.queueDepth);
     prefillIterations += other.prefillIterations;
     decodeIterations += other.decodeIterations;
     generatedTokens += other.generatedTokens;
     arrivals += other.arrivals;
+    completed += other.completed;
     lastEventS = std::max(lastEventS, other.lastEventS);
 }
 

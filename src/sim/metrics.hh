@@ -104,6 +104,14 @@ struct LatencyHistogram
     /** Record one latency sample (seconds; <= 0 lands in bucket 0). */
     void record(double s);
 
+    /**
+     * One-entry bucket memo: decode gaps repeat (every request of a
+     * batch shares the iteration's gap), so the common case skips the
+     * frexp bucket math. Pure cache — no effect on recorded data.
+     */
+    double lastS = -1.0;
+    std::size_t lastBucket = 0;
+
     /** Fold another histogram in (commutative and associative). */
     void merge(const LatencyHistogram &other);
 
@@ -133,15 +141,30 @@ struct SloTargets
 /** Everything one replica simulation produced. */
 struct ReplicaMetrics
 {
-    /** Completed requests in completion order. */
+    /**
+     * Completed requests in completion order. Populated only when
+     * the run records per-request data (ReplicaConfig::
+     * recordRequests, on by default); trace-scale runs turn it off
+     * and read `completed` + the streaming histograms instead.
+     */
     std::vector<RequestRecord> requests;
 
     /**
      * Every decode-token gap (seconds), including stalls while the
      * scheduler ran prefill iterations — the interference the
-     * closed-form TBT cannot see.
+     * closed-form TBT cannot see. Subject to ReplicaConfig::
+     * recordTbtGaps, like `requests` above.
      */
     std::vector<double> tbtGapsS;
+
+    /**
+     * Streaming TTFT / decode-gap distributions, populated by
+     * simulateReplica regardless of the record switches — the O(1)-
+     * memory percentile source for trace-scale runs (the cluster
+     * keeps its own pair in ClusterMetrics).
+     */
+    LatencyHistogram ttftHist;
+    LatencyHistogram tbtHist;
 
     QueueDepthHistogram queueDepth;
 
@@ -149,6 +172,7 @@ struct ReplicaMetrics
     std::uint64_t decodeIterations = 0;
     std::uint64_t generatedTokens = 0;
     std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0; //!< requests retired (always counted)
     double lastEventS = 0.0; //!< virtual time of the final event
 
     /** TTFT rollup over completed requests. */

@@ -1,11 +1,11 @@
 #include "replica.hh"
 
 #include <algorithm>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/ring.hh"
 #include "obs/obs.hh"
 #include "sim/event.hh"
 #include "sim/trace.hh"
@@ -44,7 +44,8 @@ class ReplicaState
           arrivalRng_(substreamSeed(cfg.workload.seed, 0)),
           lengthRng_(substreamSeed(cfg.workload.seed, 1)),
           kvBudget_(cost.kvBudgetBytes() *
-                    cfg.scheduler.kvMemoryFraction)
+                    cfg.scheduler.kvMemoryFraction),
+          events_(cfg.scheduler.queueEngine)
     {}
 
     /**
@@ -57,7 +58,8 @@ class ReplicaState
           arrivalRng_(substreamSeed(cfg.workload.seed, 0)),
           lengthRng_(substreamSeed(cfg.workload.seed, 1)),
           kvBudget_(cost.kvBudgetBytes() *
-                    cfg.scheduler.kvMemoryFraction)
+                    cfg.scheduler.kvMemoryFraction),
+          events_(cfg.scheduler.queueEngine)
     {}
 
     ReplicaMetrics run();
@@ -79,7 +81,7 @@ class ReplicaState
     const double kvBudget_;
 
     EventQueue events_;
-    std::deque<InFlight> waiting_;     //!< FIFO admission queue
+    common::RingQueue<InFlight> waiting_; //!< FIFO admission queue
     std::vector<InFlight> prefilling_; //!< admitted, prefill in flight
     std::vector<InFlight> active_;     //!< decode-phase requests
     double kvUsed_ = 0.0;
@@ -129,12 +131,15 @@ ReplicaState::generateRequest(double now)
     }
     r.kvBytes = cost_.kvBytesPerTokenPerDevice() *
                 (r.rec.promptLen + r.rec.outputLen);
-    fatalIf(r.kvBytes > kvBudget_,
-            "simulateReplica: a single request's KV footprint (" +
-                std::to_string(r.kvBytes) +
-                " B/device) exceeds the KV budget (" +
-                std::to_string(kvBudget_) +
-                " B/device); the workload cannot be served");
+    // Branch-then-throw: fatalIf would build the message (two
+    // to_string calls and a heap string) on every request.
+    if (r.kvBytes > kvBudget_) {
+        fatal("simulateReplica: a single request's KV footprint (" +
+              std::to_string(r.kvBytes) +
+              " B/device) exceeds the KV budget (" +
+              std::to_string(kvBudget_) +
+              " B/device); the workload cannot be served");
+    }
     waiting_.push_back(std::move(r));
     ++metrics_.arrivals;
 }
@@ -209,7 +214,10 @@ ReplicaState::retire(InFlight &r, double now)
 {
     r.rec.finishS = now;
     kvUsed_ -= r.kvBytes;
-    metrics_.requests.push_back(r.rec);
+    ++metrics_.completed;
+    metrics_.ttftHist.record(r.rec.ttftS());
+    if (cfg_.recordRequests)
+        metrics_.requests.push_back(r.rec);
     if (!cfg_.workload.openLoop()) {
         const double wake = now + cfg_.workload.thinkTimeS;
         if (wake < cfg_.workload.horizonS)
@@ -223,11 +231,11 @@ ReplicaState::finishIteration(double now)
     busy_ = false;
     if (prefillInFlight_) {
         // Every admitted prompt emits its first token now.
+        metrics_.generatedTokens += prefilling_.size();
         for (InFlight &r : prefilling_) {
             r.rec.firstTokenS = now;
             r.lastTokenS = now;
             r.tokensLeft = r.rec.outputLen - 1;
-            ++metrics_.generatedTokens;
             if (r.tokensLeft == 0)
                 retire(r, now);
             else
@@ -239,13 +247,16 @@ ReplicaState::finishIteration(double now)
 
     // One decode token per running request; retire finished ones
     // in place (stable compaction keeps batch order deterministic).
+    metrics_.generatedTokens += active_.size();
     std::size_t keep = 0;
     for (std::size_t i = 0; i < active_.size(); ++i) {
         InFlight &r = active_[i];
-        metrics_.tbtGapsS.push_back(now - r.lastTokenS);
+        const double gap = now - r.lastTokenS;
+        metrics_.tbtHist.record(gap);
+        if (cfg_.recordTbtGaps)
+            metrics_.tbtGapsS.push_back(gap);
         r.lastTokenS = now;
         --r.tokensLeft;
-        ++metrics_.generatedTokens;
         if (r.tokensLeft == 0) {
             retire(r, now);
         } else {
@@ -266,6 +277,17 @@ ReplicaState::run()
     fatalIf(kvBudget_ <= 0.0,
             "simulateReplica: model weights leave no HBM for KV "
             "cache on this device");
+
+    // Steady-state in-flight events: one ITER_DONE plus one pending
+    // arrival (or every closed-loop client's wake-up). Warming the
+    // queue and the batch vectors up front keeps the event loop
+    // allocation-free.
+    events_.reserve(
+        4 + static_cast<std::size_t>(
+                std::max(0, cfg_.workload.closedLoopClients)));
+    prefilling_.reserve(
+        static_cast<std::size_t>(cfg_.scheduler.maxPrefillBatch));
+    active_.reserve(static_cast<std::size_t>(cfg_.scheduler.maxBatch));
 
     seedArrivals();
     double now = 0.0;
@@ -304,7 +326,7 @@ ReplicaState::run()
         obs::counterAdd("sim.iterations.decode",
                         metrics_.decodeIterations);
         obs::counterAdd("sim.requests.completed",
-                        metrics_.requests.size());
+                        metrics_.completed);
         obs::counterAdd("sim.tokens.generated",
                         metrics_.generatedTokens);
     }
@@ -326,6 +348,13 @@ simulateReplica(const IterationCostModel &cost,
 {
     ReplicaConfig cfg;
     cfg.scheduler = sched;
+    return ReplicaState(cost, cfg, trace).run();
+}
+
+ReplicaMetrics
+simulateReplica(const IterationCostModel &cost,
+                const ReplicaConfig &cfg, TraceWorkload &trace)
+{
     return ReplicaState(cost, cfg, trace).run();
 }
 

@@ -22,6 +22,7 @@
 #define ACS_SIM_REPLICA_HH
 
 #include "sim/cost_model.hh"
+#include "sim/event.hh"
 #include "sim/metrics.hh"
 #include "sim/workload.hh"
 
@@ -55,6 +56,16 @@ struct SchedulerConfig
      */
     double kvMemoryFraction = 0.9;
 
+    /**
+     * Pending-event structure of the simulation this scheduler
+     * drives. Purely a performance switch: both engines pop in
+     * identical (time, seq) order, so results are bit-identical
+     * (docs/SERVING.md). Rides along here because SchedulerConfig
+     * reaches every simulation entry point — replica, fleet sizing,
+     * and cluster pools.
+     */
+    QueueEngine queueEngine = QueueEngine::CALENDAR;
+
     /** Fatal unless caps are positive and the fraction in (0, 1]. */
     void validate() const;
 };
@@ -64,6 +75,18 @@ struct ReplicaConfig
 {
     WorkloadSpec workload;
     SchedulerConfig scheduler;
+
+    /**
+     * Keep per-request records / per-gap samples in the metrics.
+     * Exact percentiles need them; trace-scale runs (millions of
+     * requests) turn them off — the counters and the streaming
+     * histograms are populated either way — to keep memory O(batch)
+     * and skip the gigabyte-scale vector growth and O(n log n)
+     * percentile sorts. attainment()/goodputTokensPerS()/meetsSlo()
+     * need recordRequests/recordTbtGaps respectively.
+     */
+    bool recordRequests = true;
+    bool recordTbtGaps = true;
 };
 
 /**
@@ -91,6 +114,15 @@ ReplicaMetrics simulateReplica(const IterationCostModel &cost,
  */
 ReplicaMetrics simulateReplica(const IterationCostModel &cost,
                                const SchedulerConfig &sched,
+                               TraceWorkload &trace);
+
+/**
+ * Trace-replay overload taking a full ReplicaConfig so callers can
+ * set the record switches (cfg.workload is ignored — arrivals and
+ * lengths come from the trace).
+ */
+ReplicaMetrics simulateReplica(const IterationCostModel &cost,
+                               const ReplicaConfig &cfg,
                                TraceWorkload &trace);
 
 } // namespace sim

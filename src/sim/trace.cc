@@ -49,12 +49,15 @@ TraceWorkload::next(TraceRequest &out)
     TraceRequest r;
     if (!produce(r))
         return false;
-    fatalIf(r.arrivalS < lastArrivalS_,
-            "TraceWorkload: arrivals must be non-decreasing (got " +
-                std::to_string(r.arrivalS) + " after " +
-                std::to_string(lastArrivalS_) + ")");
-    fatalIf(r.promptLen < 1 || r.outputLen < 1,
-            "TraceWorkload: prompt/output lengths must be >= 1");
+    // Branch-then-throw: fatalIf would build the message (two
+    // to_string calls) on every generated request.
+    if (r.arrivalS < lastArrivalS_) {
+        fatal("TraceWorkload: arrivals must be non-decreasing (got " +
+              std::to_string(r.arrivalS) + " after " +
+              std::to_string(lastArrivalS_) + ")");
+    }
+    if (r.promptLen < 1 || r.outputLen < 1)
+        fatal("TraceWorkload: prompt/output lengths must be >= 1");
     lastArrivalS_ = r.arrivalS;
     ++produced_;
     out = r;

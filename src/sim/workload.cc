@@ -81,15 +81,19 @@ LengthDistribution::maxPossibleLen() const
 void
 LengthDistribution::validate() const
 {
-    fatalIf(quantum < 1, "LengthDistribution: quantum must be >= 1");
+    // Branch-then-throw: sample() validates per draw, so fatalIf's
+    // eager message strings would allocate on every arrival.
+    if (quantum < 1)
+        fatal("LengthDistribution: quantum must be >= 1");
     if (kind == Kind::FIXED) {
-        fatalIf(fixedLen < 1,
-                "LengthDistribution: fixedLen must be >= 1");
+        if (fixedLen < 1)
+            fatal("LengthDistribution: fixedLen must be >= 1");
         return;
     }
-    fatalIf(minLen < 1, "LengthDistribution: minLen must be >= 1");
-    fatalIf(maxLen < minLen,
-            "LengthDistribution: maxLen must be >= minLen");
+    if (minLen < 1)
+        fatal("LengthDistribution: minLen must be >= 1");
+    if (maxLen < minLen)
+        fatal("LengthDistribution: maxLen must be >= minLen");
 }
 
 void
@@ -121,8 +125,8 @@ substreamSeed(std::uint64_t seed, std::uint64_t stream)
 double
 sampleExponentialS(Rng &rng, double rate_per_s)
 {
-    panicIf(rate_per_s <= 0.0,
-            "sampleExponentialS: rate must be > 0");
+    if (rate_per_s <= 0.0)
+        panic("sampleExponentialS: rate must be > 0");
     // uniform() is in [0, 1): log1p(-u) is finite for every draw.
     return -std::log1p(-rng.uniform()) / rate_per_s;
 }

@@ -9,7 +9,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/flat_memo.hh"
 #include "common/logging.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/scatter.hh"
 #include "common/stats.hh"
@@ -328,6 +330,115 @@ TEST(Rng, BelowStaysBelow)
     Rng r(11);
     for (int i = 0; i < 1000; ++i)
         EXPECT_LT(r.below(17), 17u);
+}
+
+// ---- ring queue --------------------------------------------------------
+
+TEST(RingQueue, FifoAcrossGrowthAndWraparound)
+{
+    common::RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    // Interleave pushes and pops so the live range wraps the ring
+    // repeatedly while the buffer grows through several capacities.
+    int next_in = 0;
+    int next_out = 0;
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 7; ++i)
+            q.push_back(next_in++);
+        for (int i = 0; i < 5; ++i) {
+            EXPECT_EQ(q.front(), next_out);
+            q.pop_front();
+            ++next_out;
+        }
+    }
+    EXPECT_EQ(q.size(),
+              static_cast<std::size_t>(next_in - next_out));
+    while (!q.empty()) {
+        EXPECT_EQ(q.front(), next_out++);
+        q.pop_front();
+    }
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingQueue, ReservePreservesContents)
+{
+    common::RingQueue<int> q;
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i);
+    for (int i = 0; i < 4; ++i)
+        q.pop_front(); // head off zero so reserve re-seats a wrap
+    q.reserve(1024);
+    EXPECT_EQ(q.size(), 6u);
+    for (int i = 4; i < 10; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+}
+
+TEST(RingQueue, EmptyAccessPanics)
+{
+    common::RingQueue<int> q;
+    EXPECT_THROW(q.front(), PanicError);
+    EXPECT_THROW(q.pop_front(), PanicError);
+    q.push_back(1);
+    q.pop_front();
+    EXPECT_THROW(q.pop_front(), PanicError);
+}
+
+// ---- atomic flat memo ---------------------------------------------------
+
+TEST(FlatMemo, InsertAndFindRoundTripsExactBits)
+{
+    common::AtomicFlatMemo memo(64);
+    EXPECT_EQ(memo.capacity(), 64u);
+    double out = 0.0;
+    EXPECT_FALSE(memo.find(42, &out));
+    const double value = 0.12345678901234567;
+    EXPECT_TRUE(memo.insert(42, value));
+    ASSERT_TRUE(memo.find(42, &out));
+    EXPECT_EQ(out, value); // exact bits, not approximate
+    EXPECT_EQ(memo.entries(), 1u);
+
+    // Idempotent re-store of identical bits (the racing-compute
+    // contract) neither grows the table nor changes the value.
+    EXPECT_TRUE(memo.insert(42, value));
+    EXPECT_EQ(memo.entries(), 1u);
+    ASSERT_TRUE(memo.find(42, &out));
+    EXPECT_EQ(out, value);
+}
+
+TEST(FlatMemo, CapacityRoundsUpToPowerOfTwo)
+{
+    common::AtomicFlatMemo memo(100);
+    EXPECT_EQ(memo.capacity(), 128u);
+    common::AtomicFlatMemo tiny(1);
+    EXPECT_EQ(tiny.capacity(), 64u);
+}
+
+TEST(FlatMemo, OverflowDropsInsertAndCounts)
+{
+    common::AtomicFlatMemo memo(64);
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        EXPECT_TRUE(memo.insert(k, static_cast<double>(k)));
+    EXPECT_EQ(memo.entries(), 64u);
+    EXPECT_EQ(memo.overflows(), 0u);
+
+    // Table full: the 65th key is dropped and tallied, and every
+    // existing entry still reads back its exact value.
+    EXPECT_FALSE(memo.insert(65, 65.0));
+    EXPECT_EQ(memo.overflows(), 1u);
+    double out = 0.0;
+    EXPECT_FALSE(memo.find(65, &out));
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+        ASSERT_TRUE(memo.find(k, &out));
+        EXPECT_EQ(out, static_cast<double>(k));
+    }
+}
+
+TEST(FlatMemo, ReservedKeyZeroPanics)
+{
+    common::AtomicFlatMemo memo(64);
+    EXPECT_THROW(memo.insert(0, 1.0), PanicError);
 }
 
 } // anonymous namespace

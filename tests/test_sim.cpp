@@ -59,6 +59,98 @@ TEST(EventQueue, Validation)
                  PanicError);
 }
 
+TEST(EventQueue, PanicMessagesNameTheOffendingValue)
+{
+    EventQueue q;
+    try {
+        q.push(-2.5, EventKind::ARRIVAL);
+        FAIL() << "push accepted a negative time";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("-2.5"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        q.push(std::nan(""), EventKind::ARRIVAL);
+        FAIL() << "push accepted a NaN time";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("NaN"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+/**
+ * The calendar engine's contract: bit-identical pop order to the
+ * reference heap for any schedule. Randomized interleaved push/pop
+ * with duplicate times, near-future clusters, and far-future
+ * outliers (the think-time shape that forces the one-lap scan into
+ * its global-minimum fallback), plus mid-stream reserve() calls that
+ * force re-bucketing.
+ */
+TEST(EventQueue, CalendarMatchesHeapOnRandomSchedules)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        EventQueue cal(QueueEngine::CALENDAR);
+        EventQueue heap(QueueEngine::LEGACY_HEAP);
+        Rng rng(seed);
+        double now = 0.0;
+        std::uint64_t payload = 0;
+        for (int step = 0; step < 4000; ++step) {
+            const double action = rng.uniform();
+            if (action < 0.6 || cal.empty()) {
+                const double shape = rng.uniform();
+                double when = now;
+                if (shape < 0.2) {
+                    // exact duplicate of the current time (FIFO ties)
+                } else if (shape < 0.3) {
+                    when = now + 1e9 * rng.uniform(); // outlier
+                } else {
+                    when = now + rng.uniform();
+                }
+                const auto kind = static_cast<EventKind>(
+                    rng.below(3)); // ARRIVAL..CLIENT_WAKE
+                cal.push(when, kind, payload);
+                heap.push(when, kind, payload);
+                ++payload;
+            } else {
+                const Event a = cal.pop();
+                const Event b = heap.pop();
+                ASSERT_EQ(a.timeS, b.timeS);
+                ASSERT_EQ(a.seq, b.seq);
+                ASSERT_EQ(a.kind, b.kind);
+                ASSERT_EQ(a.payload, b.payload);
+                now = a.timeS;
+            }
+            if (step % 512 == 0)
+                cal.reserve(cal.size() + 64); // force a rebuild
+        }
+        ASSERT_EQ(cal.size(), heap.size());
+        while (!cal.empty()) {
+            const Event a = cal.pop();
+            const Event b = heap.pop();
+            ASSERT_EQ(a.timeS, b.timeS);
+            ASSERT_EQ(a.seq, b.seq);
+        }
+        EXPECT_TRUE(heap.empty());
+    }
+}
+
+TEST(EventQueue, ReserveKeepsContentsAndOrder)
+{
+    EventQueue q;
+    for (std::uint64_t i = 0; i < 32; ++i)
+        q.push(32.0 - static_cast<double>(i), EventKind::ARRIVAL, i);
+    q.reserve(1024); // rebuild with 32 events pending
+    EXPECT_EQ(q.size(), 32u);
+    double last = 0.0;
+    while (!q.empty()) {
+        const Event e = q.pop();
+        EXPECT_GT(e.timeS, last);
+        last = e.timeS;
+    }
+}
+
 // ---- workload --------------------------------------------------------------
 
 TEST(Workload, FixedLengthQuantizes)
@@ -175,6 +267,60 @@ TEST(CostModel, LatencyGrowsWithBatchAndLength)
     EXPECT_LT(cost.prefillS(1, 512), cost.prefillS(8, 512));
     EXPECT_LT(cost.prefillS(1, 512), cost.prefillS(1, 2048));
     EXPECT_LT(cost.decodeStepS(1), cost.decodeStepS(32));
+}
+
+TEST(CostModel, FlatMemoMatchesLegacyMapBitExactly)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel flat = testCost(w); // FLAT default
+    const IterationCostModel legacy(hw::modeledA100(), w.model,
+                                    w.setting, w.system,
+                                    perf::PerfParams{},
+                                    MemoEngine::LEGACY_MAP);
+    Rng rng(99);
+    for (int i = 0; i < 120; ++i) {
+        const int batch = 1 + static_cast<int>(rng.below(8));
+        const int len =
+            64 * (1 + static_cast<int>(rng.below(8)));
+        // Exact equality: both engines memoize the identical
+        // computed bits, hit or miss.
+        EXPECT_EQ(flat.prefillS(batch, len),
+                  legacy.prefillS(batch, len));
+        EXPECT_EQ(flat.decodeStepS(batch),
+                  legacy.decodeStepS(batch));
+    }
+    EXPECT_EQ(flat.memoMisses(), legacy.memoMisses());
+}
+
+/**
+ * The shared read-mostly memo contract the TSan job watches: many
+ * workers hammering one FLAT cost model concurrently (claim races,
+ * pending-sentinel reads, idempotent re-stores) must each observe
+ * exactly the bits a fresh single-threaded model computes.
+ */
+TEST(CostModel, SharedMemoThreadFanout)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel shared = testCost(w);
+    const IterationCostModel reference = testCost(w);
+    constexpr int kTasks = 64;
+    std::vector<double> prefill(kTasks), decode(kTasks);
+    common::ThreadPool pool(7);
+    pool.parallelFor(
+        kTasks,
+        [&](std::size_t i) {
+            const int batch = 1 + static_cast<int>(i % 8);
+            const int len = 128 * (1 + static_cast<int>(i % 4));
+            prefill[i] = shared.prefillS(batch, len);
+            decode[i] = shared.decodeStepS(batch);
+        },
+        1);
+    for (int i = 0; i < kTasks; ++i) {
+        const int batch = 1 + (i % 8);
+        const int len = 128 * (1 + (i % 4));
+        EXPECT_EQ(prefill[i], reference.prefillS(batch, len));
+        EXPECT_EQ(decode[i], reference.decodeStepS(batch));
+    }
 }
 
 TEST(CostModel, MemoryAccounting)
@@ -368,6 +514,112 @@ TEST(Determinism, SameSeedSameBytes)
     const std::string c =
         fingerprint(simulateReplica(cost, openLoopConfig(1.0, 10)));
     EXPECT_NE(a, c);
+}
+
+TEST(Determinism, QueueEngineDoesNotChangeReplicaBytes)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel cost = testCost(w);
+    const ReplicaConfig cal = openLoopConfig(2.0, 19);
+    ReplicaConfig heap = cal;
+    heap.scheduler.queueEngine = QueueEngine::LEGACY_HEAP;
+    EXPECT_EQ(fingerprint(simulateReplica(cost, cal)),
+              fingerprint(simulateReplica(cost, heap)));
+}
+
+TEST(Determinism, MemoEngineDoesNotChangeReplicaBytes)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel flat = testCost(w);
+    const IterationCostModel legacy(hw::modeledA100(), w.model,
+                                    w.setting, w.system,
+                                    perf::PerfParams{},
+                                    MemoEngine::LEGACY_MAP);
+    const ReplicaConfig rc = openLoopConfig(2.0, 23);
+    EXPECT_EQ(fingerprint(simulateReplica(flat, rc)),
+              fingerprint(simulateReplica(legacy, rc)));
+}
+
+TEST(Determinism, RecordingOffPreservesCountsAndHistograms)
+{
+    const core::Workload w = testWorkload();
+    const IterationCostModel cost = testCost(w);
+    const ReplicaConfig on = openLoopConfig(2.0, 29);
+    ReplicaConfig off = on;
+    off.recordRequests = false;
+    off.recordTbtGaps = false;
+    const ReplicaMetrics a = simulateReplica(cost, on);
+    const ReplicaMetrics b = simulateReplica(cost, off);
+
+    // The switches drop only the per-request vectors...
+    EXPECT_FALSE(a.requests.empty());
+    EXPECT_FALSE(a.tbtGapsS.empty());
+    EXPECT_TRUE(b.requests.empty());
+    EXPECT_TRUE(b.tbtGapsS.empty());
+
+    // ...every counter and streaming histogram is unchanged.
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.completed, a.requests.size());
+    EXPECT_EQ(a.prefillIterations, b.prefillIterations);
+    EXPECT_EQ(a.decodeIterations, b.decodeIterations);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.lastEventS, b.lastEventS);
+    EXPECT_EQ(a.ttftHist.buckets, b.ttftHist.buckets);
+    EXPECT_EQ(a.ttftHist.count, b.ttftHist.count);
+    EXPECT_DOUBLE_EQ(a.ttftHist.sumS, b.ttftHist.sumS);
+    EXPECT_EQ(a.tbtHist.buckets, b.tbtHist.buckets);
+    EXPECT_EQ(a.tbtHist.count, b.tbtHist.count);
+    EXPECT_DOUBLE_EQ(a.tbtHist.maxS, b.tbtHist.maxS);
+
+    // The histograms' percentiles track the exact rollups within
+    // the documented ~1.6% bucket error.
+    EXPECT_NEAR(b.ttftHist.percentileS(99.0), a.ttft().p99S,
+                0.02 * a.ttft().p99S);
+    EXPECT_NEAR(b.tbtHist.percentileS(99.0), a.tbt().p99S,
+                0.02 * a.tbt().p99S);
+}
+
+/**
+ * The unit the parallel scenario-grid benches fan out over: one
+ * servingPointAt cell must be byte-identical across both queue
+ * engines and both memo engines (the ext_serving_sim regression at
+ * unit scale).
+ */
+TEST(Determinism, ServingPointIsEngineIndependent)
+{
+    const core::SanctionsStudy study;
+    const core::Workload w = testWorkload();
+    core::ServingStudyConfig cfg;
+    cfg.promptLen = LengthDistribution::uniform(256, 768, 64);
+    cfg.outputLen = LengthDistribution::uniform(32, 96, 16);
+    cfg.horizonS = 150.0;
+    cfg.seed = 77;
+    core::ServingStudyConfig legacy_cfg = cfg;
+    legacy_cfg.scheduler.queueEngine = QueueEngine::LEGACY_HEAP;
+
+    const IterationCostModel flat =
+        study.makeCostModel(hw::modeledA100(), w);
+    const IterationCostModel map = study.makeCostModel(
+        hw::modeledA100(), w, MemoEngine::LEGACY_MAP);
+
+    const auto serialize = [](const core::ServingStudyPoint &p) {
+        std::ostringstream os;
+        os << std::setprecision(17);
+        os << p.ratePerS << ',' << p.ttft.p50S << ',' << p.ttft.p99S
+           << ',' << p.tbt.p50S << ',' << p.tbt.p99S << ','
+           << p.attainment << ',' << p.goodputTokensPerS << ','
+           << p.completed << ',' << p.maxQueueDepth;
+        return os.str();
+    };
+    for (double rate : {0.5, 2.0}) {
+        const std::string fast =
+            serialize(core::servingPointAt(flat, cfg, rate));
+        EXPECT_EQ(fast, serialize(core::servingPointAt(
+                            map, legacy_cfg, rate)));
+        EXPECT_EQ(fast, serialize(core::servingPointAt(
+                            flat, legacy_cfg, rate)));
+    }
 }
 
 TEST(Determinism, FleetMergeIsThreadCountIndependent)
