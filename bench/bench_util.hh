@@ -82,14 +82,16 @@ initObs(int argc = 0, char **argv = nullptr)
 /**
  * Build the study's PerfParams from bench arguments.
  *
- * Recognizes `--gemm-mode={analytic,tile_sim}` and
+ * Recognizes `--gemm-mode={analytic,tile_sim,cycle_sim}` and
  * `--gemm-cache={on,off}` (fatal on any other value) and leaves every
  * other parameter at its default, so the DSE benches can sweep with
- * either the closed-form roofline or the wave-level tile simulator,
- * with or without the sweep-scoped cross-design GEMM cache. The
- * default (analytic) reproduces the committed CSVs byte for byte;
- * tile_sim output is byte-identical cache-on vs cache-off (the cache
- * stores exact result bits — docs/PERF.md).
+ * the closed-form roofline, the wave-level tile simulator, or the
+ * event-driven cycle simulator, with or without the sweep-scoped
+ * cross-design GEMM cache. The default (analytic) reproduces the
+ * committed CSVs byte for byte; simulated output is byte-identical
+ * cache-on vs cache-off (the cache stores exact result bits —
+ * docs/PERF.md). The error message comes from perf::gemmModeNames()
+ * so the CLI and the benches always advertise the same mode list.
  */
 inline perf::PerfParams
 perfParamsFromArgs(int argc, char **argv)
@@ -99,8 +101,8 @@ perfParamsFromArgs(int argc, char **argv)
         if (std::strncmp(argv[i], "--gemm-mode=", 12) == 0) {
             const std::string value = argv[i] + 12;
             fatalIf(!perf::parseGemmMode(value, &params.gemmMode),
-                    "unknown --gemm-mode '" + value +
-                        "' (expected analytic or tile_sim)");
+                    "unknown --gemm-mode '" + value + "' (expected " +
+                        perf::gemmModeNames() + ")");
         } else if (std::strncmp(argv[i], "--gemm-cache=", 13) == 0) {
             const std::string value = argv[i] + 13;
             fatalIf(value != "on" && value != "off",

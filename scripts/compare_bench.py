@@ -9,9 +9,10 @@ deltas are advisory — the artifact and the log line are the signal,
 the committed baseline the record.
 
 Covers the bench suites emitted by bench/microbench:
-  BENCH_gemm.json (--gemm-only)  GEMM-mode sweep throughput
-  BENCH_dse.json  (--dse-only)   DSE pipeline sweep throughput
-  BENCH_sim.json  (--sim-only)   serving-simulator trace throughput
+  BENCH_gemm.json  (--gemm-only)  GEMM-mode sweep throughput
+  BENCH_dse.json   (--dse-only)   DSE pipeline sweep throughput
+  BENCH_cycle.json (--cycle-only) cycle-level engine throughput
+  BENCH_sim.json   (--sim-only)   serving-simulator trace throughput
 The suite is picked per file pair from the metrics present, so the
 caller just passes matching (baseline, measured) pairs:
 
@@ -39,6 +40,12 @@ SUITES = {
         "streaming_designs_per_s",
         "adaptive_designs_per_s",
     ],
+    "BENCH_cycle": [
+        "naive_gemms_per_s",
+        "coalesced_gemms_per_s",
+        "cycle_cold_designs_per_s",
+        "cycle_cached_designs_per_s",
+    ],
     "BENCH_sim": [
         "legacy_requests_per_s",
         "fast_requests_per_s",
@@ -61,6 +68,10 @@ BARS = {
         ("adaptive_speedup_vs_streaming", 10.0,
          "adaptive (effective) vs streaming"),
     ],
+    "BENCH_cycle": [
+        ("coalesced_speedup_vs_naive", 10.0,
+         "coalesced CYCLE_SIM vs naive per-cycle tick"),
+    ],
     "BENCH_sim": [
         ("fast_speedup_vs_legacy", 10.0,
          "fast sim path vs legacy heap+map"),
@@ -73,6 +84,7 @@ BARS = {
 # and the fine space should prune far harder).
 CEILINGS = {
     "BENCH_gemm": [],
+    "BENCH_cycle": [],
     "BENCH_sim": [],
     "BENCH_dse": [
         ("fraction_evaluated", 0.30, "adaptive fraction evaluated"),
@@ -143,6 +155,16 @@ def compare_pair(baseline_path, measured_path):
     size = measured.get("frontier_size")
     if size is not None:
         print(f"adaptive frontier size: {size}")
+
+    # Informational (never warned on): cache efficacy and the replay
+    # coverage of the coalesced cycle engine — useful trend lines, but
+    # both are workload-shaped rather than pure implementation cost.
+    rate = measured.get("gemm_cache_hit_rate")
+    if rate is not None:
+        print(f"gemm cache hit rate: {rate:.4f}")
+    fraction = measured.get("replayed_tile_fraction")
+    if fraction is not None:
+        print(f"replayed tile fraction: {fraction:.4f}")
 
 
 def main(argv):

@@ -30,6 +30,7 @@
 #include "model/ops.hh"
 #include "model/transformer.hh"
 #include "obs/obs.hh"
+#include "perf/cycle_sim.hh"
 #include "perf/graphics_model.hh"
 #include "perf/roofline.hh"
 #include "perf/simulator.hh"

@@ -23,7 +23,8 @@ namespace {
 /**
  * Sweep-scoped GEMM-cache hoist: a params copy for one batch call,
  * with a batch-lifetime perf::GemmCache installed when the base
- * params run TILE_SIM, allow caching, and carry no caller-installed
+ * params run a simulating GEMM mode (TILE_SIM or CYCLE_SIM), allow
+ * caching, and carry no caller-installed
  * handle. In every other case `params` is a plain copy and the unused
  * cache costs only its (empty) shard array. Results are bit-identical
  * with or without the hoist; only the sweep's cost changes.
@@ -35,7 +36,7 @@ struct SweepCacheScope
 
     explicit SweepCacheScope(const perf::PerfParams &base) : params(base)
     {
-        if (params.gemmMode == perf::GemmMode::TILE_SIM &&
+        if (params.gemmMode != perf::GemmMode::ANALYTIC &&
             params.cacheTileSimGemms && !params.gemmCache) {
             params.gemmCache = &cache;
         }
@@ -377,7 +378,8 @@ DesignEvaluator::evaluateStream(const SweepSpace &space,
     {
         StreamStats stats;
     };
-    // One GEMM cache for the whole stream (TILE_SIM only): the plan
+    // One GEMM cache for the whole stream (simulating modes only):
+    // the plan
     // enumerates comm-only axes innermost, so each compute-class run
     // of commOnlyRunLength() designs simulates its GEMMs once.
     SweepCacheScope scope(params_);

@@ -129,7 +129,8 @@ class DesignEvaluator
      *
      * Like every batch entry point (evaluateAllParallel,
      * evaluateStream), hoists one sweep-scoped perf::GemmCache over
-     * the whole batch when the params ask for TILE_SIM mode and
+     * the whole batch when the params ask for a simulating GEMM mode
+     * (TILE_SIM or CYCLE_SIM) and
      * cacheTileSimGemms (and no caller-installed cache) — designs
      * sharing a canonical GEMM projection then simulate each GEMM
      * once. Bit-identical to the uncached path.
@@ -174,7 +175,7 @@ class DesignEvaluator
      * independent of thread count (argmin ties resolve to the lowest
      * enumeration index, matching std::min_element).
      *
-     * Under GemmMode::TILE_SIM one sweep-scoped perf::GemmCache is
+     * Under a simulating GEMM mode one sweep-scoped perf::GemmCache is
      * hoisted over the whole stream (unless the params install their
      * own handle or clear cacheTileSimGemms): the SweepPlan keeps
      * comm-only axes innermost, so all designs of one compute-class
@@ -205,7 +206,7 @@ class DesignEvaluator
      * Shares the streaming pipeline's machinery: designs build via
      * plan.point into per-worker scratch, ANALYTIC-mode designs
      * evaluate through the SoA batch kernel
-     * (PerfParams::batchAnalyticEval), TILE_SIM designs get a
+     * (PerfParams::batchAnalyticEval), simulated-GEMM designs get a
      * call-scoped GemmCache hoist. Deterministic: out[pos] depends
      * only on indices[pos], never on scheduling.
      *

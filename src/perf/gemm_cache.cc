@@ -45,7 +45,19 @@ fingerprintGemmParams(const PerfParams &params)
                       (params.modelL2Blocking ? 4u : 0u) |
                       (params.tileSimEngine == TileSimEngine::LEGACY_WALK
                            ? 8u
-                           : 0u));
+                           : 0u) |
+                      (params.cycleEngine == CycleEngine::LEGACY_TICK
+                           ? 16u
+                           : 0u) |
+                      (params.cycleReplay ? 32u : 0u));
+    // The mode itself keys the entry: TILE_SIM and CYCLE_SIM timings
+    // for the same (device, op) projection must never alias.
+    h = fnvMix(h, static_cast<std::uint64_t>(params.gemmMode));
+    // CYCLE_SIM memory-system knobs (no-ops for the other modes, but
+    // hashing them unconditionally keeps the fingerprint branch-free).
+    h = fnvMix(h, static_cast<std::uint64_t>(params.cycleDramBanks));
+    h = fnvMix(h, static_cast<std::uint64_t>(params.cycleDramReqBytes));
+    h = fnvMix(h, static_cast<std::uint64_t>(params.cycleDramWindow));
     return h;
 }
 

@@ -1,9 +1,12 @@
 /**
  * @file
- * Cross-design memoization of TILE_SIM GEMM timings.
+ * Cross-design memoization of simulated GEMM timings (TILE_SIM and
+ * CYCLE_SIM; entries are keyed by mode through the params
+ * fingerprint, so the two never alias).
  *
  * A DSE sweep is a cartesian product over architectural axes, and the
- * wave-level GEMM simulation reads only a *projection* of a design:
+ * wave- or cycle-level GEMM simulation reads only a *projection* of a
+ * design:
  * the interconnect axes (`deviceBandwidths`, per-PHY realization) and
  * memory capacity never touch die-local GEMM timing at all, and
  * several compute axes collapse under the TPP constraint (equal-TPP

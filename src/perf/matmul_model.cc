@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "obs/obs.hh"
+#include "perf/cycle_sim.hh"
 #include "perf/gemm_cache.hh"
 #include "perf/tile_sim.hh"
 
@@ -48,7 +49,7 @@ MatmulModel::MatmulModel(const hw::HardwareConfig &cfg,
     : cfg_(cfg), params_(params)
 {
     cfg_.validate();
-    // Hash the model constants once: with a TILE_SIM cache installed
+    // Hash the model constants once: with a GEMM cache installed
     // every time() call embeds this fingerprint in its key.
     if (params_.gemmCache)
         paramsFp_ = fingerprintGemmParams(params_);
@@ -168,12 +169,14 @@ MatmulModel::time(const model::Op &op) const
     if (mm.m < 1 || mm.n < 1 || mm.k < 1 || mm.batchCount < 1)
         fatal("MatmulModel::time: degenerate GEMM dims in " + op.name);
 
-    // Cross-design memoization (TILE_SIM only — the analytic closed
-    // form is cheaper than a lookup): consult the sweep-scoped cache
-    // before doing any modeling. Hits return the exact bits the miss
-    // path stored, so cached and uncached sweeps are byte-identical.
+    // Cross-design memoization (simulating modes only — the analytic
+    // closed form is cheaper than a lookup): consult the sweep-scoped
+    // cache before doing any modeling. Hits return the exact bits the
+    // miss path stored, so cached and uncached sweeps are
+    // byte-identical; the params fingerprint keys entries by mode, so
+    // TILE_SIM and CYCLE_SIM timings never alias.
     GemmCache *const cache =
-        params_.gemmMode == GemmMode::TILE_SIM ? params_.gemmCache
+        params_.gemmMode != GemmMode::ANALYTIC ? params_.gemmCache
                                                : nullptr;
     GemmCacheKey cache_key;
     if (cache) {
@@ -262,15 +265,17 @@ MatmulModel::time(const model::Op &op) const
     if (obs::enabled())
         obs::counterAdd("perf.matmul.timed");
 
-    // Detailed mode: take the latency from the explicit wave
-    // schedule; the analytic decomposition above still labels the
-    // binding resource and utilization. The summary path skips
-    // WaveRecord materialization, and the per-run op-shape memo
-    // (PerfParams::memoizeOps, applied above this model in
-    // simulateLayer) caches simulated timings exactly like analytic
-    // ones.
-    if (params_.gemmMode == GemmMode::TILE_SIM) {
-        t.totalS = simulateGemmSummary(cfg_, op, params_).totalS;
+    // Detailed modes: take the latency from the explicit schedule —
+    // wave-granular (TILE_SIM) or cycle-level (CYCLE_SIM) — while the
+    // analytic decomposition above still labels the binding resource
+    // and utilization. The summary paths skip trace materialization,
+    // and the per-run op-shape memo (PerfParams::memoizeOps, applied
+    // above this model in simulateLayer) caches simulated timings
+    // exactly like analytic ones.
+    if (params_.gemmMode != GemmMode::ANALYTIC) {
+        t.totalS = params_.gemmMode == GemmMode::TILE_SIM
+                       ? simulateGemmSummary(cfg_, op, params_).totalS
+                       : simulateGemmCycles(cfg_, op, params_).totalS;
         if (cache) {
             cache->insert(cache_key, t);
             if (obs::enabled())

@@ -11,24 +11,41 @@
 namespace acs {
 namespace perf {
 
-class GemmCache; // cross-design TILE_SIM timing cache (gemm_cache.hh)
+class GemmCache; // cross-design GEMM timing cache (gemm_cache.hh)
 
 /** How GEMM latency is derived. */
 enum class GemmMode
 {
-    ANALYTIC, //!< closed-form roofline (fast; the default)
-    TILE_SIM, //!< wave-level schedule simulation (detailed)
+    ANALYTIC,  //!< closed-form roofline (fast; the default)
+    TILE_SIM,  //!< wave-level schedule simulation (detailed)
+    CYCLE_SIM, //!< event-driven cycle-level core model (most detailed)
 };
 
 /** Mode name as accepted by the --gemm-mode flag. */
 inline const char *
 toString(GemmMode mode)
 {
-    return mode == GemmMode::ANALYTIC ? "analytic" : "tile_sim";
+    switch (mode) {
+      case GemmMode::ANALYTIC:  return "analytic";
+      case GemmMode::TILE_SIM:  return "tile_sim";
+      case GemmMode::CYCLE_SIM: return "cycle_sim";
+    }
+    return "?";
 }
 
 /**
- * Parse a --gemm-mode value ("analytic" or "tile_sim").
+ * The accepted --gemm-mode values, for use in error messages. Kept
+ * next to parseGemmMode so a new mode cannot be parsed without also
+ * being advertised.
+ */
+inline const char *
+gemmModeNames()
+{
+    return "analytic, tile_sim, or cycle_sim";
+}
+
+/**
+ * Parse a --gemm-mode value (one of gemmModeNames()).
  *
  * @return false (leaving @p out untouched) on an unknown name.
  */
@@ -41,6 +58,10 @@ parseGemmMode(const std::string &name, GemmMode *out)
     }
     if (name == "tile_sim") {
         *out = GemmMode::TILE_SIM;
+        return true;
+    }
+    if (name == "cycle_sim") {
+        *out = GemmMode::CYCLE_SIM;
         return true;
     }
     return false;
@@ -71,6 +92,34 @@ enum class TileSimEngine
 };
 
 /**
+ * Which event loop runs the CYCLE_SIM core model.
+ *
+ * Both engines call the same per-array transition function and produce
+ * bit-identical cycle counts and stall breakdowns
+ * (tests/test_cycle_sim.cpp); they differ only in how they find the
+ * next cycle with work in it.
+ */
+enum class CycleEngine
+{
+    /**
+     * Event-coalesced loop (the default): advance straight to the
+     * earliest pending transition and drain every same-cycle
+     * completion in one canonical pass, skipping the provably idle
+     * cycles in between. With tile-class replay (cycleReplay) this is
+     * what makes cycle-level accuracy sweep-capable. See docs/PERF.md.
+     */
+    COALESCED,
+
+    /**
+     * The naive per-cycle tick: visit every cycle from 0 and poll all
+     * arrays, ~10^3-10^4x slower. Retained as the reference for the
+     * property suite and the `microbench --cycle-only` baseline; never
+     * the right choice for sweeps.
+     */
+    LEGACY_TICK,
+};
+
+/**
  * Efficiency and microarchitectural constants.
  *
  * Defaults are calibrated so the modeled A100 reproduces the paper's
@@ -84,6 +133,38 @@ struct PerfParams
 
     /** TILE_SIM implementation (aggregated fast path vs legacy walk). */
     TileSimEngine tileSimEngine = TileSimEngine::AGGREGATED;
+
+    /** CYCLE_SIM event loop (coalesced fast path vs naive tick). */
+    CycleEngine cycleEngine = CycleEngine::COALESCED;
+
+    /**
+     * Let the coalesced CYCLE_SIM engine detect a periodic steady
+     * state and fast-forward whole periods of identical tile activity
+     * (per-tile-class replay with run-length contention correction)
+     * instead of re-simulating them. Bit-exact — the replayed span is
+     * a time-translated copy of a simulated one — so the switch exists
+     * for A/B verification only (tests assert on/off equality).
+     * Ignored by LEGACY_TICK.
+     */
+    bool cycleReplay = true;
+
+    /**
+     * DRAM bank timelines the CYCLE_SIM memory system models. Fill
+     * requests interleave across banks; a request targeting a busy
+     * bank queues behind it (the dramQueueCycles stall bucket).
+     */
+    int cycleDramBanks = 16;
+
+    /** CYCLE_SIM memory request granule (bytes per DRAM request). */
+    long cycleDramReqBytes = 4096;
+
+    /**
+     * Bounded outstanding DRAM requests per systolic array: a fill
+     * issues its requests in windows of this size and waits for the
+     * window to drain before issuing the next (request/response flow
+     * control).
+     */
+    int cycleDramWindow = 4;
 
     /**
      * Charge vector kernels their multi-pass traffic (softmax makes
@@ -160,8 +241,10 @@ struct PerfParams
     bool modelL2Blocking = true;
 
     /**
-     * Cross-design TILE_SIM GEMM timing cache (non-owning; null =
-     * none installed). Where the op-shape memo above reuses timings
+     * Cross-design simulated-GEMM timing cache (non-owning; null =
+     * none installed), consulted by the TILE_SIM and CYCLE_SIM modes
+     * (entries are keyed by mode — see fingerprintGemmParams — so the
+     * two never alias). Where the op-shape memo above reuses timings
      * *within* one design's simulation run, this handle reuses them
      * *across* designs whose canonical projection matches (see
      * gemm_cache.hh) — sweep axes that never touch die-local GEMM
@@ -190,8 +273,8 @@ struct PerfParams
     /**
      * Let sweep drivers (dse::DesignEvaluator's evaluateAll,
      * evaluateAllParallel, and evaluateStream) hoist a sweep-scoped
-     * GemmCache automatically
-     * when gemmCache is null and gemmMode is TILE_SIM. Off is for
+     * GemmCache automatically when gemmCache is null and gemmMode is
+     * a simulating one (TILE_SIM or CYCLE_SIM). Off is for
      * A/B verification (`--gemm-cache=off` on the DSE benches):
      * outputs are bit-identical either way, only the speed differs.
      */

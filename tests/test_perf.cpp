@@ -604,8 +604,11 @@ TEST(GemmMode, FlagParsingRoundTrips)
     EXPECT_EQ(mode, GemmMode::TILE_SIM);
     EXPECT_TRUE(parseGemmMode("analytic", &mode));
     EXPECT_EQ(mode, GemmMode::ANALYTIC);
+    EXPECT_TRUE(parseGemmMode("cycle_sim", &mode));
+    EXPECT_EQ(mode, GemmMode::CYCLE_SIM);
     EXPECT_STREQ(toString(GemmMode::ANALYTIC), "analytic");
     EXPECT_STREQ(toString(GemmMode::TILE_SIM), "tile_sim");
+    EXPECT_STREQ(toString(GemmMode::CYCLE_SIM), "cycle_sim");
     // Unknown names leave the mode untouched.
     mode = GemmMode::TILE_SIM;
     EXPECT_FALSE(parseGemmMode("roofline", &mode));

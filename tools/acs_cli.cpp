@@ -25,10 +25,10 @@
  * The global option --trace=<file> (or the ACS_TRACE environment
  * variable) records counters and spans during the command, prints a
  * per-stage summary, and writes a Chrome-trace JSON to <file>.
- * --gemm-mode={analytic,tile_sim} selects the GEMM latency model for
- * the evaluate/sweep commands, and --gemm-cache={on,off} toggles the
- * sweep-scoped cross-design GEMM cache in tile_sim mode — output is
- * byte-identical either way (docs/PERF.md).
+ * --gemm-mode={analytic,tile_sim,cycle_sim} selects the GEMM latency
+ * model for the evaluate/sweep commands, and --gemm-cache={on,off}
+ * toggles the sweep-scoped cross-design GEMM cache in the simulating
+ * modes — output is byte-identical either way (docs/PERF.md).
  */
 
 #include <deque>
@@ -96,10 +96,12 @@ usage()
         "    searching.\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
-        "--gemm-mode=analytic|tile_sim picks the GEMM latency model\n"
-        "for evaluate/sweep (default analytic; see docs/PERF.md).\n"
-        "--gemm-cache=on|off toggles tile_sim's sweep-scoped GEMM\n"
-        "cache (default on; byte-identical output either way).\n";
+        "--gemm-mode=analytic|tile_sim|cycle_sim picks the GEMM\n"
+        "latency model for evaluate/sweep (default analytic; see\n"
+        "docs/PERF.md).\n"
+        "--gemm-cache=on|off toggles the simulating modes' sweep-\n"
+        "scoped GEMM cache (default on; byte-identical output either\n"
+        "way).\n";
     return 2;
 }
 
@@ -727,7 +729,9 @@ main(int argc, char **argv)
         } else if (arg.rfind("--gemm-mode=", 0) == 0) {
             const std::string value = arg.substr(12);
             if (!perf::parseGemmMode(value, &g_perf_params.gemmMode)) {
-                std::cerr << "unknown --gemm-mode '" << value << "'\n";
+                std::cerr << "unknown --gemm-mode '" << value
+                          << "' (expected " << perf::gemmModeNames()
+                          << ")\n";
                 return usage();
             }
         } else if (arg.rfind("--gemm-cache=", 0) == 0) {
