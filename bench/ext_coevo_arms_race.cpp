@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Extension bench: the regulator-vs-designer arms race.
+ *
+ * The static escape benches (ext_mcm_escape, ext_gaming_policy,
+ * ext_rule_evolution) each probe one dodge against one frozen rule.
+ * This bench closes the loop with coevo::ArmsRace: an escape-seeking
+ * designer (best compliant TTFT over the escape portfolio,
+ * dse::AdaptiveSearch inner loop) alternating with a rule-tightening
+ * regulator (per-knob tightenings under a collateral-damage budget on
+ * the gaming/graphics catalogue), for both mechanisms —
+ * classification thresholds (policy::ParamRule) and the firmware
+ * offline-licensing throughput cap (policy::FirmwareLicenseRule,
+ * arxiv 2404.18308).
+ *
+ * Emits the round-by-round trajectory of both races plus the
+ * threshold-vs-firmware frontier (final escaped performance vs
+ * realized collateral at a ladder of budgets) to
+ * results/ext_coevo_arms_race.csv, and plots both frontiers on the
+ * same axes. The bench asserts the monotonicity contract: at a fixed
+ * budget the escaped-performance trajectory never increases ("hold"
+ * is always a candidate, and the designer oracle is a deterministic
+ * function of the rule alone).
+ *
+ * Deterministic: iterates are ACS_THREADS-independent (the inner
+ * search is; the outer loop is serial), so re-running writes
+ * byte-identical CSV for every thread count — CI diffs it.
+ */
+
+#include "bench_util.hh"
+
+#include "coevo/arms_race.hh"
+#include "common/scatter.hh"
+
+using namespace acs;
+
+namespace {
+
+constexpr double kBudget = 0.10; //!< trajectory collateral budget
+constexpr int kRounds = 8;       //!< regulator/designer rounds
+
+/** Percent with one decimal ("52.7"). */
+std::string
+pct(double frac)
+{
+    return fmt(100.0 * frac, 1);
+}
+
+/** Append one race's rounds as kind=trajectory rows and print its
+ *  round table; returns the final round for the frontier narrative. */
+const coevo::RoundRecord &
+emitTrajectory(const coevo::ArmsRaceResult &res, Table &csv)
+{
+    Table t({"round", "regulator move", "rule", "best escape",
+             "escaped_perf_pct", "collateral_pct", "ttft_ms", "tbt_ms"});
+    double prev = INFINITY;
+    for (const coevo::RoundRecord &r : res.rounds) {
+        fatalIf(r.designer.escapedPerf > prev + 1e-12,
+                "escaped performance increased at round " +
+                    std::to_string(r.round) +
+                    " (monotonicity regression)");
+        prev = r.designer.escapedPerf;
+        t.addRow({std::to_string(r.round), r.moveLabel, r.ruleDesc,
+                  r.designer.spaceLabel, pct(r.designer.escapedPerf),
+                  pct(r.collateral),
+                  fmt(units::toMs(r.designer.ttftS), 1),
+                  fmt(units::toMs(r.designer.tbtS), 4)});
+        csv.addRow({"trajectory", toString(res.config.mechanism),
+                    std::to_string(r.round),
+                    fmt(res.config.collateralBudget, 2), r.moveLabel,
+                    r.ruleDesc, r.designer.spaceLabel,
+                    r.designer.designName,
+                    fmt(r.designer.escapedPerf, 4),
+                    fmt(r.collateral, 4),
+                    fmt(units::toMs(r.designer.ttftS), 3),
+                    fmt(units::toMs(r.designer.tbtS), 5)});
+    }
+    std::cout << "\n-- " << toString(res.config.mechanism)
+              << " mechanism (budget " << pct(res.config.collateralBudget)
+              << "%, fixed point "
+              << (res.roundsToFixedPoint >= 0
+                      ? "round " + std::to_string(res.roundsToFixedPoint)
+                      : "not reached")
+              << ") --\n";
+    t.print(std::cout);
+    return res.rounds.back();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::header("Extension: policy co-evolution arms race",
+                  "Threshold rules vs licensing firmware against an "
+                  "escape-optimizing designer");
+    bench::initObs(argc, argv);
+
+    coevo::ArmsRaceConfig cfg;
+    cfg.rounds = kRounds;
+    cfg.collateralBudget = kBudget;
+
+    Table csv({"kind", "mechanism", "round", "budget", "move", "rule",
+               "escape_space", "design", "escaped_perf", "collateral",
+               "ttft_ms", "tbt_ms"});
+
+    // -- trajectories at the reference budget ---------------------------
+    cfg.mechanism = coevo::Mechanism::THRESHOLD;
+    coevo::ArmsRace threshold_race(cfg);
+    const coevo::ArmsRaceResult thr = threshold_race.run();
+    std::cout << "\nunconstrained reference TTFT "
+              << fmt(units::toMs(thr.referenceTtftS), 1) << " ms, TBT "
+              << fmt(units::toMs(thr.referenceTbtS), 4) << " ms\n";
+    const coevo::RoundRecord &thr_final = emitTrajectory(thr, csv);
+
+    cfg.mechanism = coevo::Mechanism::FIRMWARE;
+    coevo::ArmsRace firmware_race(cfg);
+    const coevo::ArmsRaceResult fw = firmware_race.run();
+    const coevo::RoundRecord &fw_final = emitTrajectory(fw, csv);
+
+    // -- threshold-vs-firmware frontier --------------------------------
+    // Final escaped performance vs realized collateral after a full
+    // race at each budget; memos are shared across budgets inside one
+    // ArmsRace, so the ladder replays the common prefix at zero cost.
+    const std::vector<double> budgets = {0.0, 0.02, 0.05, 0.10, 0.20};
+    const std::vector<coevo::FrontierPoint> frontier =
+        threshold_race.frontier(budgets);
+
+    ScatterSeries thr_series{"threshold rule", 'T', {}, {}};
+    ScatterSeries fw_series{"licensing firmware", 'F', {}, {}};
+    for (const coevo::FrontierPoint &p : frontier) {
+        csv.addRow({"frontier", toString(p.mechanism), "-",
+                    fmt(p.budget, 2), "-", p.ruleDesc, "-", "-",
+                    fmt(p.escapedPerf, 4), fmt(p.collateral, 4), "-",
+                    "-"});
+        ScatterSeries &s = p.mechanism == coevo::Mechanism::THRESHOLD
+                               ? thr_series
+                               : fw_series;
+        s.xs.push_back(100.0 * p.collateral);
+        s.ys.push_back(100.0 * p.escapedPerf);
+    }
+
+    ScatterPlot plot("Escaped performance vs collateral damage "
+                     "(final round per budget)",
+                     "collateral damage [% of gaming catalogue]",
+                     "escaped performance [% of unconstrained]");
+    plot.setLimits({0.0, std::nullopt, 0.0, 100.0});
+    plot.addSeries(thr_series);
+    plot.addSeries(fw_series);
+    std::cout << "\n";
+    plot.print(std::cout);
+
+    bench::writeCsv("ext_coevo_arms_race", csv);
+
+    std::cout << "\nShape: the threshold race opens at "
+              << pct(thr.rounds.front().designer.escapedPerf)
+              << "% escaped performance — int8 relabeling plus MCM "
+                 "scale-out and L2 padding fully dodges the canonical "
+                 "metric — and " << kRounds
+              << " rounds of tightening only drag it to "
+              << pct(thr_final.designer.escapedPerf) << "% at "
+              << pct(thr_final.collateral)
+              << "% collateral. The firmware meter counts retired "
+                 "FP16-equivalent ops, so relabeling buys nothing: it "
+                 "starts at "
+              << pct(fw.rounds.front().designer.escapedPerf)
+              << "% and reaches " << pct(fw_final.designer.escapedPerf)
+              << "% at the same budget — its frontier dominates the "
+                 "threshold frontier at every collateral level. The "
+                 "flat TBT column is Fig. 5 closed-loop: decode rides "
+                 "on unregulated HBM either way.\n";
+    return 0;
+}

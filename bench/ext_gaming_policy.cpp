@@ -4,9 +4,15 @@
  * gaming-oriented designs against the gaming-focused architecture
  * policy and show the selectivity frontier — compliant designs lose
  * little gaming FPS but much LLM decode throughput.
+ *
+ * The systolic-dim and memory-bandwidth grids come from
+ * coevo/escape.hh — the same lists the closed-loop arms race
+ * (ext_coevo_arms_race) searches, so probe and engine cannot drift.
  */
 
 #include "bench_util.hh"
+
+#include "coevo/escape.hh"
 
 using namespace acs;
 
@@ -37,8 +43,8 @@ main()
     // Sweep systolic dims x memory bandwidth at fixed ~4800 TPP and
     // fixed SIMT (vector) resources.
     std::vector<Candidate> candidates;
-    for (int dim : {4, 8, 16, 32}) {
-        for (double mem_tbps : {0.8, 1.2, 1.6, 2.0, 2.8}) {
+    for (int dim : coevo::gamingEscapeDims()) {
+        for (double mem_tbps : coevo::gamingEscapeMemTbps()) {
             hw::HardwareConfig cfg = hw::modeledA100();
             cfg.systolicDimX = dim;
             cfg.systolicDimY = dim;

@@ -8,9 +8,15 @@
  * multi-chip module padded with silicon. This bench sweeps chiplet
  * counts, inflates on-die SRAM to clear the area floor, and prices
  * the escape against the sanctioned monolithic design.
+ *
+ * The chiplet-count and padding enumerations come from
+ * coevo/escape.hh — the same lists the closed-loop arms race
+ * (ext_coevo_arms_race) searches, so probe and engine cannot drift.
  */
 
 #include "bench_util.hh"
+
+#include "coevo/escape.hh"
 
 using namespace acs;
 
@@ -48,7 +54,8 @@ main()
              "per-die area (mm^2)", "package area (mm^2)", "Oct 2023",
              "device cost", "cost vs monolithic", "TTFT d", "TBT d"});
 
-    for (int dies : {4, 5, 6, 8}) {
+    const coevo::L2PaddingGrid grid = coevo::l2PaddingGrid();
+    for (int dies : coevo::mcmChipletCounts()) {
         // Split the compute across chiplets, then inflate the global
         // buffer until the package clears the area floor.
         hw::HardwareConfig chiplet = hw::modeledA100();
@@ -57,7 +64,8 @@ main()
         chiplet.name = "mcm-" + std::to_string(dies);
 
         bool feasible = false;
-        for (double l2_mib = 40.0; l2_mib <= 2048.0; l2_mib += 8.0) {
+        for (double l2_mib = grid.startMib; l2_mib <= grid.stopMib;
+             l2_mib += grid.stepMib) {
             chiplet.l2Bytes = l2_mib * units::MIB;
             const double per_die =
                 area_model.breakdown(chiplet).total();

@@ -6,9 +6,15 @@
  * and Oct 2023 rules and bucket the transitions — newly sanctioned
  * (the A800/H800 story), still sanctioned, never sanctioned, and the
  * regulation-specific SKUs designed into each regime.
+ *
+ * The compliance-SKU genealogy rows come from coevo/escape.hh — the
+ * same module the closed-loop arms race (ext_coevo_arms_race) builds
+ * its escape portfolio from, so probe and engine cannot drift.
  */
 
 #include "bench_util.hh"
+
+#include "coevo/escape.hh"
 
 using namespace acs;
 
@@ -68,20 +74,9 @@ main()
         return toString(
             policy::Oct2023Rule::classify(db.byName(name)->toSpec()));
     };
-    g.addRow({"NVIDIA A100 80GB", "NVIDIA A800",
-              "device BW 600 -> 400 GB/s", status("NVIDIA A800")});
-    g.addRow({"NVIDIA H100 SXM", "NVIDIA H800",
-              "device BW 900 -> 400 GB/s", status("NVIDIA H800")});
-    g.addRow({"NVIDIA H100 SXM", "NVIDIA H20",
-              "TPP 15824 -> 2368 (cores disabled)",
-              status("NVIDIA H20")});
-    g.addRow({"NVIDIA L40", "NVIDIA L20", "TPP 2898 -> 1912",
-              status("NVIDIA L20")});
-    g.addRow({"NVIDIA L4", "NVIDIA L2", "TPP trimmed under 1600",
-              status("NVIDIA L2")});
-    g.addRow({"NVIDIA RTX 4090", "NVIDIA RTX 4090D",
-              "TPP 5285 -> 4708 (114 of 128 cores)",
-              status("NVIDIA RTX 4090D")});
+    for (const coevo::ComplianceSku &sku :
+         coevo::complianceSkuGenealogy())
+        g.addRow({sku.flagship, sku.sku, sku.knob, status(sku.sku)});
     g.print(std::cout);
 
     std::cout << "\nShape (Sec. 2.2): the Oct-2022 workarounds (A800/"

@@ -17,7 +17,11 @@
  * (--sim / --sim-only) replaying a trace-scale diurnal request stream
  * through the fast path (calendar queue, flat memos, streaming
  * histograms) vs the legacy path (binary heap, map memos, sort-based
- * rollups), emitting results/BENCH_sim.json.
+ * rollups), emitting results/BENCH_sim.json, and a policy
+ * co-evolution section (--coevo / --coevo-only) timing full
+ * regulator-vs-designer arms races for both mechanisms, emitting
+ * results/BENCH_coevo.json (designer best-responses/s,
+ * evaluated fraction, rounds to fixed point).
  */
 
 #include <benchmark/benchmark.h>
@@ -36,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "coevo/arms_race.hh"
 #include "common/thread_pool.hh"
 #include "core/acs.hh"
 #include "perf/gemm_cache.hh"
@@ -782,6 +787,90 @@ runSimThroughput(int reps, long requests)
     std::cout << "[json] results/BENCH_sim.json\n";
 }
 
+// ---- Policy co-evolution throughput ----------------------------------------
+
+/**
+ * The speed claim behind the arms race: a designer best response is
+ * an AdaptiveSearch over the whole escape portfolio (five sub-spaces,
+ * ~190k raw points under the canonical rule), so a multi-round,
+ * multi-budget frontier stays interactive only because the adaptive
+ * engine evaluates a small fraction of each space and the race memoizes
+ * repeated rules. Each rep times a *fresh* ArmsRace (cold memo, cold
+ * reference) running the full default race for both mechanisms;
+ * best-responses/s counts distinct designer oracles computed.
+ */
+void
+runCoevoThroughput(int reps)
+{
+    coevo::ArmsRaceConfig cfg;
+    cfg.rounds = 8;
+    cfg.collateralBudget = 0.10;
+
+    std::cout << "\nPolicy co-evolution throughput (" << cfg.rounds
+              << " rounds, budget " << cfg.collateralBudget
+              << ", best of " << reps << ")\n";
+
+    double best_rate = 0.0;
+    coevo::ArmsRaceResult thr, fw;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        cfg.mechanism = coevo::Mechanism::THRESHOLD;
+        coevo::ArmsRace threshold_race(cfg);
+        thr = threshold_race.run();
+        cfg.mechanism = coevo::Mechanism::FIRMWARE;
+        coevo::ArmsRace firmware_race(cfg);
+        fw = firmware_race.run();
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const std::size_t responses = thr.bestResponses + fw.bestResponses;
+        best_rate = std::max(best_rate, responses / wall);
+    }
+
+    const std::size_t evaluated = thr.totalEvaluated + fw.totalEvaluated;
+    const std::size_t points = thr.totalSpacePoints + fw.totalSpacePoints;
+    const double fraction =
+        points > 0 ? static_cast<double>(evaluated) / points : 0.0;
+
+    std::cout << "  best responses: " << best_rate << " /s ("
+              << thr.bestResponses + fw.bestResponses
+              << " distinct rules per race pair)\n"
+              << "  evaluated     : " << evaluated << " of " << points
+              << " space points (fraction " << fraction << ")\n"
+              << "  fixed point   : threshold round "
+              << thr.roundsToFixedPoint << ", firmware round "
+              << fw.roundsToFixedPoint << "\n"
+              << "  final escaped : threshold "
+              << thr.rounds.back().designer.escapedPerf << ", firmware "
+              << fw.rounds.back().designer.escapedPerf << "\n";
+
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    std::ofstream out("results/BENCH_coevo.json");
+    out << "{\n"
+        << "  \"workload\": \"" << cfg.workload << "\",\n"
+        << "  \"rounds\": " << cfg.rounds << ",\n"
+        << "  \"collateral_budget\": " << cfg.collateralBudget << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"designer_best_responses_per_s\": " << best_rate << ",\n"
+        << "  \"best_responses_per_race_pair\": "
+        << thr.bestResponses + fw.bestResponses << ",\n"
+        << "  \"evaluated_points\": " << evaluated << ",\n"
+        << "  \"space_points\": " << points << ",\n"
+        << "  \"fraction_evaluated\": " << fraction << ",\n"
+        << "  \"threshold_rounds_to_fixed_point\": "
+        << thr.roundsToFixedPoint << ",\n"
+        << "  \"firmware_rounds_to_fixed_point\": "
+        << fw.roundsToFixedPoint << ",\n"
+        << "  \"threshold_final_escaped_perf\": "
+        << thr.rounds.back().designer.escapedPerf << ",\n"
+        << "  \"firmware_final_escaped_perf\": "
+        << fw.rounds.back().designer.escapedPerf << "\n"
+        << "}\n";
+    std::cout << "[json] results/BENCH_coevo.json\n";
+}
+
 } // anonymous namespace
 
 int
@@ -791,6 +880,7 @@ main(int argc, char **argv)
     bool gemm = false;
     bool cycle = false;
     bool sim = false;
+    bool coevo_bench = false;
     bool skip_micro = false;
     int reps = 3;
     long sim_requests = 1'000'000;
@@ -812,6 +902,10 @@ main(int argc, char **argv)
             sim = true;
         } else if (std::strcmp(argv[i], "--sim-only") == 0) {
             sim = skip_micro = true;
+        } else if (std::strcmp(argv[i], "--coevo") == 0) {
+            coevo_bench = true;
+        } else if (std::strcmp(argv[i], "--coevo-only") == 0) {
+            coevo_bench = skip_micro = true;
         } else if (std::strncmp(argv[i], "--sim-requests=", 15) == 0) {
             sim_requests = std::max(1000L, std::atol(argv[i] + 15));
         } else if (std::strncmp(argv[i], "--dse-reps=", 11) == 0) {
@@ -837,5 +931,7 @@ main(int argc, char **argv)
         runCycleThroughput(reps);
     if (sim)
         runSimThroughput(reps, sim_requests);
+    if (coevo_bench)
+        runCoevoThroughput(reps);
     return 0;
 }

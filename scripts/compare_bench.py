@@ -13,6 +13,7 @@ Covers the bench suites emitted by bench/microbench:
   BENCH_dse.json   (--dse-only)   DSE pipeline sweep throughput
   BENCH_cycle.json (--cycle-only) cycle-level engine throughput
   BENCH_sim.json   (--sim-only)   serving-simulator trace throughput
+  BENCH_coevo.json (--coevo-only) arms-race best-response throughput
 The suite is picked per file pair from the metrics present, so the
 caller just passes matching (baseline, measured) pairs:
 
@@ -51,6 +52,9 @@ SUITES = {
         "fast_requests_per_s",
         "fast_events_per_s",
     ],
+    "BENCH_coevo": [
+        "designer_best_responses_per_s",
+    ],
 }
 
 # Speedup acceptance bars: (metric, floor, label). Measured-side only;
@@ -76,6 +80,23 @@ BARS = {
         ("fast_speedup_vs_legacy", 10.0,
          "fast sim path vs legacy heap+map"),
     ],
+    "BENCH_coevo": [],
+}
+
+# Absolute rate floors: (metric, floor/s, label). A full designer best
+# response is an AdaptiveSearch over the whole escape portfolio, so a
+# collapsing rate means the adaptive inner loop degraded to something
+# closer to an exhaustive sweep. Floor is ~15x under the committed
+# baseline to ride out shared-runner noise.
+FLOORS = {
+    "BENCH_gemm": [],
+    "BENCH_dse": [],
+    "BENCH_cycle": [],
+    "BENCH_sim": [],
+    "BENCH_coevo": [
+        ("designer_best_responses_per_s", 20.0,
+         "designer best responses"),
+    ],
 }
 
 # Ceilings: (metric, max, label) — lower is better. Warn-only, like
@@ -88,6 +109,13 @@ CEILINGS = {
     "BENCH_sim": [],
     "BENCH_dse": [
         ("fraction_evaluated", 0.30, "adaptive fraction evaluated"),
+    ],
+    # Predicated escape spaces prune less than the predicate-free DSE
+    # spaces (corner seeding keeps compliant pockets reachable), so the
+    # ceiling is looser than BENCH_dse's.
+    "BENCH_coevo": [
+        ("fraction_evaluated", 0.60,
+         "escape-portfolio fraction evaluated"),
     ],
 }
 
@@ -142,6 +170,16 @@ def compare_pair(baseline_path, measured_path):
         else:
             print(line)
 
+    for key, floor, label in FLOORS[suite]:
+        rate = measured.get(key)
+        if rate is None:
+            continue
+        line = f"{label}: {rate:.1f}/s"
+        if rate < floor:
+            print(f"::warning::{line} (expected >= {floor:g}/s)")
+        else:
+            print(line)
+
     for key, ceiling, label in CEILINGS[suite]:
         value = measured.get(key)
         if value is None:
@@ -165,6 +203,13 @@ def compare_pair(baseline_path, measured_path):
     fraction = measured.get("replayed_tile_fraction")
     if fraction is not None:
         print(f"replayed tile fraction: {fraction:.4f}")
+    for key in ("threshold_final_escaped_perf",
+                "firmware_final_escaped_perf",
+                "threshold_rounds_to_fixed_point",
+                "firmware_rounds_to_fixed_point"):
+        value = measured.get(key)
+        if value is not None:
+            print(f"{key}: {value:g}")
 
 
 def main(argv):

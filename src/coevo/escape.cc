@@ -1,0 +1,213 @@
+#include "escape.hh"
+
+#include <cmath>
+
+#include "common/units.hh"
+#include "hw/presets.hh"
+
+namespace acs {
+namespace coevo {
+
+const std::vector<int> &
+mcmChipletCounts()
+{
+    static const std::vector<int> counts = {4, 5, 6, 8};
+    return counts;
+}
+
+L2PaddingGrid
+l2PaddingGrid()
+{
+    return L2PaddingGrid{};
+}
+
+const std::vector<int> &
+gamingEscapeDims()
+{
+    static const std::vector<int> dims = {4, 8, 16, 32};
+    return dims;
+}
+
+const std::vector<double> &
+gamingEscapeMemTbps()
+{
+    static const std::vector<double> tbps = {0.8, 1.2, 1.6, 2.0, 2.8};
+    return tbps;
+}
+
+const std::vector<ComplianceSku> &
+complianceSkuGenealogy()
+{
+    static const std::vector<ComplianceSku> skus = {
+        {"NVIDIA A100 80GB", "NVIDIA A800",
+         "device BW 600 -> 400 GB/s"},
+        {"NVIDIA H100 SXM", "NVIDIA H800",
+         "device BW 900 -> 400 GB/s"},
+        {"NVIDIA H100 SXM", "NVIDIA H20",
+         "TPP 15824 -> 2368 (cores disabled)"},
+        {"NVIDIA L40", "NVIDIA L20", "TPP 2898 -> 1912"},
+        {"NVIDIA L4", "NVIDIA L2", "TPP trimmed under 1600"},
+        {"NVIDIA RTX 4090", "NVIDIA RTX 4090D",
+         "TPP 5285 -> 4708 (114 of 128 cores)"},
+    };
+    return skus;
+}
+
+namespace {
+
+/** Padding subsample for the sweep L2 axis. The full 8-MiB grid
+ *  (l2PaddingGrid) is for the one-dimensional feasibility walk in
+ *  ext_mcm_escape; the multi-axis search only spans the range that
+ *  can matter per die — beyond ~256 MiB the L2 alone pushes any die
+ *  past the reticle, so larger values would be dead weight on every
+ *  axis combination. The top value is deliberately the list's corner:
+ *  AdaptiveSearch samples short axes at their corners first, and the
+ *  padded-compliance pocket (pd under the NAC floor via die area)
+ *  must be visible in that round-0 lattice to seed refinement. */
+std::vector<double>
+escapeL2Bytes()
+{
+    const L2PaddingGrid g = l2PaddingGrid();
+    return {g.startMib * units::MIB, 96 * units::MIB, 160 * units::MIB,
+            224 * units::MIB, 256 * units::MIB};
+}
+
+/** Off-package memory axis: HBM bandwidth is unregulated, so the
+ *  escape list reaches well past the A100's 2.0 TB/s. */
+std::vector<double>
+escapeMemBandwidths()
+{
+    std::vector<double> out;
+    for (double tbps : gamingEscapeMemTbps())
+        out.push_back(tbps * units::TBPS);
+    return out;
+}
+
+/** Interconnect axis spanning the Oct-2022 threshold: 550 GB/s is
+ *  the largest PHY multiple under 600 (the A800 move), 600 sits at
+ *  it. Ascending, as SweepSpace requires. */
+std::vector<double>
+escapeDeviceBandwidths()
+{
+    return {300 * units::GBPS, 400 * units::GBPS, 550 * units::GBPS,
+            600 * units::GBPS};
+}
+
+/** Chiplet axis: monolithic plus the MCM escape counts. */
+std::vector<int>
+escapeDies()
+{
+    std::vector<int> dies = {1};
+    for (int d : mcmChipletCounts())
+        dies.push_back(d);
+    return dies;
+}
+
+/** A data-center escape space at @p tppTarget and @p bitwidth. */
+dse::SweepSpace
+dcSpace(double tppTarget, int bitwidth)
+{
+    dse::SweepSpace s;
+    s.base = hw::modeledA100();
+    s.base.opBitwidth = bitwidth;
+    s.tppTarget = tppTarget;
+    s.systolicDims = {16, 32};
+    s.lanesPerCore = {4};
+    s.l1BytesPerCore = {192 * units::KIB};
+    s.l2Bytes = escapeL2Bytes();
+    s.memBandwidths = escapeMemBandwidths();
+    s.deviceBandwidths = escapeDeviceBandwidths();
+    s.diesPerPackage = escapeDies();
+    return s;
+}
+
+/** The consumer-rebranding space: gaming-shaped compute (the
+ *  ext_gaming_policy grid), monolithic, stock buffers. */
+dse::SweepSpace
+consumerSpace(double tppTarget)
+{
+    dse::SweepSpace s;
+    s.base = hw::modeledA100();
+    s.tppTarget = tppTarget;
+    s.systolicDims = gamingEscapeDims();
+    s.lanesPerCore = {4};
+    s.l1BytesPerCore = {192 * units::KIB};
+    s.l2Bytes = {40 * units::MIB};
+    s.memBandwidths = escapeMemBandwidths();
+    s.deviceBandwidths = escapeDeviceBandwidths();
+    return s;
+}
+
+/** Compact TPP label ("4799", "2399"). */
+std::string
+tppLabel(double tpp)
+{
+    return std::to_string(static_cast<long long>(tpp));
+}
+
+} // namespace
+
+std::vector<EscapeSpace>
+designerEscapeSpaces(const policy::ParamRule &rule)
+{
+    // TPP targets one under each live tier. The conjunction's TPP
+    // threshold does not cap the top target: the bandwidth axis
+    // carries that escape (ship above it with < bandwidthGBps
+    // interconnect, the A800 move).
+    const double top = (std::isfinite(rule.tppLicense)
+                            ? rule.tppLicense
+                            : UNCONSTRAINED_TPP) -
+                       1.0;
+
+    std::vector<EscapeSpace> out;
+    out.push_back({"dc-fp16@" + tppLabel(top),
+                   policy::MarketSegment::DATA_CENTER, dcSpace(top, 16)});
+    out.push_back({"dc-int8@" + tppLabel(top),
+                   policy::MarketSegment::DATA_CENTER, dcSpace(top, 8)});
+    if (std::isfinite(rule.tppMid) && rule.tppMid - 1.0 < top) {
+        const double mid = rule.tppMid - 1.0;
+        out.push_back({"dc-fp16@" + tppLabel(mid),
+                       policy::MarketSegment::DATA_CENTER,
+                       dcSpace(mid, 16)});
+    }
+    if (std::isfinite(rule.tppLow) && rule.tppLow - 1.0 < top &&
+        (!std::isfinite(rule.tppMid) || rule.tppLow < rule.tppMid)) {
+        const double low = rule.tppLow - 1.0;
+        out.push_back({"dc-fp16@" + tppLabel(low),
+                       policy::MarketSegment::DATA_CENTER,
+                       dcSpace(low, 16)});
+    }
+    out.push_back({"consumer-fp16@" + tppLabel(top),
+                   policy::MarketSegment::CONSUMER, consumerSpace(top)});
+    return out;
+}
+
+std::vector<EscapeSpace>
+designerEscapeSpaces(const policy::FirmwareLicenseRule &rule)
+{
+    const double free_tpp = rule.coverageTpp - 1.0;
+    const double capped = UNCONSTRAINED_TPP - 1.0;
+
+    std::vector<EscapeSpace> out;
+    if (free_tpp > 0.0) {
+        out.push_back({"fw-free-fp16@" + tppLabel(free_tpp),
+                       policy::MarketSegment::DATA_CENTER,
+                       dcSpace(free_tpp, 16)});
+    }
+    out.push_back({"fw-capped-fp16@" + tppLabel(capped),
+                   policy::MarketSegment::DATA_CENTER,
+                   dcSpace(capped, 16)});
+    out.push_back({"fw-capped-int8@" + tppLabel(capped),
+                   policy::MarketSegment::DATA_CENTER,
+                   dcSpace(capped, 8)});
+    return out;
+}
+
+dse::SweepSpace
+unconstrainedReferenceSpace()
+{
+    return dcSpace(UNCONSTRAINED_TPP, 16);
+}
+
+} // namespace coevo
+} // namespace acs

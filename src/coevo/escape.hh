@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The designer's escape space: the canonical enumerations behind the
+ * one-shot escape benches (ext_mcm_escape / ext_gaming_policy /
+ * ext_rule_evolution) promoted to a single shared module, plus the
+ * sweep-space portfolio the arms-race designer searches each round.
+ *
+ * The static benches source their candidate lists from here (so the
+ * probes and the closed-loop engine can never drift apart), and
+ * designerEscapeSpaces() turns the same lists into SweepSpaces for
+ * dse::AdaptiveSearch — one sub-space per escape channel: MCM
+ * scale-out with area padding, off-package (HBM) memory, bit-width
+ * gaming, interconnect just under the bandwidth threshold, and
+ * consumer rebranding.
+ */
+
+#ifndef ACS_COEVO_ESCAPE_HH
+#define ACS_COEVO_ESCAPE_HH
+
+#include <string>
+#include <vector>
+
+#include "dse/sweep.hh"
+#include "policy/param_rule.hh"
+
+namespace acs {
+namespace coevo {
+
+/** Chiplet counts the MCM area-padding escape considers (the
+ *  ext_mcm_escape sweep list). */
+const std::vector<int> &mcmChipletCounts();
+
+/** SRAM inflation grid (MiB) used to clear a PD area floor. */
+struct L2PaddingGrid
+{
+    double startMib = 40.0;
+    double stopMib = 2048.0;
+    double stepMib = 8.0;
+};
+
+/** The ext_mcm_escape global-buffer padding grid. */
+L2PaddingGrid l2PaddingGrid();
+
+/** Systolic dims the gaming-segment escape probes (ext_gaming_policy). */
+const std::vector<int> &gamingEscapeDims();
+
+/** HBM bandwidths (TB/s) the gaming-segment escape probes. */
+const std::vector<double> &gamingEscapeMemTbps();
+
+/** One real-world compliance SKU: flagship -> knob-turned escape
+ *  (the Sec. 2.2 genealogy narrated by ext_rule_evolution). */
+struct ComplianceSku
+{
+    const char *flagship;
+    const char *sku;
+    const char *knob;
+};
+
+/** The compliance-SKU genealogy, in release order. */
+const std::vector<ComplianceSku> &complianceSkuGenealogy();
+
+/** FP16-equivalent TPP of the unconstrained reference design point
+ *  (one generation past the flagship threshold, 2 x 4800). */
+constexpr double UNCONSTRAINED_TPP = 9600.0;
+
+/** One searchable escape sub-space with its claimed market segment. */
+struct EscapeSpace
+{
+    std::string label;
+    policy::MarketSegment marketedAs = policy::MarketSegment::DATA_CENTER;
+    dse::SweepSpace space;
+};
+
+/**
+ * The escape portfolio for a threshold rule: data-center spaces at
+ * TPP targets one under each live rule tier (padding/MCM/memory/
+ * interconnect axes inside), an INT8 twin of the top space (bit-width
+ * gaming), and a consumer-rebranding space. Deterministic in the rule
+ * parameters alone.
+ */
+std::vector<EscapeSpace> designerEscapeSpaces(const policy::ParamRule &rule);
+
+/**
+ * The escape portfolio for the firmware mechanism: a coverage-ducking
+ * space one TPP under coverage, plus capped FP16/INT8 spaces at the
+ * unconstrained target (the INT8 twin demonstrates that bit-width
+ * relabeling buys nothing against an operations-metering cap).
+ */
+std::vector<EscapeSpace>
+designerEscapeSpaces(const policy::FirmwareLicenseRule &rule);
+
+/** The predicate-free reference space normalizing escaped
+ *  performance (UNCONSTRAINED_TPP, FP16). */
+dse::SweepSpace unconstrainedReferenceSpace();
+
+} // namespace coevo
+} // namespace acs
+
+#endif // ACS_COEVO_ESCAPE_HH

@@ -1,0 +1,190 @@
+#include "param_rule.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace acs {
+namespace policy {
+
+namespace {
+
+/** Compact numeric formatting for names/messages ("4800", "5.92",
+ *  "-" for a disabled INFINITY threshold). */
+std::string
+fmtNum(double v)
+{
+    if (std::isinf(v) && v > 0.0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** NaN / negative check shared by every threshold field. */
+void
+checkThreshold(const std::string &rule, const char *field, double v)
+{
+    if (std::isnan(v))
+        fatal(rule + ": " + field + " is NaN");
+    if (v < 0.0)
+        fatal(rule + ": " + field + " must be >= 0, got " + fmtNum(v));
+}
+
+/** Ordering check: @p lo must not exceed @p hi. */
+void
+checkOrder(const std::string &rule, const char *loName, double lo,
+           const char *hiName, double hi)
+{
+    if (lo > hi) {
+        fatal(rule + ": inverted thresholds, " + loName + " (" +
+              fmtNum(lo) + ") must be <= " + hiName + " (" +
+              fmtNum(hi) + ")");
+    }
+}
+
+} // namespace
+
+ParamRule
+ParamRule::oct2022()
+{
+    ParamRule r;
+    r.name = "oct2022";
+    r.tppBandwidthLicense = Oct2022Rule::TPP_THRESHOLD;
+    r.bandwidthGBps = Oct2022Rule::BANDWIDTH_THRESHOLD_GBPS;
+    return r;
+}
+
+ParamRule
+ParamRule::oct2023()
+{
+    ParamRule r;
+    r.name = "oct2023";
+    r.tppLicense = Oct2023Rule::TPP_LICENSE;
+    r.pdLicense = Oct2023Rule::PD_LICENSE;
+    r.tppMid = Oct2023Rule::TPP_MID;
+    r.tppLow = Oct2023Rule::TPP_LOW;
+    r.pdMid = Oct2023Rule::PD_MID;
+    r.pdLow = Oct2023Rule::PD_LOW;
+    r.splitBySegment = true;
+    return r;
+}
+
+ParamRule
+ParamRule::combined()
+{
+    ParamRule r = oct2023();
+    r.name = "combined";
+    r.tppBandwidthLicense = Oct2022Rule::TPP_THRESHOLD;
+    r.bandwidthGBps = Oct2022Rule::BANDWIDTH_THRESHOLD_GBPS;
+    return r;
+}
+
+void
+ParamRule::validate() const
+{
+    checkThreshold(name, "tppBandwidthLicense", tppBandwidthLicense);
+    checkThreshold(name, "bandwidthGBps", bandwidthGBps);
+    checkThreshold(name, "tppLicense", tppLicense);
+    checkThreshold(name, "pdLicense", pdLicense);
+    checkThreshold(name, "tppMid", tppMid);
+    checkThreshold(name, "tppLow", tppLow);
+    checkThreshold(name, "pdMid", pdMid);
+    checkThreshold(name, "pdLow", pdLow);
+    checkOrder(name, "tppLow", tppLow, "tppMid", tppMid);
+    checkOrder(name, "tppMid", tppMid, "tppLicense", tppLicense);
+    checkOrder(name, "pdLow", pdLow, "pdMid", pdMid);
+    checkOrder(name, "pdMid", pdMid, "pdLicense", pdLicense);
+}
+
+Classification
+ParamRule::classify(const DeviceSpec &spec) const
+{
+    return classifyAs(spec, spec.market);
+}
+
+Classification
+ParamRule::classifyAs(const DeviceSpec &spec, MarketSegment segment) const
+{
+    const double tpp = spec.tpp;
+    const double pd = spec.perfDensity();
+
+    if (splitBySegment && isNonDataCenter(segment)) {
+        if (tpp >= tppLicense)
+            return Classification::NAC_ELIGIBLE;
+        return Classification::NOT_APPLICABLE;
+    }
+
+    // License terms, in the canonical texts' order: the Oct-2022
+    // conjunction, then the Oct-2023 TPP-alone and density terms.
+    if (tpp >= tppBandwidthLicense &&
+        spec.deviceBandwidthGBps >= bandwidthGBps) {
+        return Classification::LICENSE_REQUIRED;
+    }
+    if (tpp >= tppLicense || (tpp >= tppLow && pd >= pdLicense))
+        return Classification::LICENSE_REQUIRED;
+
+    // NAC bands.
+    if ((tpp >= tppMid && pd >= pdLow) ||
+        (tpp >= tppLow && pd >= pdMid)) {
+        return Classification::NAC_ELIGIBLE;
+    }
+    return Classification::NOT_APPLICABLE;
+}
+
+std::string
+ParamRule::describe() const
+{
+    std::string s = "tpp&bw(" + fmtNum(tppBandwidthLicense) + "," +
+                    fmtNum(bandwidthGBps) + ")";
+    s += "|tpp(" + fmtNum(tppLicense) + ")";
+    s += "|pd(" + fmtNum(pdLicense) + ")";
+    s += "|nac(" + fmtNum(tppMid) + "," + fmtNum(tppLow) + "," +
+         fmtNum(pdMid) + "," + fmtNum(pdLow) + ")";
+    s += splitBySegment ? "|split" : "|blind";
+    return s;
+}
+
+void
+FirmwareLicenseRule::validate() const
+{
+    checkThreshold(name, "coverageTpp", coverageTpp);
+    checkThreshold(name, "throttleTpp", throttleTpp);
+    checkOrder(name, "throttleTpp", throttleTpp,
+               "coverageTpp", coverageTpp);
+}
+
+bool
+FirmwareLicenseRule::covered(double fp16EquivalentTpp) const
+{
+    return fp16EquivalentTpp >= coverageTpp;
+}
+
+Classification
+FirmwareLicenseRule::classify(const DeviceSpec &spec) const
+{
+    // Catalogue TPPs are already at each device's peak bitwidth;
+    // treat them as FP16-equivalent.
+    if (covered(spec.tpp))
+        return Classification::NAC_ELIGIBLE;
+    return Classification::NOT_APPLICABLE;
+}
+
+double
+FirmwareLicenseRule::throughputScale(double fp16EquivalentTpp) const
+{
+    if (!covered(fp16EquivalentTpp) || fp16EquivalentTpp <= 0.0)
+        return 1.0;
+    const double scale = throttleTpp / fp16EquivalentTpp;
+    return scale < 1.0 ? scale : 1.0;
+}
+
+std::string
+FirmwareLicenseRule::describe() const
+{
+    return "fw(cov=" + fmtNum(coverageTpp) + ",cap=" +
+           fmtNum(throttleTpp) + ")";
+}
+
+} // namespace policy
+} // namespace acs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameterized generalizations of the ACR threshold rules, plus the
+ * firmware offline-licensing mechanism (arxiv 2404.18308) modeled as
+ * a throughput-throttling cap. These are the move space of the
+ * regulator in the coevo arms race (src/coevo): every knob the
+ * Oct-2022/Oct-2023 texts hard-code becomes a parameter the regulator
+ * can tighten, and the canonical parameter vectors reproduce the
+ * canonical rules bit-exactly (tests/test_coevo.cpp pins this across
+ * the whole device catalogue).
+ */
+
+#ifndef ACS_POLICY_PARAM_RULE_HH
+#define ACS_POLICY_PARAM_RULE_HH
+
+#include <cmath>
+#include <string>
+
+#include "policy/acr_rules.hh"
+#include "policy/device_spec.hh"
+
+namespace acs {
+namespace policy {
+
+/**
+ * A parameter vector spanning the Oct-2022 and Oct-2023 rule shapes.
+ *
+ * Every term is optional: setting a threshold to INFINITY disables it
+ * (nothing real reaches it), which is how one classify path covers
+ * both generations without drifting from either:
+ *
+ *   oct2022(): only the TPP&&bandwidth conjunction is live, segment
+ *              blind — identical to Oct2022Rule::classify.
+ *   oct2023(): conjunction dead; TPP-alone license, the density
+ *              license term, the two NAC bands, and the non-data-
+ *              center track — identical to Oct2023Rule::classifyAs.
+ *
+ * The term order in classifyAs() mirrors the canonical classifiers so
+ * equality holds per comparison, not just per outcome.
+ */
+struct ParamRule
+{
+    /** Label used in CSV rows and error messages. */
+    std::string name = "param-rule";
+
+    /** Oct-2022 conjunction: LICENSE iff tpp >= tppBandwidthLicense
+     *  and device bandwidth >= bandwidthGBps. */
+    double tppBandwidthLicense = INFINITY;
+    double bandwidthGBps = INFINITY;
+
+    /** TPP-alone license threshold; with splitBySegment it is also
+     *  the non-data-center NAC threshold. */
+    double tppLicense = INFINITY;
+
+    /** Density license: LICENSE iff tpp >= tppLow && pd >= pdLicense. */
+    double pdLicense = INFINITY;
+
+    /** NAC bands: tpp >= tppMid && pd >= pdLow, or
+     *             tpp >= tppLow && pd >= pdMid. */
+    double tppMid = INFINITY;
+    double tppLow = INFINITY;
+    double pdMid = INFINITY;
+    double pdLow = INFINITY;
+
+    /** Oct-2023 track split: non-data-center devices only face the
+     *  tppLicense NAC check. Oct-2022 is segment-blind. */
+    bool splitBySegment = false;
+
+    /** Canonical Oct-2022 parameters (bit-exact vs Oct2022Rule). */
+    static ParamRule oct2022();
+    /** Canonical Oct-2023 parameters (bit-exact vs Oct2023Rule). */
+    static ParamRule oct2023();
+    /** Both rule generations in force at once (the actual regime the
+     *  designer faces): Oct-2023 parameters plus the Oct-2022
+     *  conjunction. The arms race starts here. */
+    static ParamRule combined();
+
+    /**
+     * Reject NaN / negative / inverted thresholds with the offending
+     * value in the message. Branch-then-throw: callers classify at
+     * sweep rates, so validation runs once up front (and once per
+     * regulator candidate), never inside classify().
+     */
+    void validate() const;
+
+    /** Classify under the device's marketed segment. */
+    Classification classify(const DeviceSpec &spec) const;
+
+    /** Classify as if marketed under @p segment. */
+    Classification classifyAs(const DeviceSpec &spec,
+                              MarketSegment segment) const;
+
+    /** Compact parameter summary for CSV/log rows (INFINITY prints
+     *  as "-"). */
+    std::string describe() const;
+};
+
+/**
+ * Firmware offline licensing (arxiv 2404.18308) as an export
+ * mechanism: covered devices ship with metering firmware and may be
+ * exported under a license exception (mapped to NAC_ELIGIBLE), but an
+ * unlicensed device's sustained throughput is capped by the firmware.
+ *
+ * The cap meters retired tensor operations, not the claimed TPP — in
+ * FP16-equivalent TPP units (TOPS x 16). Bit-width gaming therefore
+ * buys nothing: relabeling an FP16 design as INT8 halves its claimed
+ * TPP but leaves its FP16-equivalent throughput (and thus its
+ * throttle) unchanged. That is the structural contrast with the
+ * threshold rules, where classification is the whole escape margin.
+ */
+struct FirmwareLicenseRule
+{
+    std::string name = "firmware-license";
+
+    /** Devices at/above this FP16-equivalent TPP carry the metering
+     *  firmware. */
+    double coverageTpp = 4800.0;
+
+    /** Sustained FP16-equivalent TPP an unlicensed covered device is
+     *  throttled to. Must not exceed coverageTpp. */
+    double throttleTpp = 4800.0;
+
+    /** Reject NaN / negative / inverted (throttle above coverage)
+     *  parameters with the offending value in the message. */
+    void validate() const;
+
+    /** True when the device must carry the metering firmware. */
+    bool covered(double fp16EquivalentTpp) const;
+
+    /** Covered devices export under the metering exception. */
+    Classification classify(const DeviceSpec &spec) const;
+
+    /**
+     * Fraction of native throughput an unlicensed device retains:
+     * min(1, throttleTpp / tpp) when covered, 1 otherwise.
+     */
+    double throughputScale(double fp16EquivalentTpp) const;
+
+    /** Compact parameter summary for CSV/log rows. */
+    std::string describe() const;
+};
+
+} // namespace policy
+} // namespace acs
+
+#endif // ACS_POLICY_PARAM_RULE_HH

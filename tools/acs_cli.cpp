@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "coevo/arms_race.hh"
 #include "core/acs.hh"
 
 using namespace acs;
@@ -61,6 +62,9 @@ usage()
         "  dse <gpt3|llama|llama70b|mixtral> [--space=table3|table5|fine]\n"
         "      [--tpp=<n>] [--shard=<i>/<n>] [--checkpoint=<dir>]\n"
         "      [--ckpt-every=<points>] [--max-evals=<points>] [--merge]\n"
+        "  coevo [--rounds=<n>] [--collateral-budget=<frac>]\n"
+        "        [--mechanism=threshold|firmware] [--seed=<n>]\n"
+        "        [--workload=gpt3|llama|llama70b|mixtral]\n"
         "  metrics <config.kv>\n"
         "  serve-sim <gpt3|llama|llama70b|mixtral> [device]\n"
         "            [--rate=r1,r2,...] [--seed=<n>]\n"
@@ -94,6 +98,12 @@ usage()
         "    continues), and --merge merges all <n> completed shard\n"
         "    checkpoints and reports the global optima instead of\n"
         "    searching.\n"
+        "coevo runs the regulator-vs-designer arms race over the\n"
+        "    parameterized rule family (docs/POLICY.md): N rounds of\n"
+        "    designer best response (adaptive escape-space search) vs\n"
+        "    regulator tightening under a gaming-segment collateral\n"
+        "    budget; --mechanism=firmware swaps in the offline-\n"
+        "    licensing throughput cap.\n"
         "--trace=<file> (or ACS_TRACE=<file>) records observability\n"
         "counters/spans and writes Chrome-trace JSON to <file>.\n"
         "--gemm-mode=analytic|tile_sim|cycle_sim picks the GEMM\n"
@@ -382,6 +392,67 @@ cmdDse(const std::vector<std::string> &args)
                   << fmt(units::toMs(res.bestTbt->tbtS), 4)
                   << " ms [" << res.bestTbt->config.name << "]\n";
     }
+    return 0;
+}
+
+int
+cmdCoevo(const std::vector<std::string> &args)
+{
+    coevo::ArmsRaceConfig cfg;
+    for (const std::string &arg : args) {
+        if (arg.rfind("--rounds=", 0) == 0) {
+            cfg.rounds = std::stoi(arg.substr(9));
+        } else if (arg.rfind("--collateral-budget=", 0) == 0) {
+            cfg.collateralBudget = std::stod(arg.substr(20));
+        } else if (arg.rfind("--mechanism=", 0) == 0) {
+            cfg.mechanism = coevo::mechanismFromString(arg.substr(12));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            cfg.seed = std::stoull(arg.substr(7));
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            cfg.workload = arg.substr(11);
+        } else if (arg.rfind("--max-evals=", 0) == 0) {
+            cfg.maxEvaluations = std::stoull(arg.substr(12));
+        } else {
+            std::cerr << "unknown coevo option '" << arg << "'\n";
+            return usage();
+        }
+    }
+
+    coevo::ArmsRace race(cfg);
+    const coevo::ArmsRaceResult res = race.run();
+
+    std::cout << "mechanism " << coevo::toString(cfg.mechanism)
+              << ", collateral budget "
+              << fmtPercent(cfg.collateralBudget) << ", workload "
+              << cfg.workload << ", seed " << cfg.seed << "\n"
+              << "unconstrained reference TTFT/TBT: "
+              << fmt(units::toMs(res.referenceTtftS), 3) << " / "
+              << fmt(units::toMs(res.referenceTbtS), 4) << " ms\n\n";
+
+    Table t({"round", "regulator move", "rule", "best escape",
+             "escaped perf", "collateral"});
+    for (const auto &r : res.rounds) {
+        t.addRow({std::to_string(r.round), r.moveLabel, r.ruleDesc,
+                  r.designer.spaceLabel.empty() ? "-"
+                                                : r.designer.spaceLabel,
+                  fmtPercent(r.designer.escapedPerf),
+                  fmtPercent(r.collateral)});
+    }
+    t.print(std::cout);
+
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(res.fingerprint()));
+    std::cout << "\nfixed point: "
+              << (res.roundsToFixedPoint >= 0
+                      ? "round " + std::to_string(res.roundsToFixedPoint)
+                      : "not reached")
+              << "\ndesigner best responses: "
+              << std::to_string(res.bestResponses) << " ("
+              << std::to_string(res.totalEvaluated) << " of "
+              << std::to_string(res.totalSpacePoints)
+              << " space points evaluated)\ntrajectory fingerprint: "
+              << fp << "\n";
     return 0;
 }
 
@@ -692,6 +763,8 @@ runCommand(const std::string &cmd, const std::vector<std::string> &args)
         return cmdSweep(args);
     if (cmd == "dse")
         return cmdDse(args);
+    if (cmd == "coevo")
+        return cmdCoevo(args);
     if (cmd == "metrics")
         return cmdMetrics(args);
     if (cmd == "serve-sim")
